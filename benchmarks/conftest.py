@@ -1,0 +1,22 @@
+"""Benchmark-suite helpers.
+
+Every benchmark regenerates one paper artifact (table or figure),
+prints the measured-vs-paper table, and asserts the shape checks from
+``repro.experiments.paperdata``.  Experiments run functionally — heavy
+ones reduce the number of functional steps and normalize to the paper's
+10-step convention, which is exact for these cost models.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+
+
+def run_and_assert(benchmark, factory) -> ExperimentResult:
+    """Benchmark one experiment once and enforce its paper-shape checks."""
+    result = benchmark.pedantic(factory, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    failed = [str(check) for check in result.checks if not check.passed]
+    assert not failed, "shape checks outside paper bands:\n" + "\n".join(failed)
+    return result

@@ -1,0 +1,15 @@
+"""Benchmark: Figure 5 — SIMD optimization ladder on one SPE."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_assert
+from repro.experiments import fig5_simd
+
+
+def test_fig5_simd_ladder(benchmark):
+    result = run_and_assert(
+        benchmark, lambda: fig5_simd.run(n_atoms=2048, n_steps=3)
+    )
+    # Figure 5's bars strictly descend along the ladder.
+    seconds = [row[1] for row in result.rows]
+    assert all(b < a for a, b in zip(seconds, seconds[1:]))

@@ -1,0 +1,18 @@
+"""Benchmark: Figure 6 — SPE thread-launch overhead strategies."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_assert
+from repro.experiments import fig6_launch
+
+
+def test_fig6_spe_launch(benchmark):
+    result = run_and_assert(
+        benchmark, lambda: fig6_launch.run(n_atoms=2048, n_steps=2)
+    )
+    # Respawn-per-step at 8 SPEs must be launch-dominated, as in the paper
+    # ("the thread launch overhead grows by a factor of eight").
+    by_case = {(row[0], row[1]): row for row in result.rows}
+    respawn8 = by_case[("respawn every time step", "8 SPEs")]
+    launch_share = float(respawn8[4].rstrip("%"))
+    assert launch_share > 50.0

@@ -1,0 +1,20 @@
+"""Benchmark: Figure 7 — GPU vs Opteron runtime across atom counts."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_assert
+from repro.experiments import fig7_gpu
+
+
+def test_fig7_gpu_sweep(benchmark):
+    result = run_and_assert(
+        benchmark,
+        lambda: fig7_gpu.run(
+            atom_counts=(128, 256, 512, 1024, 2048, 4096), n_steps=2
+        ),
+    )
+    # GPU loses at the smallest size and wins increasingly at larger ones
+    speedups = [row[3] for row in result.rows]
+    assert speedups[0] < 1.0
+    assert speedups[-1] > 4.0
+    assert all(b > a for a, b in zip(speedups, speedups[1:]))

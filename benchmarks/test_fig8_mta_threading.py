@@ -1,0 +1,17 @@
+"""Benchmark: Figure 8 — fully vs partially multithreaded MTA-2 kernel."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_assert
+from repro.experiments import fig8_mta
+
+
+def test_fig8_mta_threading(benchmark):
+    result = run_and_assert(
+        benchmark,
+        lambda: fig8_mta.run(atom_counts=(256, 512, 1024, 2048), n_steps=2),
+    )
+    # both curves grow ~quadratically; the partial one sits far above
+    full = [row[1] for row in result.rows]
+    partial = [row[2] for row in result.rows]
+    assert all(p > f for f, p in zip(full, partial))

@@ -1,0 +1,25 @@
+"""Benchmark: Figure 9 — runtime growth vs the 256-atom run, MTA vs Opteron.
+
+The heavy one: the 8192-atom double-precision functional runs dominate.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_assert
+from repro.experiments import fig9_scaling
+
+
+def test_fig9_scaling(benchmark):
+    result = run_and_assert(
+        benchmark,
+        lambda: fig9_scaling.run(
+            atom_counts=(256, 1024, 2048, 4096, 8192), n_steps=2
+        ),
+    )
+    # the Opteron's excess over pure-flops growth appears only past the
+    # L1 knee (~2731 atoms) and is absent for the MTA
+    rows = {row[0]: row for row in result.rows}
+    assert rows[8192][5] > rows[8192][4]  # opteron excess > mta excess
+    assert rows[1024][5] == rows[1024][4] or abs(
+        rows[1024][5] - rows[1024][4]
+    ) < 0.05

@@ -1,0 +1,64 @@
+"""Microbenchmarks of this library's own hot kernels (real wall time).
+
+These complement the paper-artifact benchmarks: they time the NumPy
+force kernels and the VM interpreter so regressions in the
+reproduction's substrate are caught by pytest-benchmark's statistics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cell import SpePairSweep, build_spe_kernel, kernel_constants
+from repro.md import MDConfig, compute_forces, compute_forces_27image
+from repro.md.lattice import cubic_lattice
+from repro.md.neighborlist import NeighborList, compute_forces_neighborlist
+
+CONFIG = MDConfig(n_atoms=1024)
+BOX = CONFIG.make_box()
+POTENTIAL = CONFIG.make_potential()
+POSITIONS = cubic_lattice(CONFIG.n_atoms, BOX)
+
+
+def test_bench_allpairs_float64(benchmark):
+    result = benchmark(compute_forces, POSITIONS, BOX, POTENTIAL)
+    assert result.interacting_pairs > 0
+
+
+def test_bench_allpairs_float32(benchmark):
+    result = benchmark(
+        compute_forces, POSITIONS, BOX, POTENTIAL, dtype=np.float32
+    )
+    assert result.interacting_pairs > 0
+
+
+def test_bench_27image_search(benchmark):
+    small = POSITIONS[:256]
+    result = benchmark(compute_forces_27image, small, BOX, POTENTIAL)
+    assert result.interacting_pairs > 0
+
+
+def test_bench_neighborlist(benchmark):
+    nlist = NeighborList(BOX, POTENTIAL, skin=0.3)
+    nlist.update(POSITIONS)
+
+    def run():
+        return compute_forces_neighborlist(POSITIONS, nlist)
+
+    result = benchmark(run)
+    assert result.interacting_pairs > 0
+
+
+def test_bench_vm_spe_kernel(benchmark):
+    """Batched VM execution of the fully-SIMDized SPE kernel."""
+    program = build_spe_kernel("simd_acceleration", BOX.length)
+    sweep = SpePairSweep(program)
+    constants = kernel_constants(POTENTIAL)
+    positions = POSITIONS[:256]
+    rows = np.arange(64)
+
+    def run():
+        return sweep.run(positions, rows, constants)
+
+    acc, _pe = benchmark(run)
+    assert np.isfinite(acc).all()

@@ -1,0 +1,20 @@
+"""Benchmark: Table 1 — total runtime, 2048 atoms, 10 time steps."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_assert
+from repro.experiments import table1_perf
+
+
+def test_table1_comparison(benchmark):
+    result = run_and_assert(
+        benchmark, lambda: table1_perf.run(n_atoms=2048, n_steps=2)
+    )
+    seconds = {row[0]: row[1] for row in result.rows}
+    # the paper's ordering: 8 SPEs < 1 SPE < Opteron < PPE only
+    assert (
+        seconds["Cell, 8 SPEs"]
+        < seconds["Cell, 1 SPE"]
+        < seconds["Opteron"]
+        < seconds["Cell, PPE only"]
+    )

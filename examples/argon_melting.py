@@ -1,0 +1,80 @@
+"""Domain example: melting an argon crystal.
+
+Uses the MD engine the way the paper's motivating users would — a small
+computational-biology-adjacent materials study: start from a cold FCC
+argon crystal, step the temperature up, and watch the lattice order
+parameter and mean-squared displacement reveal melting.
+
+Run:  python examples/argon_melting.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.md import (
+    ARGON,
+    MDConfig,
+    MDSimulation,
+    fcc_lattice,
+    maxwell_boltzmann_velocities,
+    temperature,
+)
+from repro.md.forces import compute_forces
+from repro.md.integrators import State, velocity_verlet_step
+from repro.reporting import format_table
+
+
+def mean_squared_displacement(current, reference, box) -> float:
+    delta = box.minimum_image(current - reference)
+    return float(np.mean(np.sum(delta * delta, axis=1)))
+
+
+def run_at_temperature(reduced_t: float, n_atoms: int = 256, steps: int = 400):
+    config = MDConfig(
+        n_atoms=n_atoms, density=0.80, temperature=reduced_t, dt=0.004, seed=42
+    )
+    box = config.make_box()
+    potential = config.make_potential()
+    rng = np.random.default_rng(config.seed)
+    positions = fcc_lattice(n_atoms, box)
+    reference = positions.copy()
+    velocities = maxwell_boltzmann_velocities(n_atoms, reduced_t, rng)
+    force = lambda pos: compute_forces(pos, box, potential)  # noqa: E731
+    result = force(positions)
+    state = State(positions, velocities, result.accelerations, result.potential_energy)
+    for _ in range(steps):
+        state, _r = velocity_verlet_step(state, config.dt, box, force)
+    msd = mean_squared_displacement(state.positions, reference, box)
+    return temperature(state.velocities), msd
+
+
+def main() -> None:
+    print("Heating an FCC argon crystal (256 atoms, rho* = 0.80):\n")
+    rows = []
+    for reduced_t in (0.2, 0.6, 1.0, 1.6, 2.4):
+        final_t, msd = run_at_temperature(reduced_t)
+        rows.append(
+            (
+                round(reduced_t, 2),
+                round(ARGON.to_kelvin(reduced_t), 1),
+                round(final_t, 3),
+                round(msd, 3),
+                "solid" if msd < 0.25 else "melted",
+            )
+        )
+    print(
+        format_table(
+            ("T* set", "T (K)", "T* final", "MSD (sigma^2)", "phase"),
+            rows,
+            title="Mean-squared displacement after 400 steps",
+        )
+    )
+    print(
+        "\nThe MSD jump marks melting — the same N^2 force kernel the "
+        "paper ports\nto Cell/GPU/MTA-2 doing real materials physics."
+    )
+
+
+if __name__ == "__main__":
+    main()

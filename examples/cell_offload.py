@@ -1,0 +1,81 @@
+"""The Cell Broadband Engine porting story, end to end.
+
+Walks the exact optimization path of the paper's section 5.1:
+
+1. start from the scalar "original" kernel on one SPE,
+2. climb the Figure-5 SIMD ladder one optimization at a time,
+3. parallelize across all eight SPEs,
+4. fix the thread-launch overhead with mailboxes (Figure 6).
+
+Run:  python examples/cell_offload.py
+"""
+
+from __future__ import annotations
+
+from repro.cell import OPT_LEVELS, CellDevice, LaunchStrategy
+from repro.md import MDConfig
+from repro.reporting import format_table
+
+N_ATOMS = 1024
+N_STEPS = 5
+
+
+def ladder() -> None:
+    config = MDConfig(n_atoms=N_ATOMS)
+    rows = []
+    original = None
+    for level in OPT_LEVELS:
+        device = CellDevice(n_spes=1, opt_level=level)
+        result = device.run(config, N_STEPS)
+        kernel = result.component("spe_kernel")
+        if original is None:
+            original = kernel
+        rows.append((level, round(kernel, 4), round(original / kernel, 2)))
+    print(
+        format_table(
+            ("optimization level", "kernel_s", "speedup vs original"),
+            rows,
+            title=f"Figure-5 ladder ({N_ATOMS} atoms, 1 SPE, {N_STEPS} steps)",
+        )
+    )
+
+
+def parallelize() -> None:
+    config = MDConfig(n_atoms=N_ATOMS)
+    rows = []
+    for n_spes in (1, 2, 4, 8):
+        for strategy in (LaunchStrategy.RESPAWN_PER_STEP, LaunchStrategy.LAUNCH_ONCE):
+            result = CellDevice(n_spes=n_spes, strategy=strategy).run(
+                config, N_STEPS
+            )
+            rows.append(
+                (
+                    n_spes,
+                    strategy.value,
+                    round(result.total_seconds, 4),
+                    round(result.component("thread_launch"), 4),
+                    round(result.component("spe_kernel"), 4),
+                )
+            )
+    print()
+    print(
+        format_table(
+            ("SPEs", "launch strategy", "total_s", "launch_s", "kernel_s"),
+            rows,
+            title="SPE scaling under both launch strategies",
+        )
+    )
+    print(
+        "\nNote how respawn-per-step launch cost grows linearly with the "
+        "SPE count\nwhile launch-once pays it exactly once — the paper's "
+        "mailbox fix."
+    )
+
+
+def main() -> None:
+    ladder()
+    parallelize()
+
+
+if __name__ == "__main__":
+    main()

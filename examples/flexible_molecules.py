@@ -1,0 +1,126 @@
+"""A fluid of flexible diatomic molecules — bonded + non-bonded forces.
+
+The paper times only the non-bonded kernel ("there are only a very
+small number of bonded interactions"), but a bio-molecular force field
+needs both.  This example builds a fluid of harmonically-bonded dimers,
+combines :class:`~repro.md.bonded.BondedForceField` with the LJ kernel,
+holds temperature with a Berendsen thermostat, and reports the bond
+statistics + the bonded/non-bonded cost asymmetry the paper asserts.
+
+Run:  python examples/flexible_molecules.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.md import (
+    BerendsenThermostat,
+    BondedForceField,
+    HarmonicBond,
+    MDConfig,
+    maxwell_boltzmann_velocities,
+    temperature,
+)
+from repro.md.bonded import BondedForceField as _FF  # noqa: F401  (re-export check)
+from repro.md.forces import ForceResult, compute_forces
+from repro.md.integrators import State, velocity_verlet_step
+from repro.md.lattice import cubic_lattice
+from repro.reporting import format_table
+
+N_MOLECULES = 108
+BOND_K = 300.0
+BOND_R0 = 1.1
+TARGET_T = 0.7
+
+
+def build_system():
+    n_atoms = 2 * N_MOLECULES
+    config = MDConfig(n_atoms=n_atoms, density=0.2, temperature=TARGET_T, dt=0.002)
+    box = config.make_box()
+    potential = config.make_potential()
+    # place molecule centers on a lattice, partners offset by the bond length
+    centers = cubic_lattice(N_MOLECULES, box)
+    half = np.array([0.5 * BOND_R0, 0.0, 0.0])
+    positions = np.empty((n_atoms, 3))
+    positions[0::2] = box.wrap(centers - half)
+    positions[1::2] = box.wrap(centers + half)
+    bonds = [
+        HarmonicBond(2 * m, 2 * m + 1, k=BOND_K, r0=BOND_R0)
+        for m in range(N_MOLECULES)
+    ]
+    return config, box, potential, positions, BondedForceField(bonds=bonds)
+
+
+def main() -> None:
+    config, box, potential, positions, bonded = build_system()
+    rng = np.random.default_rng(config.seed)
+    velocities = maxwell_boltzmann_velocities(config.n_atoms, TARGET_T, rng)
+    thermostat = BerendsenThermostat(target_temperature=TARGET_T, tau=0.1)
+
+    bonded_i = np.arange(0, config.n_atoms, 2)
+    bonded_j = bonded_i + 1
+
+    def force(pos: np.ndarray) -> ForceResult:
+        nonbonded = compute_forces(pos, box, potential)
+        acc = nonbonded.accelerations.copy()
+        pe = nonbonded.potential_energy
+        # standard force-field exclusion: bonded pairs do not also
+        # interact through LJ — subtract their non-bonded contribution
+        delta = box.minimum_image(pos[bonded_i] - pos[bonded_j])
+        r2 = np.einsum("ij,ij->i", delta, delta)
+        f_over_r = potential.force_over_r(r2)
+        excl = f_over_r[:, None] * delta
+        acc[bonded_i] -= excl
+        acc[bonded_j] += excl
+        within = r2 < potential.rcut2
+        pe -= float(np.sum(potential.energy(np.sqrt(r2[within]))))
+        bonded_forces, bonded_energy = bonded.compute(pos, box)
+        return ForceResult(
+            accelerations=acc + bonded_forces,
+            potential_energy=pe + bonded_energy,
+            interacting_pairs=nonbonded.interacting_pairs,
+            pairs_examined=nonbonded.pairs_examined,
+        )
+
+    result = force(positions)
+    state = State(positions, velocities, result.accelerations, result.potential_energy)
+
+    rows = []
+    for block in range(5):
+        for step in range(40):
+            state, res = velocity_verlet_step(state, config.dt, box, force)
+            state = State(
+                state.positions,
+                thermostat.apply(state.velocities, step, config.dt),
+                state.accelerations,
+                state.potential_energy,
+            )
+        i = np.arange(0, config.n_atoms, 2)
+        bond_vec = box.minimum_image(state.positions[i] - state.positions[i + 1])
+        lengths = np.linalg.norm(bond_vec, axis=1)
+        rows.append(
+            (
+                (block + 1) * 40,
+                round(temperature(state.velocities), 3),
+                round(float(lengths.mean()), 4),
+                round(float(lengths.std()), 4),
+                res.interacting_pairs,
+                bonded.n_terms,
+            )
+        )
+    print(
+        format_table(
+            ("step", "T", "mean bond", "std bond", "LJ pairs", "bonded terms"),
+            rows,
+            title=f"{N_MOLECULES} flexible dimers, Berendsen NVT at T* = {TARGET_T}",
+        )
+    )
+    print(
+        "\nThe LJ pair count dwarfs the bonded-term count — the paper's "
+        "reason for\ntiming only the non-bonded kernel."
+    )
+
+
+if __name__ == "__main__":
+    main()

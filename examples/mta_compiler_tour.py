@@ -1,0 +1,61 @@
+"""A tour of the MTA-2 parallelizing-compiler model.
+
+Shows exactly why the paper's force loop failed to auto-parallelize
+("it found a dependency on the reduction operation"), how the fix
+(moving the reduction into the loop body + the assert-parallel pragma)
+changes the verdict, and what each verdict costs at runtime.
+
+Run:  python examples/mta_compiler_tour.py
+"""
+
+from __future__ import annotations
+
+from repro.md import MDConfig
+from repro.mta import MTADevice, compile_nest, md_kernel_ir
+from repro.reporting import format_table
+
+
+def show_report(title: str, fully: bool) -> None:
+    report = compile_nest(*md_kernel_ir(fully_multithreaded=fully))
+    rows = []
+    for loop in report.loops:
+        verdict = "PARALLEL" + (" (pragma)" if loop.via_pragma else "")
+        if not loop.parallel:
+            verdict = "SERIAL"
+        reasons = "; ".join(loop.reasons) if loop.reasons else "-"
+        rows.append((loop.label, verdict, reasons))
+    print(format_table(("loop", "verdict", "reasons"), rows, title=title))
+    print()
+
+
+def main() -> None:
+    show_report("Original source (partially multithreaded)", fully=False)
+    show_report(
+        "Restructured source: reduction moved into loop body + pragma "
+        "(fully multithreaded)",
+        fully=True,
+    )
+
+    config = MDConfig(n_atoms=1024)
+    full = MTADevice(fully_multithreaded=True).run(config, 3)
+    part = MTADevice(fully_multithreaded=False).run(config, 3)
+    rows = [
+        ("fully multithreaded", round(full.total_seconds, 3)),
+        ("partially multithreaded", round(part.total_seconds, 3)),
+        ("slowdown", round(part.total_seconds / full.total_seconds, 1)),
+    ]
+    print(
+        format_table(
+            ("version", "simulated_s / ratio"),
+            rows,
+            title=f"Runtime consequence ({config.n_atoms} atoms, 3 steps)",
+        )
+    )
+    print(
+        "\nA serial region runs one hardware stream, issuing once per "
+        "pipeline drain\n(~21 cycles) — that is the whole Figure-8 gap."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""repro — reproduction of "Analysis of a Computational Biology
+Simulation Technique on Emerging Processing Architectures" (Meredith,
+Alam & Vetter, IPDPS Workshops 2007).
+
+The package pairs a real molecular-dynamics engine (:mod:`repro.md`)
+with functional+performance models of the paper's four platforms:
+
+* :mod:`repro.opteron` — the 2.2 GHz cache-based baseline,
+* :mod:`repro.cell`    — the Cell Broadband Engine (PPE + 8 SPEs),
+* :mod:`repro.gpu`     — a GeForce 7900GTX-class streaming GPU,
+* :mod:`repro.mta`     — the Cray MTA-2 multithreaded system,
+
+all executing their kernels through the batched SIMD virtual machine of
+:mod:`repro.vm`.  :mod:`repro.experiments` regenerates every table and
+figure of the paper's evaluation.  See DESIGN.md for the architecture
+map and EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"
+
+from repro.md import MDConfig, MDSimulation
+
+__all__ = ["MDConfig", "MDSimulation", "__version__"]

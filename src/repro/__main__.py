@@ -1,0 +1,14 @@
+"""``python -m repro`` — run the full reproduction harness.
+
+Delegates to :mod:`repro.experiments.runner`; pass ``--quick`` for the
+reduced sweeps or ``--only <id>`` for a single artifact.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

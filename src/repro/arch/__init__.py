@@ -1,0 +1,26 @@
+"""Architecture substrate: clocks, caches, buses, the Device contract."""
+
+from repro.arch.cache import Cache, CacheHierarchy, CacheStats
+from repro.arch.clock import Clock
+from repro.arch.device import Device, DeviceRunResult, merge_breakdowns
+from repro.arch.interconnect import DMAEngine, PCIeBus, TransferModel
+from repro.arch.memory import LocalStore, LocalStoreOverflow, array_bytes
+from repro.arch.profilecounts import KernelMetrics, pair_trip_metrics
+
+__all__ = [
+    "Cache",
+    "CacheHierarchy",
+    "CacheStats",
+    "Clock",
+    "DMAEngine",
+    "Device",
+    "DeviceRunResult",
+    "KernelMetrics",
+    "LocalStore",
+    "LocalStoreOverflow",
+    "PCIeBus",
+    "TransferModel",
+    "array_bytes",
+    "merge_breakdowns",
+    "pair_trip_metrics",
+]

@@ -1,0 +1,36 @@
+"""Cycle <-> wall-clock conversion for a device clock domain."""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["Clock"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Clock:
+    """A fixed-frequency clock domain."""
+
+    hz: float
+    name: str = "clock"
+
+    def __post_init__(self) -> None:
+        if not self.hz > 0.0:
+            raise ValueError(f"clock frequency must be positive, got {self.hz}")
+
+    def seconds(self, cycles: float) -> float:
+        """Wall-clock seconds for ``cycles`` cycles."""
+        if cycles < 0:
+            raise ValueError(f"cycles must be non-negative, got {cycles}")
+        return cycles / self.hz
+
+    def cycles(self, seconds: float) -> float:
+        """Cycles elapsed in ``seconds`` seconds."""
+        if seconds < 0:
+            raise ValueError(f"seconds must be non-negative, got {seconds}")
+        return seconds * self.hz
+
+    @property
+    def period(self) -> float:
+        """Seconds per cycle."""
+        return 1.0 / self.hz

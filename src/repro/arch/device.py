@@ -1,0 +1,157 @@
+"""The Device contract: functional physics + simulated timing, together.
+
+A device model must *actually run* the MD physics (through its force
+backend, in its native precision) and, for every step, report simulated
+wall-clock components derived from its cost model and the measured
+kernel metrics of that step.  :meth:`Device.run` is the template method
+tying the two halves to the MD driver; subclasses implement the two
+abstract hooks.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+
+import numpy as np
+
+from repro.arch.profilecounts import KernelMetrics, pair_trip_metrics
+from repro.md.forces import ForceResult
+from repro.md.simulation import MDConfig, MDSimulation, StepRecord
+
+__all__ = ["Device", "DeviceRunResult", "merge_breakdowns"]
+
+
+def merge_breakdowns(*breakdowns: dict[str, float]) -> dict[str, float]:
+    """Sum per-component second tallies."""
+    merged: dict[str, float] = {}
+    for breakdown in breakdowns:
+        for key, value in breakdown.items():
+            merged[key] = merged.get(key, 0.0) + value
+    return merged
+
+
+@dataclasses.dataclass(frozen=True)
+class DeviceRunResult:
+    """Outcome of simulating ``n_steps`` MD steps on a device model."""
+
+    device: str
+    config: MDConfig
+    n_steps: int
+    setup_seconds: float
+    step_seconds: tuple[float, ...]
+    step_breakdowns: tuple[dict[str, float], ...]
+    breakdown: dict[str, float]
+    records: tuple[StepRecord, ...]
+    final_positions: np.ndarray
+    final_velocities: np.ndarray
+
+    @property
+    def total_seconds(self) -> float:
+        """Simulated run time excluding one-time setup (the paper's
+        Figure-7 convention: startup "is not included in these results")."""
+        return float(sum(self.step_seconds))
+
+    @property
+    def total_seconds_with_setup(self) -> float:
+        return self.setup_seconds + self.total_seconds
+
+    @property
+    def seconds_per_step(self) -> float:
+        if self.n_steps == 0:
+            return 0.0
+        return self.total_seconds / self.n_steps
+
+    def component(self, name: str) -> float:
+        return self.breakdown.get(name, 0.0)
+
+
+class Device(abc.ABC):
+    """Base class for the four device models."""
+
+    #: human-readable device name
+    name: str = "device"
+    #: native arithmetic precision ("float32" on Cell/GPU, "float64"
+    #: on Opteron/MTA-2 — section 3.5 of the paper)
+    precision: str = "float64"
+
+    @abc.abstractmethod
+    def force_backend(self, sim_box, potential):
+        """Return the functional force callable for this device.
+
+        The callable maps positions -> :class:`ForceResult` and must
+        perform arithmetic in the device's native precision.
+        """
+
+    @abc.abstractmethod
+    def step_seconds(
+        self, metrics: KernelMetrics, step_index: int
+    ) -> dict[str, float]:
+        """Simulated seconds for one MD step, broken down by component."""
+
+    def setup_breakdown(self) -> dict[str, float]:
+        """One-time setup costs (JIT compile, first thread launch, ...)."""
+        return {}
+
+    def prepare(self, config: MDConfig) -> None:
+        """Hook called once per run before stepping (program builds, ...)."""
+
+    def workers(self) -> int:
+        """How many workers split the ordered pair scan (SPE count, ...)."""
+        return 1
+
+    def branch_probabilities(self, config: MDConfig) -> dict[str, float]:
+        """Measured data-dependent branch probabilities for this workload.
+
+        Devices whose kernels contain IfBlocks override this with values
+        measured by the VM on a calibration system; the base returns {}.
+        """
+        return {}
+
+    def run(self, config: MDConfig, n_steps: int) -> DeviceRunResult:
+        """Run ``n_steps`` of MD functionally and accumulate simulated time."""
+        if n_steps < 0:
+            raise ValueError(f"n_steps must be non-negative, got {n_steps}")
+        config = dataclasses.replace(config, dtype=self.precision)
+        self.prepare(config)
+        box = config.make_box()
+        potential = config.make_potential()
+        backend = self.force_backend(box, potential)
+
+        last_result: dict[str, ForceResult] = {}
+
+        def recording_backend(positions: np.ndarray) -> ForceResult:
+            result = backend(positions)
+            last_result["value"] = result
+            return result
+
+        sim = MDSimulation(config, force_backend=recording_backend)
+        branch_probs = self.branch_probabilities(config)
+        step_seconds: list[float] = []
+        breakdowns: list[dict[str, float]] = []
+        for step_index in range(n_steps):
+            sim.step()
+            result = last_result["value"]
+            metrics = pair_trip_metrics(
+                n_atoms=config.n_atoms,
+                interacting_pairs=result.interacting_pairs,
+                workers=self.workers(),
+                branch_probabilities=branch_probs,
+            )
+            parts = self.step_seconds(metrics, step_index)
+            breakdowns.append(parts)
+            step_seconds.append(sum(parts.values()))
+
+        setup = self.setup_breakdown()
+        return DeviceRunResult(
+            device=self.name,
+            config=config,
+            n_steps=n_steps,
+            setup_seconds=sum(setup.values()),
+            step_seconds=tuple(step_seconds),
+            step_breakdowns=tuple(breakdowns),
+            breakdown=merge_breakdowns(*breakdowns),
+            records=tuple(sim.records),
+            final_positions=np.array(sim.state.positions, copy=True),
+            final_velocities=np.array(sim.state.velocities, copy=True),
+        )

@@ -1,0 +1,89 @@
+"""Transfer-time models for the buses the devices hang off.
+
+All three accelerator stories in the paper are shaped by data movement:
+
+* the Cell's SPEs pull positions into local store over the **EIB** via
+  DMA and push accelerations back (section 5.1);
+* the GPU pays a **PCIe** upload of positions and a readback of
+  accelerations every single time step (section 5.2) — the very costs
+  that make it lose at small atom counts;
+* the MTA-2's network gives effectively **uniform-latency** access,
+  modelled as zero extra transfer cost (its latency is hidden by the
+  streams and folded into the issue model).
+
+A transfer costs ``latency + bytes / bandwidth``; batched transfers pay
+the latency once per transaction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["TransferModel", "DMAEngine", "PCIeBus"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TransferModel:
+    """First-order latency/bandwidth transfer-cost model."""
+
+    latency_s: float
+    bandwidth_bytes_per_s: float
+    name: str = "link"
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0.0:
+            raise ValueError(f"latency must be non-negative, got {self.latency_s}")
+        if not self.bandwidth_bytes_per_s > 0.0:
+            raise ValueError(
+                f"bandwidth must be positive, got {self.bandwidth_bytes_per_s}"
+            )
+
+    def transfer_time(self, n_bytes: float, n_transactions: int = 1) -> float:
+        """Seconds to move ``n_bytes`` in ``n_transactions`` transactions."""
+        if n_bytes < 0:
+            raise ValueError(f"n_bytes must be non-negative, got {n_bytes}")
+        if n_transactions < 1:
+            raise ValueError("need at least one transaction")
+        return n_transactions * self.latency_s + n_bytes / self.bandwidth_bytes_per_s
+
+
+@dataclasses.dataclass(frozen=True)
+class DMAEngine:
+    """SPE DMA: transfers are chunked into <= ``max_transfer_bytes`` pieces.
+
+    Real SPE DMA moves at most 16 KB per command; larger transfers are
+    issued as DMA lists.  Each chunk pays the command setup latency.
+    """
+
+    link: TransferModel
+    max_transfer_bytes: int = 16 * 1024
+
+    def __post_init__(self) -> None:
+        if self.max_transfer_bytes <= 0:
+            raise ValueError("max_transfer_bytes must be positive")
+
+    def transfer_time(self, n_bytes: int) -> float:
+        if n_bytes < 0:
+            raise ValueError(f"n_bytes must be non-negative, got {n_bytes}")
+        if n_bytes == 0:
+            return 0.0
+        chunks = -(-n_bytes // self.max_transfer_bytes)  # ceil division
+        return self.link.transfer_time(n_bytes, n_transactions=chunks)
+
+
+@dataclasses.dataclass(frozen=True)
+class PCIeBus:
+    """Host <-> GPU transfers, plus the per-readback synchronization stall.
+
+    Reading results back from a 2006-era GPU forces a full pipeline
+    drain before the copy can start; ``readback_sync_s`` charges it.
+    """
+
+    link: TransferModel
+    readback_sync_s: float = 0.0
+
+    def upload_time(self, n_bytes: int) -> float:
+        return self.link.transfer_time(n_bytes)
+
+    def readback_time(self, n_bytes: int) -> float:
+        return self.readback_sync_s + self.link.transfer_time(n_bytes)

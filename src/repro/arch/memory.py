@@ -1,0 +1,67 @@
+"""Memory-structure models: SPE local store and plain capacity math."""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["LocalStore", "LocalStoreOverflow", "array_bytes"]
+
+
+class LocalStoreOverflow(RuntimeError):
+    """Raised when an SPE kernel's working set exceeds the local store."""
+
+
+def array_bytes(n_elements: int, element_bytes: int) -> int:
+    """Size in bytes of an array of ``n_elements`` ``element_bytes`` items."""
+    if n_elements < 0 or element_bytes <= 0:
+        raise ValueError("invalid array size parameters")
+    return n_elements * element_bytes
+
+
+@dataclasses.dataclass
+class LocalStore:
+    """The SPE's 256 KB fixed-latency local store.
+
+    Code and data share it; ``reserved_bytes`` models the kernel text,
+    stack and runtime.  Allocations are tracked so the Cell device can
+    decide when a workload must be tiled instead of resident.
+    """
+
+    capacity_bytes: int = 256 * 1024
+    reserved_bytes: int = 48 * 1024
+    allocations: dict[str, int] = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 <= self.reserved_bytes < self.capacity_bytes:
+            raise ValueError("reserved_bytes must fit inside the capacity")
+
+    @property
+    def used_bytes(self) -> int:
+        return self.reserved_bytes + sum(self.allocations.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    def allocate(self, name: str, n_bytes: int) -> None:
+        """Reserve ``n_bytes`` under ``name``; raises on overflow."""
+        if n_bytes < 0:
+            raise ValueError(f"allocation size must be non-negative, got {n_bytes}")
+        if name in self.allocations:
+            raise ValueError(f"allocation {name!r} already exists")
+        if n_bytes > self.free_bytes:
+            raise LocalStoreOverflow(
+                f"allocating {n_bytes} B for {name!r} exceeds free local store "
+                f"({self.free_bytes} B of {self.capacity_bytes} B)"
+            )
+        self.allocations[name] = n_bytes
+
+    def release(self, name: str) -> None:
+        if name not in self.allocations:
+            raise KeyError(f"no allocation named {name!r}")
+        del self.allocations[name]
+
+    def fits(self, n_bytes: int) -> bool:
+        return n_bytes <= self.free_bytes

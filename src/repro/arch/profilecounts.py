@@ -1,0 +1,92 @@
+"""Shared kernel-metrics plumbing between the MD engine and cost models.
+
+Every device cost model consumes the same small set of measured
+quantities per time step; :class:`KernelMetrics` names them once.  The
+values come from the *functional* run (pair counts measured by the NumPy
+kernel, branch probabilities measured by the VM interpreter on a
+calibration-sized system), never from guesses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping
+
+__all__ = ["KernelMetrics", "pair_trip_metrics"]
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelMetrics:
+    """Per-step measured quantities driving the cycle models.
+
+    Attributes
+    ----------
+    n_atoms:
+        System size N.
+    pairs_examined:
+        Ordered pair-loop trip count for the device's loop structure.
+        The paper's kernels visit all ordered pairs (each atom scans all
+        other atoms), i.e. ``N * (N - 1)``; devices that split rows
+        across workers divide this among them.
+    interacting_fraction:
+        Measured share of examined pairs inside the cutoff.
+    branch_probabilities:
+        Measured P(taken) per named data-dependent branch.
+    """
+
+    n_atoms: int
+    pairs_examined: float
+    interacting_fraction: float
+    branch_probabilities: Mapping[str, float] = dataclasses.field(
+        default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        if self.n_atoms < 1:
+            raise ValueError(f"n_atoms must be >= 1, got {self.n_atoms}")
+        if self.pairs_examined < 0:
+            raise ValueError("pairs_examined must be non-negative")
+        if not 0.0 <= self.interacting_fraction <= 1.0:
+            raise ValueError(
+                f"interacting_fraction {self.interacting_fraction} outside [0, 1]"
+            )
+
+    def as_dict(self) -> dict[str, float]:
+        """Flatten to the metrics mapping the VM scheduler consumes."""
+        metrics: dict[str, float] = {
+            "atoms": float(self.n_atoms),
+            "pairs": float(self.pairs_examined),
+            "interacting": self.pairs_examined * self.interacting_fraction,
+            "interacting_fraction": self.interacting_fraction,
+            "one": 1.0,
+        }
+        for key, prob in self.branch_probabilities.items():
+            metrics[key] = float(prob)
+        return metrics
+
+
+def pair_trip_metrics(
+    n_atoms: int,
+    interacting_pairs: int,
+    workers: int = 1,
+    branch_probabilities: Mapping[str, float] | None = None,
+) -> KernelMetrics:
+    """Metrics for one worker of an ordered all-pairs scan.
+
+    ``interacting_pairs`` counts *unordered* interacting pairs as
+    reported by :class:`repro.md.forces.ForceResult`; the ordered scan
+    sees each twice.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    ordered_pairs = n_atoms * (n_atoms - 1) / workers
+    total_ordered = n_atoms * (n_atoms - 1)
+    fraction = (
+        2.0 * interacting_pairs / total_ordered if total_ordered > 0 else 0.0
+    )
+    return KernelMetrics(
+        n_atoms=n_atoms,
+        pairs_examined=ordered_pairs,
+        interacting_fraction=min(1.0, fraction),
+        branch_probabilities=dict(branch_probabilities or {}),
+    )

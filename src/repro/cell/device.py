@@ -1,0 +1,212 @@
+"""The Cell Broadband Engine device model (paper section 5.1).
+
+Orchestration mirrors the paper's Asynchronous Thread Runtime usage: the
+PPE integrates and bookkeeps; the acceleration computation (step 2) is
+offloaded to 1-8 SPEs, each owning a block of atom rows and scanning all
+N positions from its local store; positions stream in and accelerations
+stream out over DMA each step; threads are either respawned per step or
+launched once and mailbox-signalled.
+
+Two functional modes:
+
+* ``fast`` (default) — physics via the float32 NumPy kernel (identical
+  arithmetic to the VM kernels), timing from statically scheduled VM
+  instruction streams scaled by measured pair counts.  This is the mode
+  benchmarks use.
+* ``vm`` — physics actually executed instruction-by-instruction on the
+  batched VM through the selected Figure-5 kernel variant.  Slower;
+  used by the validation tests to certify that every kernel level
+  computes the reference forces.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+
+from repro.arch import calibration as cal
+from repro.arch.device import Device
+from repro.arch.profilecounts import KernelMetrics
+from repro.cell.dma import MDTrafficPlan, make_dma_engine
+from repro.cell.kernels import OPT_LEVELS, build_spe_kernel, kernel_constants
+from repro.cell.ppe import PPE
+from repro.cell.scheduler import LaunchStrategy, SpeThreadScheduler
+from repro.cell.spe import SPE, SpePairSweep
+from repro.md.box import PeriodicBox
+from repro.md.forces import ForceResult, compute_forces
+from repro.md.lattice import cubic_lattice
+from repro.md.lj import LennardJones
+from repro.md.simulation import MDConfig
+
+__all__ = ["CellDevice", "PPEOnlyDevice"]
+
+#: System size used to measure geometry-dependent branch probabilities.
+_CALIBRATION_ATOMS = 128
+
+
+@functools.lru_cache(maxsize=32)
+def _measure_reflect_probability(density: float, rcut: float) -> float:
+    """Measured P(taken) of the reflection search's if, via the VM.
+
+    The probability that a candidate image beats the incumbent depends
+    only on the reduced geometry (density/cutoff fix the box shape in
+    units of L), so one small-system VM run calibrates every system
+    size.  Uses the *original* kernel, whose search carries the branch.
+    """
+    config = MDConfig(n_atoms=_CALIBRATION_ATOMS, density=density, rcut=min(
+        rcut, 0.45 * PeriodicBox.from_density(_CALIBRATION_ATOMS, density).length
+    ))
+    box = config.make_box()
+    potential = config.make_potential()
+    positions = cubic_lattice(config.n_atoms, box)
+    program = build_spe_kernel("original", box.length)
+    sweep = SpePairSweep(program)
+    sweep.run(
+        positions,
+        rows=np.arange(min(16, config.n_atoms)),
+        constants=kernel_constants(potential),
+    )
+    return sweep.machine.measured_probability("reflect_take")
+
+
+class CellDevice(Device):
+    """1-8 SPEs + PPE host, at a chosen Figure-5 optimization level."""
+
+    precision = "float32"
+
+    def __init__(
+        self,
+        n_spes: int = cal.CELL_N_SPES,
+        opt_level: str = "simd_acceleration",
+        strategy: LaunchStrategy = LaunchStrategy.LAUNCH_ONCE,
+        mode: str = "fast",
+    ) -> None:
+        if not 1 <= n_spes <= cal.CELL_N_SPES:
+            raise ValueError(
+                f"n_spes must be in [1, {cal.CELL_N_SPES}], got {n_spes}"
+            )
+        if opt_level not in OPT_LEVELS:
+            raise ValueError(f"unknown optimization level {opt_level!r}")
+        if mode not in ("fast", "vm"):
+            raise ValueError(f"mode must be 'fast' or 'vm', got {mode!r}")
+        self.n_spes = n_spes
+        self.opt_level = opt_level
+        self.strategy = strategy
+        self.mode = mode
+        self.name = f"cell-{n_spes}spe-{opt_level}"
+        self.ppe = PPE()
+        self.spes = [SPE(index=i) for i in range(n_spes)]
+        self.scheduler = SpeThreadScheduler(n_spes=n_spes, strategy=strategy)
+        self.dma = make_dma_engine()
+        self._program_cache: dict[float, object] = {}
+
+    # -- functional side ---------------------------------------------------
+
+    def force_backend(self, sim_box: PeriodicBox, potential: LennardJones):
+        if self.mode == "fast":
+
+            def backend(positions: np.ndarray) -> ForceResult:
+                return compute_forces(positions, sim_box, potential, dtype=np.float32)
+
+            return backend
+
+        program = self._program(sim_box.length)
+        sweep = SpePairSweep(program)
+        constants = kernel_constants(potential)
+
+        def vm_backend(positions: np.ndarray) -> ForceResult:
+            n = positions.shape[0]
+            before = len(sweep.machine.branch_stats.get("interacting_fraction", []))
+            acc, pe_rows = sweep.run(
+                positions, rows=np.arange(n), constants=constants
+            )
+            samples = sweep.machine.branch_stats["interacting_fraction"][before:]
+            fraction = float(np.mean(samples)) if samples else 0.0
+            interacting = int(round(fraction * n * (n - 1) / 2.0))
+            return ForceResult(
+                accelerations=acc.astype(np.float64),
+                potential_energy=0.5 * float(pe_rows.sum(dtype=np.float64)),
+                interacting_pairs=interacting,
+                pairs_examined=n * (n - 1) // 2,
+            )
+
+        return vm_backend
+
+    # -- timing side ---------------------------------------------------------
+
+    def prepare(self, config: MDConfig) -> None:
+        self._box_length = config.make_box().length
+
+    def workers(self) -> int:
+        return self.n_spes
+
+    def branch_probabilities(self, config: MDConfig) -> dict[str, float]:
+        return {
+            "reflect_take": _measure_reflect_probability(
+                config.density, config.rcut
+            )
+        }
+
+    def _program(self, box_length: float):
+        key = round(box_length, 12)
+        if key not in self._program_cache:
+            self._program_cache[key] = build_spe_kernel(self.opt_level, box_length)
+        return self._program_cache[key]
+
+    def step_seconds(
+        self, metrics: KernelMetrics, step_index: int
+    ) -> dict[str, float]:
+        program = self._program(self._box_length)
+        traffic = MDTrafficPlan(n_atoms=metrics.n_atoms, n_spes=self.n_spes)
+        layout = traffic.layout(self.spes[0].local_store)
+        kernel_seconds = self.spes[0].kernel_seconds(program, metrics.as_dict())
+        return {
+            "spe_kernel": kernel_seconds,
+            "dma": traffic.exposed_dma_seconds(self.dma, layout, kernel_seconds),
+            "thread_launch": self.scheduler.launch_seconds(step_index),
+            "mailbox": self.scheduler.signal_seconds(step_index),
+            "ppe_host": self.ppe.integration_seconds(metrics.n_atoms),
+        }
+
+
+class PPEOnlyDevice(Device):
+    """Table 1's "Cell, PPE only" row: the original kernel on the PPE."""
+
+    precision = "float32"
+    name = "cell-ppe-only"
+
+    def __init__(self) -> None:
+        self.ppe = PPE()
+        self._program_cache: dict[float, object] = {}
+
+    def prepare(self, config: MDConfig) -> None:
+        self._box_length = config.make_box().length
+
+    def force_backend(self, sim_box: PeriodicBox, potential: LennardJones):
+        def backend(positions: np.ndarray) -> ForceResult:
+            return compute_forces(positions, sim_box, potential, dtype=np.float32)
+
+        return backend
+
+    def branch_probabilities(self, config: MDConfig) -> dict[str, float]:
+        return {
+            "reflect_take": _measure_reflect_probability(
+                config.density, config.rcut
+            )
+        }
+
+    def _program(self, box_length: float):
+        key = round(box_length, 12)
+        if key not in self._program_cache:
+            self._program_cache[key] = build_spe_kernel("original", box_length)
+        return self._program_cache[key]
+
+    def step_seconds(
+        self, metrics: KernelMetrics, step_index: int
+    ) -> dict[str, float]:
+        program = self._program(self._box_length)
+        return {
+            "ppe_kernel": self.ppe.kernel_seconds(program, metrics.as_dict()),
+            "ppe_host": self.ppe.integration_seconds(metrics.n_atoms),
+        }

@@ -1,0 +1,160 @@
+"""SPE DMA traffic model for the MD offload.
+
+Each time step every SPE pulls the full position array into its local
+store (every atom needs every other atom's position) and pushes back the
+acceleration rows it owns.  Positions and accelerations travel as
+16-byte (x, y, z, pad) single-precision vectors, matching the SIMD
+layout of section 5.1.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.arch import calibration as cal
+from repro.arch.interconnect import DMAEngine, TransferModel
+from repro.arch.memory import LocalStore, LocalStoreOverflow
+
+__all__ = ["make_dma_engine", "MDTrafficPlan"]
+
+
+def make_dma_engine() -> DMAEngine:
+    """The EIB-to-main-memory DMA path of one SPE."""
+    return DMAEngine(
+        link=TransferModel(
+            latency_s=cal.EIB_DMA_LATENCY_S,
+            bandwidth_bytes_per_s=cal.EIB_DMA_BANDWIDTH_BPS,
+            name="eib",
+        ),
+        max_transfer_bytes=cal.EIB_DMA_MAX_TRANSFER_BYTES,
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class ResidencyPlan:
+    """How one SPE's working set maps onto its local store.
+
+    ``resident`` means the whole position array fits (the paper's
+    regime: 2048 atoms x 16 B = 32 KB); otherwise positions stream
+    through double-buffered tiles of ``tile_atoms`` atoms each.
+    """
+
+    resident: bool
+    tile_atoms: int
+    transfers_per_step: int
+
+    def __post_init__(self) -> None:
+        if self.tile_atoms < 1:
+            raise ValueError("tile_atoms must be >= 1")
+        if self.transfers_per_step < 1:
+            raise ValueError("transfers_per_step must be >= 1")
+
+
+@dataclasses.dataclass(frozen=True)
+class MDTrafficPlan:
+    """Per-step, per-SPE DMA bytes for the acceleration offload."""
+
+    n_atoms: int
+    n_spes: int
+
+    def __post_init__(self) -> None:
+        if self.n_atoms < 1:
+            raise ValueError("n_atoms must be >= 1")
+        if self.n_spes < 1:
+            raise ValueError("n_spes must be >= 1")
+
+    @property
+    def rows_per_spe(self) -> int:
+        """Atoms owned by one SPE (ceiling; the last SPE may own fewer)."""
+        return -(-self.n_atoms // self.n_spes)
+
+    @property
+    def bytes_in(self) -> int:
+        """Positions pulled in: the whole array, every step."""
+        return self.n_atoms * cal.VEC4_F32_BYTES
+
+    @property
+    def bytes_out(self) -> int:
+        """Accelerations (with PE in the pad lane) pushed back."""
+        return self.rows_per_spe * cal.VEC4_F32_BYTES
+
+    def check_local_store(self, local_store: LocalStore) -> None:
+        """Verify the whole working set can be resident; raise otherwise.
+
+        Used by tests and by callers that insist on the paper's resident
+        regime; :meth:`layout` is the general path that falls back to
+        tiling instead of failing.
+        """
+        needed = self.bytes_in + self.bytes_out
+        if not local_store.fits(needed):
+            raise LocalStoreOverflow(
+                f"{self.n_atoms} atoms need {needed} B resident in the local "
+                f"store but only {local_store.free_bytes} B are free; "
+                "tile the position array or reduce the system size"
+            )
+
+    def layout(self, local_store: LocalStore) -> ResidencyPlan:
+        """Choose resident vs double-buffered-tiled streaming.
+
+        A tiled layout keeps the SPE's own acceleration rows resident
+        and streams the position array through two ping-pong tile
+        buffers, so the usable tile is half of what remains after the
+        output rows.
+        """
+        if local_store.fits(self.bytes_in + self.bytes_out):
+            return ResidencyPlan(
+                resident=True, tile_atoms=self.n_atoms, transfers_per_step=1
+            )
+        free_for_tiles = local_store.free_bytes - self.bytes_out
+        tile_bytes = free_for_tiles // 2  # double buffering
+        tile_atoms = tile_bytes // cal.VEC4_F32_BYTES
+        if tile_atoms < 1:
+            raise LocalStoreOverflow(
+                f"local store too small even for tiled streaming: "
+                f"{local_store.free_bytes} B free, "
+                f"{self.bytes_out} B of output rows"
+            )
+        transfers = -(-self.n_atoms // tile_atoms)
+        return ResidencyPlan(
+            resident=False, tile_atoms=tile_atoms, transfers_per_step=transfers
+        )
+
+    def step_transfer_seconds(
+        self, engine: DMAEngine, plan: ResidencyPlan | None = None
+    ) -> float:
+        """Raw DMA seconds per step for one SPE (in + out).
+
+        Tiled layouts move the same bytes but pay command setup per
+        tile; the overlap with compute is priced separately by
+        :meth:`exposed_dma_seconds`.
+        """
+        out_time = engine.transfer_time(self.bytes_out)
+        if plan is None or plan.resident:
+            return engine.transfer_time(self.bytes_in) + out_time
+        tile_bytes = min(self.bytes_in, plan.tile_atoms * cal.VEC4_F32_BYTES)
+        in_time = plan.transfers_per_step * engine.transfer_time(tile_bytes)
+        return in_time + out_time
+
+    def exposed_dma_seconds(
+        self,
+        engine: DMAEngine,
+        plan: ResidencyPlan,
+        compute_seconds: float,
+    ) -> float:
+        """DMA time the SPE actually waits for.
+
+        Resident layouts block on the full gather at step start (the
+        paper's code).  Tiled layouts double-buffer: transfers overlap
+        the kernel, exposing only the first-tile fill plus whatever the
+        compute cannot hide.
+        """
+        if compute_seconds < 0.0:
+            raise ValueError("compute_seconds must be non-negative")
+        raw = self.step_transfer_seconds(engine, plan)
+        if plan.resident:
+            return raw
+        first_tile = engine.transfer_time(
+            min(self.bytes_in, plan.tile_atoms * cal.VEC4_F32_BYTES)
+        )
+        hidden = min(raw - first_tile, compute_seconds)
+        return first_tile + (raw - first_tile - hidden)

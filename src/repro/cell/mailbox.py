@@ -1,0 +1,39 @@
+"""PPE<->SPE mailbox signalling (section 5.1's launch-overhead fix).
+
+"The communication between the PPE and SPEs is not limited to large
+asynchronous DMA transfers; there are other channels ('mailboxes') that
+can be used for blocking sends or receives of information on the order
+of bytes."  The launch-once strategy signals each SPE through its
+inbound mailbox every step instead of respawning threads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.arch import calibration as cal
+
+__all__ = ["Mailbox"]
+
+
+@dataclasses.dataclass
+class Mailbox:
+    """A 32-bit-word mailbox channel with blocking send/receive cost."""
+
+    transfer_s: float = cal.SPE_MAILBOX_S
+    sends: int = 0
+    receives: int = 0
+
+    def send_seconds(self, n_words: int = 1) -> float:
+        """Seconds for the PPE to post ``n_words`` to the SPE."""
+        if n_words < 1:
+            raise ValueError(f"n_words must be >= 1, got {n_words}")
+        self.sends += n_words
+        return n_words * self.transfer_s
+
+    def receive_seconds(self, n_words: int = 1) -> float:
+        """Seconds for the PPE to read ``n_words`` back from the SPE."""
+        if n_words < 1:
+            raise ValueError(f"n_words must be >= 1, got {n_words}")
+        self.receives += n_words
+        return n_words * self.transfer_s

@@ -1,0 +1,87 @@
+"""The Power Processing Element model.
+
+The PPE is a dual-issue in-order Power core.  For the MD kernel it has
+two jobs in the paper's experiments:
+
+* the *host* role — integration, energy bookkeeping, thread
+  orchestration (cheap, O(N) per step);
+* the *PPE-only* baseline of Table 1 — running the whole original
+  scalar kernel itself, where it is 26x slower than the 8-SPE version.
+
+The PPE cost table doubles the SPE arithmetic latencies (deep pipeline,
+no forwarding miracles in the 2006 toolchain) and issues one instruction
+per cycle; a further CPI factor from the calibration module absorbs
+everything the table does not model (load-hit-store stalls, microcoded
+ops).  The paper itself treats the PPE as a single slow data point, so a
+first-order model is appropriate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.arch import calibration as cal
+from repro.arch.clock import Clock
+from repro.vm.isa import EVEN, ODD, CostTable, OpCost
+from repro.vm.program import Program
+from repro.vm.schedule import estimate_cycles
+
+__all__ = ["PPE_COST_TABLE", "PPE"]
+
+PPE_COST_TABLE = CostTable(
+    name="ppe",
+    issue_width=1,
+    costs={
+        "fa": OpCost(10, EVEN),
+        "fs": OpCost(10, EVEN),
+        "fm": OpCost(10, EVEN),
+        "fma": OpCost(10, EVEN),
+        "fms": OpCost(10, EVEN),
+        "fnms": OpCost(10, EVEN),
+        "frest": OpCost(10, EVEN),
+        "frsqest": OpCost(10, EVEN),
+        "fi": OpCost(10, EVEN),
+        "fabs": OpCost(4, EVEN),
+        "fcgt": OpCost(4, EVEN),
+        "fclt": OpCost(4, EVEN),
+        "fceq": OpCost(4, EVEN),
+        "and_": OpCost(2, EVEN),
+        "or_": OpCost(2, EVEN),
+        "il": OpCost(2, EVEN),
+        "ilv": OpCost(2, EVEN),
+        "cpsgn": OpCost(4, EVEN),
+        "selb": OpCost(2, ODD),
+        "mov": OpCost(2, ODD),
+        "splat": OpCost(4, ODD),
+        "shufb": OpCost(4, ODD),
+        "rotqbyi": OpCost(4, ODD),
+        "lqd": OpCost(4, ODD),
+        "stqd": OpCost(4, ODD),
+    },
+)
+
+#: Integration + bookkeeping cost on the PPE host side, cycles per atom
+#: per step (steps 1, 3, 4, 5 of the kernel are O(N) and stay on the
+#: PPE in every Cell configuration).
+PPE_INTEGRATION_CYCLES_PER_ATOM = 120.0
+
+
+@dataclasses.dataclass
+class PPE:
+    """The host core of the Cell processor."""
+
+    clock: Clock = dataclasses.field(
+        default_factory=lambda: Clock(cal.PPE_CLOCK_HZ, "ppe")
+    )
+    cpi_factor: float = cal.PPE_CPI_FACTOR
+
+    def kernel_seconds(self, program: Program, metrics: dict[str, float]) -> float:
+        """Seconds for the PPE itself to run a kernel (PPE-only mode)."""
+        report = estimate_cycles(program, PPE_COST_TABLE, metrics)
+        return self.clock.seconds(report.total_cycles * self.cpi_factor)
+
+    def integration_seconds(self, n_atoms: int) -> float:
+        """Host-side O(N) work per step."""
+        if n_atoms < 0:
+            raise ValueError("n_atoms must be non-negative")
+        return self.clock.seconds(PPE_INTEGRATION_CYCLES_PER_ATOM * n_atoms)

@@ -1,0 +1,76 @@
+"""SPE thread-launch strategies — the subject of the paper's Figure 6.
+
+Two strategies are modelled:
+
+* ``RESPAWN_PER_STEP`` — the naive port: SPE threads are created at
+  every time step and exit when their block of accelerations is done.
+  Launch cost is paid ``n_spes`` times per step and grows "by a factor
+  of eight" with eight SPEs, capping the parallel speedup near 1.5x.
+* ``LAUNCH_ONCE`` — threads are created on the first time step only and
+  then signalled through their mailboxes when new data is ready, so
+  "the thread launch overhead is amortized across all time steps".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.arch import calibration as cal
+from repro.cell.mailbox import Mailbox
+
+__all__ = ["LaunchStrategy", "SpeThreadScheduler"]
+
+
+class LaunchStrategy(enum.Enum):
+    RESPAWN_PER_STEP = "respawn_per_step"
+    LAUNCH_ONCE = "launch_once"
+
+
+@dataclasses.dataclass
+class SpeThreadScheduler:
+    """Accounts for thread-launch and signalling time on the PPE.
+
+    Launches are serial on the PPE (one ``spe_create_thread`` call per
+    SPE), so total launch time scales linearly with the SPE count —
+    exactly the effect Figure 6 isolates.
+    """
+
+    n_spes: int
+    strategy: LaunchStrategy = LaunchStrategy.LAUNCH_ONCE
+    launch_per_thread_s: float = cal.SPE_THREAD_LAUNCH_S
+    mailbox: Mailbox = dataclasses.field(default_factory=Mailbox)
+
+    def __post_init__(self) -> None:
+        if self.n_spes < 1:
+            raise ValueError(f"n_spes must be >= 1, got {self.n_spes}")
+        if self.launch_per_thread_s < 0:
+            raise ValueError("launch_per_thread_s must be non-negative")
+
+    def launch_seconds(self, step_index: int) -> float:
+        """Thread-creation time charged at this step."""
+        if step_index < 0:
+            raise ValueError("step_index must be non-negative")
+        if self.strategy is LaunchStrategy.RESPAWN_PER_STEP:
+            return self.n_spes * self.launch_per_thread_s
+        if step_index == 0:
+            return self.n_spes * self.launch_per_thread_s
+        return 0.0
+
+    def signal_seconds(self, step_index: int) -> float:
+        """Mailbox signalling time charged at this step.
+
+        Launch-once signals every SPE twice per step after the first
+        (go + completion); respawn needs no mailboxes (thread exit is
+        the completion signal).
+        """
+        if step_index < 0:
+            raise ValueError("step_index must be non-negative")
+        if self.strategy is LaunchStrategy.RESPAWN_PER_STEP:
+            return 0.0
+        if step_index == 0:
+            return 0.0
+        return sum(
+            self.mailbox.send_seconds() + self.mailbox.receive_seconds()
+            for _ in range(self.n_spes)
+        )

@@ -1,0 +1,31 @@
+"""Experiment modules: one per paper table/figure, plus ablations."""
+
+from repro.experiments.common import (
+    PAPER_STEPS,
+    ExperimentResult,
+    ShapeCheck,
+    check_band,
+    paper_config,
+    run_device,
+)
+from repro.experiments.paperdata import (
+    FIG5_CUMULATIVE_SPEEDUP,
+    PAPER_ATOM_COUNTS,
+    SHAPE_BANDS,
+    TABLE1_PAPER_SECONDS,
+    Band,
+)
+
+__all__ = [
+    "Band",
+    "ExperimentResult",
+    "FIG5_CUMULATIVE_SPEEDUP",
+    "PAPER_ATOM_COUNTS",
+    "PAPER_STEPS",
+    "SHAPE_BANDS",
+    "ShapeCheck",
+    "TABLE1_PAPER_SECONDS",
+    "check_band",
+    "paper_config",
+    "run_device",
+]

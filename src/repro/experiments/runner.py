@@ -1,0 +1,107 @@
+"""Run every experiment and render a combined report.
+
+``python -m repro.experiments.runner [--quick]`` regenerates every
+table and figure of the paper plus the ablations, printing the measured
+values, the paper references, and the pass/fail of every shape check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.experiments import (
+    ablations,
+    fig5_simd,
+    fig6_launch,
+    fig7_gpu,
+    fig8_mta,
+    fig9_scaling,
+    table1_perf,
+)
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["all_experiments", "main"]
+
+
+def all_experiments(
+    quick: bool = False,
+) -> list[tuple[str, Callable[[], ExperimentResult]]]:
+    """(experiment id, factory) roster; ``quick`` shrinks the sweeps."""
+    if quick:
+        sweep = (256, 512, 1024)
+        return [
+            ("fig5", lambda: fig5_simd.run(n_atoms=512, n_steps=3)),
+            # fig6/table1 assert 2048-atom ratios; run 2 functional steps
+            # and let the harness normalize to the 10-step convention.
+            ("fig6", lambda: fig6_launch.run(n_atoms=2048, n_steps=2)),
+            ("table1", lambda: table1_perf.run(n_atoms=2048, n_steps=2)),
+            ("fig7", lambda: fig7_gpu.run(atom_counts=sweep, n_steps=2)),
+            ("fig8", lambda: fig8_mta.run(atom_counts=sweep, n_steps=2)),
+            ("fig9", lambda: fig9_scaling.run(atom_counts=sweep, n_steps=2)),
+            (
+                "abl-nlist",
+                lambda: ablations.run_neighborlist(n_atoms=512, n_steps=10),
+            ),
+            ("abl-reduce", lambda: ablations.run_gpu_reduction(n_atoms=512)),
+            (
+                "abl-xmt",
+                lambda: ablations.run_xmt_projection(n_atoms=512, n_steps=2),
+            ),
+            ("abl-xmt-net", ablations.run_xmt_network),
+            ("abl-cache", lambda: ablations.run_cache_patterns(n_atoms=4096)),
+            (
+                "abl-nextgen",
+                lambda: ablations.run_nextgen_gpu(atom_counts=(256, 1024)),
+            ),
+            ("abl-balance", lambda: ablations.run_load_balance(n_atoms=512)),
+            ("abl-precision", lambda: ablations.run_precision(n_atoms=256)),
+        ]
+    return [
+        ("fig5", fig5_simd.run),
+        ("fig6", fig6_launch.run),
+        ("table1", table1_perf.run),
+        ("fig7", fig7_gpu.run),
+        ("fig8", fig8_mta.run),
+        ("fig9", fig9_scaling.run),
+        ("abl-nlist", ablations.run_neighborlist),
+        ("abl-reduce", ablations.run_gpu_reduction),
+        ("abl-xmt", ablations.run_xmt_projection),
+        ("abl-xmt-net", ablations.run_xmt_network),
+        ("abl-cache", ablations.run_cache_patterns),
+        ("abl-nextgen", ablations.run_nextgen_gpu),
+        ("abl-balance", ablations.run_load_balance),
+        ("abl-precision", ablations.run_precision),
+    ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="small systems, short sweeps"
+    )
+    parser.add_argument(
+        "--only", default=None, help="run a single experiment id (e.g. fig7)"
+    )
+    args = parser.parse_args(argv)
+
+    roster = all_experiments(quick=args.quick)
+    if args.only:
+        roster = [(eid, factory) for eid, factory in roster if eid == args.only]
+        if not roster:
+            parser.error(f"unknown experiment id {args.only!r}")
+    failures = 0
+    for _eid, factory in roster:
+        result = factory()
+        print(result.render())
+        print()
+        if not result.all_passed:
+            failures += 1
+    if failures:
+        print(f"{failures} experiment(s) outside their paper-shape bands")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

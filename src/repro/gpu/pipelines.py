@@ -1,0 +1,63 @@
+"""Fragment-pipeline throughput model for the streaming GPU.
+
+The GPU's speed "comes from the parallelism in the architecture"
+(section 3.2): P identical pipelines each retire shader instructions at
+the core clock, with deep pipelining hiding per-instruction latency —
+so, like the MTA, the right cost measure is *issue slots*, not latency
+chains.  Texture fetches consume extra slots, and an efficiency factor
+accounts for fetch/math co-issue imperfection.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.arch import calibration as cal
+from repro.arch.clock import Clock
+from repro.gpu.shader import ShaderProgram
+from repro.vm.program import Metrics
+from repro.vm.schedule import count_issues
+
+__all__ = ["PipelineArray", "GPU_ISSUE_SLOTS"]
+
+#: Per-opcode issue-slot costs in the fragment pipeline.  Swizzles and
+#: writemasks are free on this hardware; texture fetches are not.
+GPU_ISSUE_SLOTS: dict[str, float] = {
+    "texfetch": float(cal.GPU_TEXFETCH_CYCLES),
+    "splat": 0.0,
+    "shufb": 0.0,
+    "rotqbyi": 0.0,
+    "mov": 0.0,
+    "fround": 2.0,  # floor/frac pair
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class PipelineArray:
+    """P parallel pixel pipelines at the core clock."""
+
+    n_pipelines: int = cal.GPU_N_PIPELINES
+    efficiency: float = cal.GPU_PIPELINE_EFFICIENCY
+    clock: Clock = dataclasses.field(
+        default_factory=lambda: Clock(cal.GPU_CLOCK_HZ, "gpu")
+    )
+
+    def __post_init__(self) -> None:
+        if self.n_pipelines < 1:
+            raise ValueError("n_pipelines must be >= 1")
+        if not 0.0 < self.efficiency <= 1.0:
+            raise ValueError(
+                f"efficiency must be in (0, 1], got {self.efficiency}"
+            )
+
+    @property
+    def issue_rate(self) -> float:
+        """Shader issue slots retired per second across the array."""
+        return self.n_pipelines * self.clock.hz * self.efficiency
+
+    def execute_seconds(self, shader: ShaderProgram, metrics: Metrics) -> float:
+        """Seconds to run ``shader`` over the workload in ``metrics``."""
+        issues = count_issues(
+            shader.program, metrics, issue_slots=GPU_ISSUE_SLOTS
+        )
+        return issues / self.issue_rate

@@ -1,0 +1,89 @@
+"""The streaming-shader programming contract (paper section 3.2).
+
+"Inherently, GPUs are stream processors, as a shader program cannot
+read and write to the same memory location.  Thus, arrays must be
+designated as either input or output, but not both. ... a shader
+program may read from any input locations, but it has only one location
+in each output array to which it may write."
+
+:class:`ShaderProgram` wraps a VM program and *enforces* those rules:
+
+* no stores (``stqd``) — the only way data leaves a shader is through
+  its declared output registers, one location per invocation;
+* inputs are read-only: no instruction may write a register declared as
+  an input array;
+* a bounded number of input arrays (the era's hardware limited texture
+  samplers per pass).
+
+The MD kernel obeys the contract by folding the per-atom PE
+contribution into the fourth component of the acceleration output —
+the trick section 5.2 describes — because a second output array or a
+scatter would be rejected here exactly as the hardware rejects it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.vm.program import Instr, Program
+
+__all__ = ["ShaderProgram", "ShaderContractError", "MAX_INPUT_ARRAYS"]
+
+#: SM3-era fragment shaders address at most 16 texture samplers.
+MAX_INPUT_ARRAYS = 16
+
+
+class ShaderContractError(ValueError):
+    """Raised when a program violates the streaming restrictions."""
+
+
+@dataclasses.dataclass(frozen=True)
+class ShaderProgram:
+    """A VM program certified to obey the gather-only streaming model."""
+
+    program: Program
+    input_arrays: tuple[str, ...]
+    output_register: str
+
+    def __post_init__(self) -> None:
+        if len(self.input_arrays) > MAX_INPUT_ARRAYS:
+            raise ShaderContractError(
+                f"{len(self.input_arrays)} input arrays exceed the "
+                f"{MAX_INPUT_ARRAYS}-sampler limit"
+            )
+        if self.output_register in self.input_arrays:
+            raise ShaderContractError(
+                f"array {self.output_register!r} designated as both input "
+                "and output — streaming model forbids read-write arrays"
+            )
+        writes_output = False
+        for seg in self.program.segments:
+            for node in _walk(seg.body):
+                if not isinstance(node, Instr):
+                    continue
+                if node.op == "stqd":
+                    raise ShaderContractError(
+                        "shader programs cannot scatter: store instruction "
+                        f"found in segment {seg.name!r}"
+                    )
+                if node.dest in self.input_arrays:
+                    raise ShaderContractError(
+                        f"instruction {node.op} writes input array "
+                        f"{node.dest!r}; inputs are read-only"
+                    )
+                if node.dest == self.output_register:
+                    writes_output = True
+        if not writes_output:
+            raise ShaderContractError(
+                f"shader never writes its output register "
+                f"{self.output_register!r}"
+            )
+
+
+def _walk(nodes):
+    from repro.vm.program import IfBlock, Loop
+
+    for node in nodes:
+        yield node
+        if isinstance(node, (Loop, IfBlock)):
+            yield from _walk(node.body)

@@ -1,0 +1,133 @@
+"""Bonded interactions: harmonic bonds and angles.
+
+Paper section 3.5: "Calculation of forces between bonded atoms is
+straightforward and less computationally intensive as there are only a
+very small number of bonded interactions as compared to the non-bonded
+interactions."  The paper's kernel therefore times only the non-bonded
+part; this module supplies the bonded part so the library covers a full
+bio-molecular force field's skeleton (bonds + angles + LJ non-bonded),
+and so the examples can simulate simple molecules.
+
+Forces are exact gradients of
+
+    V_bond(r)      = 0.5 * k_b * (r - r0)^2
+    V_angle(theta) = 0.5 * k_a * (theta - theta0)^2
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.md.box import PeriodicBox
+
+__all__ = ["HarmonicBond", "HarmonicAngle", "BondedForceField"]
+
+
+@dataclasses.dataclass(frozen=True)
+class HarmonicBond:
+    """A two-body harmonic spring between atoms ``i`` and ``j``."""
+
+    i: int
+    j: int
+    k: float
+    r0: float
+
+    def __post_init__(self) -> None:
+        if self.i == self.j:
+            raise ValueError("bond endpoints must differ")
+        if self.k < 0.0 or self.r0 <= 0.0:
+            raise ValueError("need k >= 0 and r0 > 0")
+
+
+@dataclasses.dataclass(frozen=True)
+class HarmonicAngle:
+    """A three-body harmonic angle i-j-k centered on ``j`` (radians)."""
+
+    i: int
+    j: int
+    k: int
+    k_theta: float
+    theta0: float
+
+    def __post_init__(self) -> None:
+        if len({self.i, self.j, self.k}) != 3:
+            raise ValueError("angle atoms must be distinct")
+        if self.k_theta < 0.0 or not 0.0 < self.theta0 < np.pi:
+            raise ValueError("need k_theta >= 0 and theta0 in (0, pi)")
+
+
+class BondedForceField:
+    """Evaluates bonded energies/forces over a fixed topology."""
+
+    def __init__(
+        self,
+        bonds: list[HarmonicBond] | None = None,
+        angles: list[HarmonicAngle] | None = None,
+    ) -> None:
+        self.bonds = list(bonds or [])
+        self.angles = list(angles or [])
+
+    @property
+    def n_terms(self) -> int:
+        return len(self.bonds) + len(self.angles)
+
+    def compute(
+        self, positions: np.ndarray, box: PeriodicBox
+    ) -> tuple[np.ndarray, float]:
+        """Return (forces, potential_energy) of all bonded terms."""
+        positions = np.asarray(positions, dtype=np.float64)
+        forces = np.zeros_like(positions)
+        energy = 0.0
+        energy += self._bond_terms(positions, box, forces)
+        energy += self._angle_terms(positions, box, forces)
+        return forces, energy
+
+    def _bond_terms(
+        self, positions: np.ndarray, box: PeriodicBox, forces: np.ndarray
+    ) -> float:
+        if not self.bonds:
+            return 0.0
+        i = np.array([b.i for b in self.bonds])
+        j = np.array([b.j for b in self.bonds])
+        k = np.array([b.k for b in self.bonds])
+        r0 = np.array([b.r0 for b in self.bonds])
+        delta = box.minimum_image(positions[i] - positions[j])
+        r = np.sqrt(np.einsum("ij,ij->i", delta, delta))
+        if np.any(r <= 0.0):
+            raise ValueError("coincident bonded atoms")
+        stretch = r - r0
+        # F_i = -k (r - r0) * rhat
+        f = (-k * stretch / r)[:, None] * delta
+        np.add.at(forces, i, f)
+        np.subtract.at(forces, j, f)
+        return float(np.sum(0.5 * k * stretch * stretch))
+
+    def _angle_terms(
+        self, positions: np.ndarray, box: PeriodicBox, forces: np.ndarray
+    ) -> float:
+        energy = 0.0
+        for angle in self.angles:
+            rij = box.minimum_image(positions[angle.i] - positions[angle.j])
+            rkj = box.minimum_image(positions[angle.k] - positions[angle.j])
+            nij = float(np.linalg.norm(rij))
+            nkj = float(np.linalg.norm(rkj))
+            if nij <= 0.0 or nkj <= 0.0:
+                raise ValueError("coincident angle atoms")
+            cos_theta = float(rij @ rkj) / (nij * nkj)
+            cos_theta = min(1.0, max(-1.0, cos_theta))
+            theta = float(np.arccos(cos_theta))
+            dtheta = theta - angle.theta0
+            energy += 0.5 * angle.k_theta * dtheta * dtheta
+            # dV/dtheta, chain rule through cos(theta)
+            sin_theta = float(np.sqrt(max(1e-12, 1.0 - cos_theta * cos_theta)))
+            coefficient = -angle.k_theta * dtheta / sin_theta
+            di = (rkj / (nij * nkj)) - (cos_theta / (nij * nij)) * rij
+            dk = (rij / (nij * nkj)) - (cos_theta / (nkj * nkj)) * rkj
+            fi = -coefficient * di
+            fk = -coefficient * dk
+            forces[angle.i] += fi
+            forces[angle.k] += fk
+            forces[angle.j] -= fi + fk
+        return energy

@@ -1,0 +1,92 @@
+"""The 6-12 Lennard-Jones pair potential used by the paper's kernel.
+
+    V(r) = 4 * epsilon * ((sigma / r)**12 - (sigma / r)**6)
+
+combining the long-range attractive r**-6 term and the short-range
+repulsive r**-12 term (paper section 3.4).  A cutoff radius bounds the
+interaction range; the potential can optionally be shifted so V(rcut)=0,
+which removes the energy jump when pairs cross the cutoff and lets the
+integration tests check energy conservation tightly.  The paper's kernel
+uses the bare truncated form; the shift only adds a constant per
+interacting pair and does not change forces.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+__all__ = ["LennardJones"]
+
+
+@dataclasses.dataclass(frozen=True)
+class LennardJones:
+    """Truncated (optionally shifted) Lennard-Jones 6-12 potential."""
+
+    epsilon: float = 1.0
+    sigma: float = 1.0
+    rcut: float = 2.5
+    shift: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.epsilon > 0.0:
+            raise ValueError(f"epsilon must be positive, got {self.epsilon}")
+        if not self.sigma > 0.0:
+            raise ValueError(f"sigma must be positive, got {self.sigma}")
+        if not self.rcut > 0.0:
+            raise ValueError(f"rcut must be positive, got {self.rcut}")
+
+    @property
+    def rcut2(self) -> float:
+        """Squared cutoff radius; the kernels compare against this."""
+        return self.rcut * self.rcut
+
+    @property
+    def shift_energy(self) -> float:
+        """The constant subtracted per pair when ``shift`` is on."""
+        if not self.shift:
+            return 0.0
+        sr6 = (self.sigma / self.rcut) ** 6
+        return 4.0 * self.epsilon * (sr6 * sr6 - sr6)
+
+    def energy(self, r: np.ndarray) -> np.ndarray:
+        """Pair energy at separation(s) ``r``; zero beyond the cutoff."""
+        r = np.asarray(r, dtype=np.float64)
+        if np.any(r <= 0.0):
+            raise ValueError("pair separation must be positive")
+        sr6 = (self.sigma / r) ** 6
+        value = 4.0 * self.epsilon * (sr6 * sr6 - sr6) - self.shift_energy
+        return np.where(r < self.rcut, value, 0.0)
+
+    def force_magnitude(self, r: np.ndarray) -> np.ndarray:
+        """|F(r)| along the pair axis, positive = repulsive; zero beyond cutoff.
+
+        F(r) = -dV/dr = 24 * epsilon * (2 * (sigma/r)**12 - (sigma/r)**6) / r
+        """
+        r = np.asarray(r, dtype=np.float64)
+        if np.any(r <= 0.0):
+            raise ValueError("pair separation must be positive")
+        sr6 = (self.sigma / r) ** 6
+        value = 24.0 * self.epsilon * (2.0 * sr6 * sr6 - sr6) / r
+        return np.where(r < self.rcut, value, 0.0)
+
+    def force_over_r(self, r2: np.ndarray) -> np.ndarray:
+        """F(r)/r as a function of the squared separation ``r2``.
+
+        This is the quantity the kernels actually compute — multiplying a
+        displacement vector by it yields the force vector without ever
+        taking a square root, the classic MD inner-loop formulation.
+        Zero beyond the cutoff.
+        """
+        r2 = np.asarray(r2, dtype=np.float64)
+        if np.any(r2 <= 0.0):
+            raise ValueError("squared separation must be positive")
+        inv_r2 = (self.sigma * self.sigma) / r2
+        sr6 = inv_r2 * inv_r2 * inv_r2
+        value = 24.0 * self.epsilon * (2.0 * sr6 * sr6 - sr6) / r2
+        return np.where(r2 < self.rcut2, value, 0.0)
+
+    def minimum(self) -> float:
+        """The separation of the potential minimum, 2**(1/6) * sigma."""
+        return 2.0 ** (1.0 / 6.0) * self.sigma

@@ -1,0 +1,62 @@
+"""Observables — step 5 of the paper's kernel: "calculate new kinetic
+and total energies", plus temperature, momentum and virial pressure for
+the examples and validation tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.md.integrators import State
+
+__all__ = [
+    "kinetic_energy",
+    "total_energy",
+    "temperature",
+    "net_momentum",
+    "virial_pressure",
+]
+
+
+def kinetic_energy(velocities: np.ndarray, mass: float = 1.0) -> float:
+    """Total kinetic energy, 0.5 * m * sum(v^2)."""
+    velocities = np.asarray(velocities, dtype=np.float64)
+    return 0.5 * mass * float(np.sum(velocities * velocities))
+
+
+def total_energy(state: State, mass: float = 1.0) -> float:
+    """Kinetic + potential energy of a state."""
+    return kinetic_energy(state.velocities, mass) + state.potential_energy
+
+
+def temperature(velocities: np.ndarray, mass: float = 1.0) -> float:
+    """Instantaneous kinetic temperature, 2*KE / (3*N) in reduced units.
+
+    Uses 3N degrees of freedom (no constraint correction), matching the
+    simple kernel formulation; with kB = 1.
+    """
+    velocities = np.asarray(velocities, dtype=np.float64)
+    n = velocities.shape[0]
+    if n == 0:
+        raise ValueError("temperature of an empty system is undefined")
+    return 2.0 * kinetic_energy(velocities, mass) / (3.0 * n)
+
+
+def net_momentum(velocities: np.ndarray, mass: float = 1.0) -> np.ndarray:
+    """Total momentum vector; conserved by the Verlet integrator."""
+    velocities = np.asarray(velocities, dtype=np.float64)
+    return mass * velocities.sum(axis=0)
+
+
+def virial_pressure(
+    n_atoms: int,
+    volume: float,
+    temp: float,
+    virial_sum: float,
+) -> float:
+    """Pressure from the virial theorem: P = (N*T + W/3) / V.
+
+    ``virial_sum`` is sum over pairs of r_ij . F_ij.
+    """
+    if volume <= 0.0:
+        raise ValueError(f"volume must be positive, got {volume}")
+    return (n_atoms * temp + virial_sum / 3.0) / volume

@@ -1,0 +1,81 @@
+"""Thermostats for temperature-controlled runs.
+
+The paper's kernel is pure NVE (no thermostat), but its future work —
+"full-scale bio-molecular simulation frameworks" — runs NVT, and the
+example studies (melting curves, equilibration) need temperature
+control.  Two classics are provided:
+
+* :class:`VelocityRescale` — brute-force rescaling to the target
+  kinetic temperature every ``interval`` steps;
+* :class:`BerendsenThermostat` — weak coupling with time constant
+  ``tau``: velocities are scaled toward the target with
+  ``lambda^2 = 1 + (dt / tau) * (T0 / T - 1)``.
+
+Both are pure functions over velocity arrays so they compose with any
+integrator or device backend.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from repro.md.observables import temperature
+
+__all__ = ["VelocityRescale", "BerendsenThermostat"]
+
+
+@dataclasses.dataclass
+class VelocityRescale:
+    """Exact rescaling to ``target_temperature`` every ``interval`` steps."""
+
+    target_temperature: float
+    interval: int = 1
+    applications: int = 0
+
+    def __post_init__(self) -> None:
+        if self.target_temperature < 0.0:
+            raise ValueError("target temperature must be non-negative")
+        if self.interval < 1:
+            raise ValueError("interval must be >= 1")
+
+    def apply(self, velocities: np.ndarray, step: int, dt: float) -> np.ndarray:
+        """Return (possibly rescaled) velocities for this step."""
+        if step % self.interval != 0:
+            return velocities
+        current = temperature(velocities)
+        if current <= 0.0:
+            return velocities
+        self.applications += 1
+        scale = math.sqrt(self.target_temperature / current)
+        return velocities * scale
+
+
+@dataclasses.dataclass
+class BerendsenThermostat:
+    """Weak-coupling thermostat (Berendsen et al. 1984)."""
+
+    target_temperature: float
+    tau: float = 0.5
+    applications: int = 0
+
+    def __post_init__(self) -> None:
+        if self.target_temperature < 0.0:
+            raise ValueError("target temperature must be non-negative")
+        if not self.tau > 0.0:
+            raise ValueError("tau must be positive")
+
+    def apply(self, velocities: np.ndarray, step: int, dt: float) -> np.ndarray:
+        """Scale velocities toward the target with coupling dt/tau."""
+        if dt <= 0.0:
+            raise ValueError("dt must be positive")
+        current = temperature(velocities)
+        if current <= 0.0:
+            return velocities
+        self.applications += 1
+        factor = 1.0 + (dt / self.tau) * (self.target_temperature / current - 1.0)
+        # guard against overshoot for dt ~ tau
+        factor = max(factor, 0.0)
+        return velocities * math.sqrt(factor)

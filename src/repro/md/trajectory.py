@@ -1,0 +1,100 @@
+"""Trajectory recording and XYZ export for the example applications."""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+
+import numpy as np
+
+from repro.md.integrators import State
+
+__all__ = ["Frame", "Trajectory"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Frame:
+    """One recorded snapshot of the run."""
+
+    step: int
+    time: float
+    positions: np.ndarray
+    kinetic_energy: float
+    potential_energy: float
+
+    @property
+    def total_energy(self) -> float:
+        return self.kinetic_energy + self.potential_energy
+
+
+class Trajectory:
+    """In-memory list of frames with optional thinning and XYZ export."""
+
+    def __init__(self, record_every: int = 1) -> None:
+        if record_every < 1:
+            raise ValueError(f"record_every must be >= 1, got {record_every}")
+        self.record_every = record_every
+        self.frames: list[Frame] = []
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def __getitem__(self, index: int) -> Frame:
+        return self.frames[index]
+
+    def maybe_record(
+        self, step: int, time: float, state: State, kinetic: float
+    ) -> bool:
+        """Record the frame if ``step`` falls on the recording stride."""
+        if step % self.record_every != 0:
+            return False
+        self.frames.append(
+            Frame(
+                step=step,
+                time=time,
+                positions=np.array(state.positions, copy=True),
+                kinetic_energy=kinetic,
+                potential_energy=state.potential_energy,
+            )
+        )
+        return True
+
+    def energies(self) -> np.ndarray:
+        """(n_frames, 3) array of kinetic, potential, total energy."""
+        return np.array(
+            [[f.kinetic_energy, f.potential_energy, f.total_energy] for f in self.frames]
+        )
+
+    def write_xyz(self, path: str | Path, element: str = "Ar") -> None:
+        """Write all frames in the standard multi-frame XYZ format."""
+        path = Path(path)
+        with path.open("w", encoding="ascii") as handle:
+            for frame in self.frames:
+                handle.write(f"{frame.positions.shape[0]}\n")
+                handle.write(
+                    f"step={frame.step} time={frame.time:.6f} "
+                    f"etot={frame.total_energy:.8f}\n"
+                )
+                for x, y, z in frame.positions:
+                    handle.write(f"{element} {x:.8f} {y:.8f} {z:.8f}\n")
+
+    @staticmethod
+    def read_xyz(path: str | Path) -> list[np.ndarray]:
+        """Read back the positions of every frame of an XYZ file."""
+        path = Path(path)
+        frames: list[np.ndarray] = []
+        with path.open("r", encoding="ascii") as handle:
+            lines = handle.read().splitlines()
+        cursor = 0
+        while cursor < len(lines):
+            if not lines[cursor].strip():
+                cursor += 1
+                continue
+            count = int(lines[cursor])
+            body = lines[cursor + 2 : cursor + 2 + count]
+            coords = np.array(
+                [[float(v) for v in line.split()[1:4]] for line in body]
+            )
+            frames.append(coords)
+            cursor += 2 + count
+        return frames

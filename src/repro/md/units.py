@@ -1,0 +1,87 @@
+"""Reduced Lennard-Jones units and conversion helpers.
+
+Everything inside the library works in reduced LJ units where the well
+depth ``epsilon``, the zero-crossing distance ``sigma`` and the atomic
+mass ``m`` are all 1.  This matches the formulation of the paper's MD
+kernel, which is written directly against the 6-12 LJ potential
+
+    V(r) = 4 * epsilon * ((sigma / r)**12 - (sigma / r)**6)
+
+The module also carries the argon parameter set used by the examples so
+runs can be reported in laboratory units.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+#: Boltzmann constant in J/K (CODATA 2018).
+KB_JOULE_PER_KELVIN = 1.380649e-23
+
+#: Avogadro constant in 1/mol.
+AVOGADRO = 6.02214076e23
+
+
+@dataclasses.dataclass(frozen=True)
+class LJUnitSystem:
+    """A concrete realization of reduced LJ units.
+
+    Parameters
+    ----------
+    epsilon_joule:
+        Well depth in joules.
+    sigma_meter:
+        Length scale in meters.
+    mass_kg:
+        Particle mass in kilograms.
+    """
+
+    epsilon_joule: float
+    sigma_meter: float
+    mass_kg: float
+
+    @property
+    def time_second(self) -> float:
+        """The reduced time unit tau = sigma * sqrt(m / epsilon) in seconds."""
+        return self.sigma_meter * math.sqrt(self.mass_kg / self.epsilon_joule)
+
+    @property
+    def temperature_kelvin(self) -> float:
+        """The reduced temperature unit epsilon / kB in kelvin."""
+        return self.epsilon_joule / KB_JOULE_PER_KELVIN
+
+    @property
+    def velocity_meter_per_second(self) -> float:
+        """The reduced velocity unit sigma / tau in m/s."""
+        return self.sigma_meter / self.time_second
+
+    @property
+    def pressure_pascal(self) -> float:
+        """The reduced pressure unit epsilon / sigma**3 in pascals."""
+        return self.epsilon_joule / self.sigma_meter**3
+
+    def to_reduced_temperature(self, kelvin: float) -> float:
+        """Convert a laboratory temperature to reduced units."""
+        return kelvin / self.temperature_kelvin
+
+    def to_kelvin(self, reduced_temperature: float) -> float:
+        """Convert a reduced temperature to kelvin."""
+        return reduced_temperature * self.temperature_kelvin
+
+    def to_reduced_time(self, seconds: float) -> float:
+        """Convert a laboratory time to reduced units."""
+        return seconds / self.time_second
+
+    def to_seconds(self, reduced_time: float) -> float:
+        """Convert a reduced time to seconds."""
+        return reduced_time * self.time_second
+
+
+#: Canonical argon parameterization (Rahman 1964): epsilon/kB = 119.8 K,
+#: sigma = 3.405 Å, m = 39.948 u.
+ARGON = LJUnitSystem(
+    epsilon_joule=119.8 * KB_JOULE_PER_KELVIN,
+    sigma_meter=3.405e-10,
+    mass_kg=39.948e-3 / AVOGADRO,
+)

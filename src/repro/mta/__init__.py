@@ -1,0 +1,55 @@
+"""The Cray MTA-2 model: loop IR, parallelizing compiler, stream timing."""
+
+from repro.mta.compiler import (
+    CompilationReport,
+    LoopReport,
+    analyze_loop,
+    compile_nest,
+)
+from repro.mta.device import MTADevice
+from repro.mta.kernels import (
+    MTA_ISSUE_SLOTS,
+    build_mta_integration_program,
+    build_mta_pair_program,
+    md_kernel_ir,
+)
+from repro.mta.loopir import (
+    PRAGMA_ASSERT_PARALLEL,
+    ArrayRef,
+    LoopNest,
+    ScalarRef,
+    Statement,
+)
+from repro.mta.fullempty import (
+    FullEmptyArray,
+    FullEmptyError,
+    FullEmptyWord,
+    SynchronizedReduction,
+)
+from repro.mta.streams import StreamModel
+from repro.mta.xmt import XMTDevice, XMTNetwork, memory_reference_count
+
+__all__ = [
+    "ArrayRef",
+    "FullEmptyArray",
+    "FullEmptyError",
+    "FullEmptyWord",
+    "SynchronizedReduction",
+    "XMTDevice",
+    "XMTNetwork",
+    "memory_reference_count",
+    "CompilationReport",
+    "LoopNest",
+    "LoopReport",
+    "MTADevice",
+    "MTA_ISSUE_SLOTS",
+    "PRAGMA_ASSERT_PARALLEL",
+    "ScalarRef",
+    "Statement",
+    "StreamModel",
+    "analyze_loop",
+    "build_mta_integration_program",
+    "build_mta_pair_program",
+    "compile_nest",
+    "md_kernel_ir",
+]

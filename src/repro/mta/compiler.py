@@ -1,0 +1,146 @@
+"""Dependence analysis: which loops does the MTA compiler parallelize?
+
+The analysis answers one question per loop: can distinct iterations run
+concurrently?  The rules mirror what the Cray MTA-2 compiler actually
+does on code like the MD kernel:
+
+* an array written at subscripts containing the loop index is private
+  per iteration — fine;
+* an array written at subscripts *not* containing the loop index is a
+  cross-iteration conflict — serialize;
+* a scalar that is read and written is a loop-carried dependence.  The
+  compiler rewrites it only when it appears as a recognizable reduction
+  statement *directly* in the loop body; a reduction buried inside a
+  nested loop defeats the recognizer — exactly the paper's experience
+  ("it found a dependency on the reduction operation");
+* ``#pragma mta assert parallel`` overrides the analysis entirely.
+
+This is an intentionally conservative may-dependence analysis (no index
+arithmetic, no aliasing proofs) — which is also what makes it faithful:
+the real compiler gave up on the same loop for the same reason.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.mta.loopir import (
+    PRAGMA_ASSERT_PARALLEL,
+    ArrayRef,
+    LoopNest,
+    ScalarRef,
+    Statement,
+)
+
+__all__ = ["LoopReport", "CompilationReport", "analyze_loop", "compile_nest"]
+
+
+@dataclasses.dataclass(frozen=True)
+class LoopReport:
+    """The verdict for one loop."""
+
+    index: str
+    label: str
+    parallel: bool
+    reasons: tuple[str, ...]
+    via_pragma: bool = False
+    recognized_reductions: tuple[str, ...] = ()
+
+
+@dataclasses.dataclass(frozen=True)
+class CompilationReport:
+    """Verdicts for a whole nest, outermost first."""
+
+    loops: tuple[LoopReport, ...]
+
+    def loop(self, label: str) -> LoopReport:
+        for report in self.loops:
+            if report.label == label:
+                return report
+        raise KeyError(f"no loop labelled {label!r}")
+
+    @property
+    def all_parallel(self) -> bool:
+        return all(report.parallel for report in self.loops)
+
+
+def _scalar_conflicts(loop: LoopNest) -> tuple[list[str], list[str]]:
+    """Return (blocking scalar names, recognized reduction names)."""
+    direct_stmts = loop.direct_statements()
+    direct_reductions = {
+        w.name
+        for stmt in direct_stmts
+        if stmt.is_reduction
+        for w in stmt.writes
+        if isinstance(w, ScalarRef)
+    }
+    # A scalar initialized (written without being read) directly in the
+    # body is privatizable: each iteration gets its own copy.
+    privatized = {
+        w.name
+        for stmt in direct_stmts
+        for w in stmt.writes
+        if isinstance(w, ScalarRef)
+        and not any(
+            isinstance(r, ScalarRef) and r.name == w.name for r in stmt.reads
+        )
+    }
+    blocking: list[str] = []
+    recognized: list[str] = []
+    for stmt in loop.statements():
+        direct = stmt in direct_stmts
+        for written in stmt.writes:
+            if not isinstance(written, ScalarRef):
+                continue
+            if written.name in privatized:
+                continue
+            reads_it = any(
+                isinstance(r, ScalarRef) and r.name == written.name
+                for r in stmt.reads
+            )
+            if not reads_it:
+                continue
+            if direct and stmt.is_reduction and written.name in direct_reductions:
+                recognized.append(written.name)
+            else:
+                blocking.append(written.name)
+    return blocking, sorted(set(recognized))
+
+
+def _array_conflicts(loop: LoopNest) -> list[str]:
+    conflicts: list[str] = []
+    for stmt in loop.statements():
+        for written in stmt.writes:
+            if isinstance(written, ArrayRef) and loop.index not in written.index:
+                conflicts.append(str(written))
+    return conflicts
+
+
+def analyze_loop(loop: LoopNest) -> LoopReport:
+    """Classify one loop (ignoring its nested loops' own parallelism)."""
+    if PRAGMA_ASSERT_PARALLEL in loop.pragmas:
+        return LoopReport(
+            index=loop.index,
+            label=loop.label,
+            parallel=True,
+            reasons=(f"#pragma {PRAGMA_ASSERT_PARALLEL}",),
+            via_pragma=True,
+        )
+    reasons: list[str] = []
+    blocking_scalars, recognized = _scalar_conflicts(loop)
+    for name in sorted(set(blocking_scalars)):
+        reasons.append(f"loop-carried dependence on reduction variable {name!r}")
+    for ref in sorted(set(_array_conflicts(loop))):
+        reasons.append(f"cross-iteration write to {ref}")
+    return LoopReport(
+        index=loop.index,
+        label=loop.label,
+        parallel=not reasons,
+        reasons=tuple(reasons),
+        recognized_reductions=tuple(recognized),
+    )
+
+
+def compile_nest(*loops: LoopNest) -> CompilationReport:
+    """Analyze each top-level loop of a kernel."""
+    return CompilationReport(loops=tuple(analyze_loop(loop) for loop in loops))

@@ -1,0 +1,121 @@
+"""The Cray MTA-2 device model (paper section 5.3).
+
+The MTA runs the whole kernel itself (nothing is offloaded), in double
+precision.  The compiler model decides per-loop parallelism from the
+loop IR; the timing model charges each kernel phase at the saturated
+issue rate (parallel loops) or the single-stream rate (loops the
+compiler refused).  The memory system is uniform-latency by design —
+"there is no penalty for accessing atoms ... in an irregular fashion" —
+so, unlike the Opteron model, there is no cache term at all: runtime
+grows exactly with the instruction count.  That contrast is Figure 9.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch import calibration as cal
+from repro.arch.device import Device
+from repro.arch.profilecounts import KernelMetrics
+from repro.md.box import PeriodicBox
+from repro.md.forces import ForceResult, compute_forces
+from repro.md.lj import LennardJones
+from repro.md.simulation import MDConfig
+from repro.mta.compiler import CompilationReport, compile_nest
+from repro.mta.fullempty import SynchronizedReduction
+from repro.mta.kernels import (
+    MTA_ISSUE_SLOTS,
+    build_mta_integration_program,
+    build_mta_pair_program,
+    md_kernel_ir,
+)
+from repro.mta.streams import StreamModel
+from repro.vm.schedule import count_issues
+
+__all__ = ["MTADevice"]
+
+#: Same geometry-determined branch probability as the Opteron port.
+_DEFAULT_REFLECT_TAKE = 0.04
+
+
+class MTADevice(Device):
+    """One or more MTA-2 (or XMT-projected) multithreaded processors."""
+
+    precision = "float64"
+
+    def __init__(
+        self,
+        fully_multithreaded: bool = True,
+        n_processors: int = 1,
+        clock_hz: float = cal.MTA_CLOCK_HZ,
+        reflect_take: float = _DEFAULT_REFLECT_TAKE,
+    ) -> None:
+        mode = "fully" if fully_multithreaded else "partially"
+        self.name = f"mta2-{mode}-multithreaded-{n_processors}p"
+        self.fully_multithreaded = fully_multithreaded
+        self.reflect_take = reflect_take
+        from repro.arch.clock import Clock
+
+        self.streams = StreamModel(
+            n_processors=n_processors,
+            clock=Clock(clock_hz, "mta"),
+        )
+        self.compilation: CompilationReport = compile_nest(
+            *md_kernel_ir(fully_multithreaded)
+        )
+        self._program_cache: dict[float, object] = {}
+
+    def prepare(self, config: MDConfig) -> None:
+        self._box_length = config.make_box().length
+
+    def force_backend(self, sim_box: PeriodicBox, potential: LennardJones):
+        def backend(positions: np.ndarray) -> ForceResult:
+            return compute_forces(positions, sim_box, potential, dtype=np.float64)
+
+        return backend
+
+    def branch_probabilities(self, config: MDConfig) -> dict[str, float]:
+        return {"reflect_take": self.reflect_take}
+
+    def _pair_program(self, box_length: float):
+        key = round(box_length, 12)
+        if key not in self._program_cache:
+            self._program_cache[key] = build_mta_pair_program(box_length)
+        return self._program_cache[key]
+
+    def step_seconds(
+        self, metrics: KernelMetrics, step_index: int
+    ) -> dict[str, float]:
+        pair_program = self._pair_program(self._box_length)
+        pair_issues = count_issues(
+            pair_program, metrics.as_dict(), issue_slots=MTA_ISSUE_SLOTS
+        )
+        integ_issues = count_issues(
+            build_mta_integration_program(),
+            metrics.as_dict(),
+            issue_slots=MTA_ISSUE_SLOTS,
+        )
+        force_loop = self.compilation.loop("step2_forces")
+        if force_loop.parallel:
+            force_seconds = self.streams.parallel_seconds(
+                pair_issues, concurrent_threads=float(metrics.n_atoms)
+            )
+            # the per-iteration PE partials combine through one
+            # full/empty-synchronized word: a serialized update chain
+            reduction = SynchronizedReduction()
+            reduction_seconds = self.streams.serial_seconds(
+                reduction.critical_path_issues(metrics.n_atoms)
+            )
+        else:
+            # the serial loop already folds PE inline; no extra chain
+            force_seconds = self.streams.serial_seconds(pair_issues)
+            reduction_seconds = 0.0
+        # Steps 1/3/4/5 auto-parallelize in both source variants.
+        integ_seconds = self.streams.parallel_seconds(
+            integ_issues, concurrent_threads=float(metrics.n_atoms)
+        )
+        return {
+            "force_loop": force_seconds,
+            "pe_reduction": reduction_seconds,
+            "integration": integ_seconds,
+        }

@@ -1,0 +1,106 @@
+"""A miniature loop-nest IR for the MTA compiler model.
+
+The MTA-2 extracts its parallelism from loops the compiler can prove
+independent (section 3.3.1).  To reproduce the paper's compilation
+story mechanically — "the most time consuming part ... was not
+automatically parallelized by the MTA compiler because it found a
+dependency on the reduction operation" — the MD kernel is described in
+this IR and handed to :mod:`repro.mta.compiler` for dependence analysis.
+
+The IR is deliberately small: statements carry explicit read/write sets
+of scalar and array references; loops carry an index name, a symbolic
+trip count, optional pragmas, and a body of statements and nested loops.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Union
+
+__all__ = ["ArrayRef", "ScalarRef", "Statement", "LoopNest", "PRAGMA_ASSERT_PARALLEL"]
+
+#: The directive the paper used: "we hinted the compiler using an MTA
+#: directive that the loop has no dependencies".
+PRAGMA_ASSERT_PARALLEL = "mta assert parallel"
+
+
+@dataclasses.dataclass(frozen=True)
+class ArrayRef:
+    """A subscripted reference like ``acc[i]``; ``index`` names the
+    subscript expression's loop indices, e.g. ``("i",)`` or ``("i", "j")``."""
+
+    name: str
+    index: tuple[str, ...]
+
+    def __str__(self) -> str:
+        return f"{self.name}[{','.join(self.index)}]"
+
+
+@dataclasses.dataclass(frozen=True)
+class ScalarRef:
+    """An unsubscripted variable like the potential-energy accumulator."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+Ref = Union[ArrayRef, ScalarRef]
+
+
+@dataclasses.dataclass(frozen=True)
+class Statement:
+    """One statement with its data-access summary.
+
+    ``is_reduction`` marks a statement of the recognizable form
+    ``s = s op expr`` for an associative op — the only loop-carried
+    scalar pattern the compiler model will rewrite on its own, and only
+    when the statement sits directly in the loop being parallelized.
+    """
+
+    label: str
+    reads: tuple[Ref, ...] = ()
+    writes: tuple[Ref, ...] = ()
+    is_reduction: bool = False
+
+    def __post_init__(self) -> None:
+        if self.is_reduction:
+            scalar_writes = [w for w in self.writes if isinstance(w, ScalarRef)]
+            if not scalar_writes:
+                raise ValueError(
+                    f"reduction statement {self.label!r} must write a scalar"
+                )
+
+
+Node = Union[Statement, "LoopNest"]
+
+
+@dataclasses.dataclass(frozen=True)
+class LoopNest:
+    """A counted loop over ``index`` with symbolic trip count ``trips_key``."""
+
+    index: str
+    trips_key: str
+    body: tuple[Node, ...]
+    pragmas: frozenset[str] = frozenset()
+    label: str = ""
+
+    def statements(self) -> list[Statement]:
+        """All statements in this loop, including nested ones."""
+        found: list[Statement] = []
+        stack: list[Node] = list(self.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Statement):
+                found.append(node)
+            else:
+                stack.extend(node.body)
+        return found
+
+    def direct_statements(self) -> list[Statement]:
+        """Statements directly in this loop body (not inside nested loops)."""
+        return [node for node in self.body if isinstance(node, Statement)]
+
+    def nested_loops(self) -> list["LoopNest"]:
+        return [node for node in self.body if isinstance(node, LoopNest)]

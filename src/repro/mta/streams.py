@@ -1,0 +1,68 @@
+"""MTA-2 stream-saturation timing model.
+
+"The key to obtaining high performance on the MTA-2 is to keep its
+processors saturated, so that each processor always has a thread whose
+next instruction can be executed" (section 3.3.1).  A saturated
+processor issues one instruction per cycle; a serial region is limited
+to one stream, which can issue only once the previous instruction has
+drained the pipeline — one issue per ~21 cycles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.arch import calibration as cal
+from repro.arch.clock import Clock
+
+__all__ = ["StreamModel"]
+
+
+@dataclasses.dataclass(frozen=True)
+class StreamModel:
+    """Issue-rate model for one or more MTA processors."""
+
+    n_processors: int = 1
+    n_streams: int = cal.MTA_N_STREAMS
+    serial_issue_gap: int = cal.MTA_SERIAL_ISSUE_GAP_CYCLES
+    clock: Clock = dataclasses.field(
+        default_factory=lambda: Clock(cal.MTA_CLOCK_HZ, "mta")
+    )
+
+    def __post_init__(self) -> None:
+        if self.n_processors < 1:
+            raise ValueError("n_processors must be >= 1")
+        if self.n_streams < 1:
+            raise ValueError("n_streams must be >= 1")
+        if self.serial_issue_gap < 1:
+            raise ValueError("serial_issue_gap must be >= 1")
+
+    def utilization(self, concurrent_threads: float) -> float:
+        """Fraction of peak issue rate achieved with this much parallelism.
+
+        Saturation needs ``n_streams`` ready threads per processor (the
+        streams exist to cover memory latency, which is deeper than the
+        instruction pipeline); below that the issue rate is
+        thread-limited and scales linearly.
+        """
+        if concurrent_threads <= 0:
+            raise ValueError("concurrent_threads must be positive")
+        needed = self.n_streams * self.n_processors
+        return min(1.0, concurrent_threads / needed)
+
+    def parallel_seconds(self, issues: float, concurrent_threads: float) -> float:
+        """Seconds to retire ``issues`` instruction issues in a parallel region."""
+        if issues < 0:
+            raise ValueError("issues must be non-negative")
+        rate = (
+            self.n_processors
+            * cal.MTA_ISSUE_PER_CYCLE
+            * self.utilization(concurrent_threads)
+        )
+        return self.clock.seconds(issues / rate)
+
+    def serial_seconds(self, issues: float) -> float:
+        """Seconds to retire ``issues`` issues on one stream (serial code)."""
+        if issues < 0:
+            raise ValueError("issues must be non-negative")
+        return self.clock.seconds(issues * self.serial_issue_gap)

@@ -1,0 +1,21 @@
+"""The cache-based microprocessor baseline: a 2.2 GHz AMD Opteron model."""
+
+from repro.opteron.costmodel import (
+    cache_stall_cycles_per_pair,
+    make_opteron_hierarchy,
+)
+from repro.opteron.device import OpteronDevice
+from repro.opteron.kernel import (
+    OPTERON_COST_TABLE,
+    build_integration_program,
+    build_opteron_kernel,
+)
+
+__all__ = [
+    "OPTERON_COST_TABLE",
+    "OpteronDevice",
+    "build_integration_program",
+    "build_opteron_kernel",
+    "cache_stall_cycles_per_pair",
+    "make_opteron_hierarchy",
+]

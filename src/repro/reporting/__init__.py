@@ -1,0 +1,6 @@
+"""Terminal rendering helpers for the experiment harness."""
+
+from repro.reporting.ascii_plot import ascii_plot
+from repro.reporting.table import format_table
+
+__all__ = ["ascii_plot", "format_table"]

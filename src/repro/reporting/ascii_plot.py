@@ -1,0 +1,81 @@
+"""Minimal ASCII line plots so benchmark output can show figure shapes
+directly in the terminal (no plotting dependencies are installed)."""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 64,
+    height: int = 18,
+    logx: bool = False,
+    logy: bool = False,
+    title: str | None = None,
+) -> str:
+    """Plot named (x, y) series on one shared canvas.
+
+    Each series gets a marker from a fixed cycle; the legend maps them
+    back.  Log scales are applied before binning when requested.
+    """
+    if width < 8 or height < 4:
+        raise ValueError("canvas too small")
+    if not series or all(len(pts) == 0 for pts in series.values()):
+        return "(no data)"
+
+    def tx(x: float) -> float:
+        if logx:
+            if x <= 0:
+                raise ValueError("log x-axis requires positive x values")
+            return math.log10(x)
+        return x
+
+    def ty(y: float) -> float:
+        if logy:
+            if y <= 0:
+                raise ValueError("log y-axis requires positive y values")
+            return math.log10(y)
+        return y
+
+    points = [
+        (tx(x), ty(y))
+        for pts in series.values()
+        for x, y in pts
+    ]
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    xmin, xmax = min(xs), max(xs)
+    ymin, ymax = min(ys), max(ys)
+    xspan = (xmax - xmin) or 1.0
+    yspan = (ymax - ymin) or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for marker, (name, pts) in zip(_MARKERS, series.items()):
+        for x, y in pts:
+            col = int(round((tx(x) - xmin) / xspan * (width - 1)))
+            row = int(round((ty(y) - ymin) / yspan * (height - 1)))
+            canvas[height - 1 - row][col] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    top = f"{(10 ** ymax if logy else ymax):.3g}"
+    bottom = f"{(10 ** ymin if logy else ymin):.3g}"
+    lines.append(f"y max {top}")
+    for row in canvas:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    left = f"{(10 ** xmin if logx else xmin):.3g}"
+    right = f"{(10 ** xmax if logx else xmax):.3g}"
+    lines.append(f"x: {left} .. {right}   y min {bottom}")
+    legend = "   ".join(
+        f"{marker}={name}" for marker, name in zip(_MARKERS, series.keys())
+    )
+    lines.append(legend)
+    return "\n".join(lines)

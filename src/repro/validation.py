@@ -1,0 +1,138 @@
+"""Cross-device validation: one API for the reproduction's core guarantee.
+
+Every device model *computes* the MD run, so their trajectories must
+agree to their arithmetic precision while their simulated timings
+differ.  :func:`validate_devices` runs a workload across device models
+and checks:
+
+* trajectory agreement against the float64 reference (tolerances by
+  device precision),
+* total-energy conservation on every device,
+* step/record bookkeeping consistency,
+* breakdown components summing to the reported totals.
+
+Used by the integration tests and available to users who modify a
+device model and want a one-call certification.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.arch.device import Device, DeviceRunResult
+from repro.md.simulation import MDConfig, MDSimulation
+
+__all__ = ["DeviceValidation", "ValidationReport", "validate_devices"]
+
+#: Trajectory agreement tolerances per arithmetic precision (max |dx|
+#: against the float64 reference after a short run).
+_POSITION_TOLERANCE = {"float64": 1e-10, "float32": 1e-3}
+
+#: Relative total-energy drift allowed over the validation run.
+_ENERGY_DRIFT_TOLERANCE = 5e-3
+
+
+@dataclasses.dataclass(frozen=True)
+class DeviceValidation:
+    """Validation outcome for one device."""
+
+    device: str
+    precision: str
+    max_position_error: float
+    energy_drift: float
+    breakdown_consistent: bool
+    failures: tuple[str, ...]
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+
+@dataclasses.dataclass(frozen=True)
+class ValidationReport:
+    """Outcomes for a whole device roster."""
+
+    config: MDConfig
+    n_steps: int
+    devices: tuple[DeviceValidation, ...]
+
+    @property
+    def all_passed(self) -> bool:
+        return all(d.passed for d in self.devices)
+
+    def failures(self) -> list[str]:
+        return [
+            f"{d.device}: {failure}"
+            for d in self.devices
+            for failure in d.failures
+        ]
+
+
+def _energy_drift(result: DeviceRunResult) -> float:
+    energies = [r.total_energy for r in result.records]
+    reference = energies[0]
+    scale = abs(reference) if reference != 0.0 else 1.0
+    return max(abs(e - reference) for e in energies) / scale
+
+
+def validate_devices(
+    devices: list[Device],
+    config: MDConfig | None = None,
+    n_steps: int = 5,
+) -> ValidationReport:
+    """Run the roster and certify physics + bookkeeping on each device."""
+    if n_steps < 1:
+        raise ValueError("n_steps must be >= 1")
+    config = config or MDConfig(n_atoms=256)
+    reference = MDSimulation(dataclasses.replace(config, dtype="float64"))
+    reference.run(n_steps)
+    reference_positions = reference.state.positions
+
+    outcomes: list[DeviceValidation] = []
+    for device in devices:
+        result = device.run(config, n_steps)
+        failures: list[str] = []
+
+        max_err = float(
+            np.max(np.abs(result.final_positions - reference_positions))
+        )
+        tolerance = _POSITION_TOLERANCE.get(device.precision)
+        if tolerance is None:
+            failures.append(f"unknown precision {device.precision!r}")
+        elif max_err > tolerance:
+            failures.append(
+                f"trajectory diverged: max |dx| = {max_err:.3e} > {tolerance:.0e}"
+            )
+
+        drift = _energy_drift(result)
+        if drift > _ENERGY_DRIFT_TOLERANCE:
+            failures.append(f"energy drift {drift:.3e} exceeds tolerance")
+
+        if len(result.records) != n_steps + 1:
+            failures.append("record count does not match step count")
+
+        breakdown_total = sum(result.breakdown.values())
+        consistent = np.isclose(
+            breakdown_total, result.total_seconds, rtol=1e-9, atol=1e-15
+        )
+        if not consistent:
+            failures.append(
+                f"breakdown sums to {breakdown_total!r}, total is "
+                f"{result.total_seconds!r}"
+            )
+
+        outcomes.append(
+            DeviceValidation(
+                device=device.name,
+                precision=device.precision,
+                max_position_error=max_err,
+                energy_drift=drift,
+                breakdown_consistent=bool(consistent),
+                failures=tuple(failures),
+            )
+        )
+    return ValidationReport(
+        config=config, n_steps=n_steps, devices=tuple(outcomes)
+    )

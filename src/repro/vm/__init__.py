@@ -1,0 +1,33 @@
+"""The batched SIMD virtual machine: ISA, programs, scheduler, interpreter."""
+
+from repro.vm.builder import Asm
+from repro.vm.isa import EVEN, ODD, OPS, CostTable, OpCost, OpSpec
+from repro.vm.machine import Machine, MachineError
+from repro.vm.program import IfBlock, Instr, Loop, Program, Segment
+from repro.vm.schedule import (
+    CycleReport,
+    SegmentCycles,
+    estimate_cycles,
+    straightline_cycles,
+)
+
+__all__ = [
+    "Asm",
+    "CostTable",
+    "CycleReport",
+    "EVEN",
+    "IfBlock",
+    "Instr",
+    "Loop",
+    "Machine",
+    "MachineError",
+    "ODD",
+    "OPS",
+    "OpCost",
+    "OpSpec",
+    "Program",
+    "Segment",
+    "SegmentCycles",
+    "estimate_cycles",
+    "straightline_cycles",
+]

@@ -1,0 +1,187 @@
+"""A tiny assembler-style DSL for writing VM kernels.
+
+Device kernels (``repro.cell.kernels``, ``repro.gpu.kernels``) are long
+instruction lists; writing raw :class:`~repro.vm.program.Instr` tuples
+is noisy.  :class:`Asm` provides one method per opcode returning the
+node, plus helpers for loops and conditionals, so kernels read like
+annotated assembly listings::
+
+    a = Asm()
+    body = [
+        a.fs("d", "xi", "xj"),          # d = xi - xj
+        a.fm("d2", "d", "d"),
+        *a.hsum3("r2", "d2", tmp="t"),  # r2 = d2.x + d2.y + d2.z
+    ]
+"""
+
+from __future__ import annotations
+
+from repro.vm.program import IfBlock, Instr, Loop, Node
+
+__all__ = ["Asm"]
+
+
+class Asm:
+    """Instruction factory; every opcode is a method."""
+
+    # --- arithmetic ---
+    def fa(self, dest: str, a: str, b: str) -> Instr:
+        return Instr("fa", dest, (a, b))
+
+    def fs(self, dest: str, a: str, b: str) -> Instr:
+        return Instr("fs", dest, (a, b))
+
+    def fm(self, dest: str, a: str, b: str) -> Instr:
+        return Instr("fm", dest, (a, b))
+
+    def fma(self, dest: str, a: str, b: str, c: str) -> Instr:
+        return Instr("fma", dest, (a, b, c))
+
+    def fms(self, dest: str, a: str, b: str, c: str) -> Instr:
+        return Instr("fms", dest, (a, b, c))
+
+    def fnms(self, dest: str, a: str, b: str, c: str) -> Instr:
+        return Instr("fnms", dest, (a, b, c))
+
+    def fdiv(self, dest: str, a: str, b: str) -> Instr:
+        return Instr("fdiv", dest, (a, b))
+
+    def fsqrt(self, dest: str, a: str) -> Instr:
+        return Instr("fsqrt", dest, (a,))
+
+    def frest(self, dest: str, a: str) -> Instr:
+        return Instr("frest", dest, (a,))
+
+    def frsqest(self, dest: str, a: str) -> Instr:
+        return Instr("frsqest", dest, (a,))
+
+    def fi(self, dest: str, a: str, b: str) -> Instr:
+        return Instr("fi", dest, (a, b))
+
+    def fabs(self, dest: str, a: str) -> Instr:
+        return Instr("fabs", dest, (a,))
+
+    def fneg(self, dest: str, a: str) -> Instr:
+        return Instr("fneg", dest, (a,))
+
+    def fmin(self, dest: str, a: str, b: str) -> Instr:
+        return Instr("fmin", dest, (a, b))
+
+    def fmax(self, dest: str, a: str, b: str) -> Instr:
+        return Instr("fmax", dest, (a, b))
+
+    def fround(self, dest: str, a: str) -> Instr:
+        return Instr("fround", dest, (a,))
+
+    def cpsgn(self, dest: str, a: str, b: str) -> Instr:
+        return Instr("cpsgn", dest, (a, b))
+
+    # --- comparisons / select / logic ---
+    def fcgt(self, dest: str, a: str, b: str) -> Instr:
+        return Instr("fcgt", dest, (a, b))
+
+    def fclt(self, dest: str, a: str, b: str) -> Instr:
+        return Instr("fclt", dest, (a, b))
+
+    def fceq(self, dest: str, a: str, b: str) -> Instr:
+        return Instr("fceq", dest, (a, b))
+
+    def selb(self, dest: str, a: str, b: str, mask: str) -> Instr:
+        return Instr("selb", dest, (a, b, mask))
+
+    def and_(self, dest: str, a: str, b: str) -> Instr:
+        return Instr("and_", dest, (a, b))
+
+    def or_(self, dest: str, a: str, b: str) -> Instr:
+        return Instr("or_", dest, (a, b))
+
+    # --- data movement ---
+    def mov(self, dest: str, a: str) -> Instr:
+        return Instr("mov", dest, (a,))
+
+    def splat(self, dest: str, a: str, lane: int) -> Instr:
+        return Instr("splat", dest, (a,), imm=lane)
+
+    def shufb(self, dest: str, a: str, b: str, pattern: tuple[int, ...]) -> Instr:
+        return Instr("shufb", dest, (a, b), imm=pattern)
+
+    def rot(self, dest: str, a: str, lanes: int) -> Instr:
+        return Instr("rotqbyi", dest, (a,), imm=lanes)
+
+    def il(self, dest: str, template: str, value) -> Instr:
+        return Instr("il", dest, (template,), imm=value)
+
+    def ilv(self, dest: str, template: str, values) -> Instr:
+        return Instr("ilv", dest, (template,), imm=values)
+
+    def lqd(self, dest: str, a: str) -> Instr:
+        return Instr("lqd", dest, (a,))
+
+    def stqd(self, dest: str, a: str) -> Instr:
+        return Instr("stqd", dest, (a,))
+
+    def texfetch(self, dest: str, a: str) -> Instr:
+        return Instr("texfetch", dest, (a,))
+
+    def nop(self) -> Instr:
+        return Instr("nop", None, ())
+
+    # --- structure ---
+    def loop(self, count: int, body: list[Node], overhead: int = 2) -> Loop:
+        return Loop(count=count, body=tuple(body), overhead_instrs=overhead)
+
+    def if_(
+        self,
+        cond: str,
+        body: list[Node],
+        prob_key: str,
+        penalty: int = 18,
+        fetch_stall: int = 4,
+    ) -> IfBlock:
+        return IfBlock(
+            cond=cond,
+            body=tuple(body),
+            prob_key=prob_key,
+            penalty=penalty,
+            fetch_stall=fetch_stall,
+        )
+
+    # --- composite idioms ---
+    def hsum3(self, dest: str, src: str, tmp: str) -> list[Instr]:
+        """Horizontal sum of lanes 0..2 into all lanes of ``dest``.
+
+        The SPE has no horizontal add; real code rotates and adds.  Three
+        odd-pipe rotates/shuffles + two even-pipe adds, as on hardware.
+        """
+        return [
+            self.rot(tmp, src, 1),          # [y, z, w, x]
+            self.fa(dest, src, tmp),        # [x+y, ...]
+            self.rot(tmp, src, 2),          # [z, w, x, y]
+            self.fa(dest, dest, tmp),       # lane0 = x+y+z
+            self.splat(dest, dest, 0),
+        ]
+
+    def rsqrt_refined(self, dest: str, src: str, tmp: str, half: str, three: str) -> list[Instr]:
+        """Full-precision 1/sqrt via estimate + one Newton-Raphson step.
+
+        ``half`` and ``three`` must already hold 0.5 and 3.0.
+        y1 = y0 * 0.5 * (3 - x * y0^2)
+        """
+        return [
+            self.frsqest(dest, src),
+            self.fm(tmp, dest, dest),        # y0^2
+            self.fnms(tmp, src, tmp, three),  # 3 - x*y0^2
+            self.fm(tmp, tmp, half),          # 0.5*(3 - x*y0^2)
+            self.fm(dest, dest, tmp),         # y0 * ...
+        ]
+
+    def recip_refined(self, dest: str, src: str, tmp: str, two: str) -> list[Instr]:
+        """Full-precision reciprocal via estimate + one Newton step.
+
+        ``two`` must already hold 2.0.  y1 = y0 * (2 - x * y0)
+        """
+        return [
+            self.frest(dest, src),
+            self.fnms(tmp, src, dest, two),  # 2 - x*y0
+            self.fm(dest, dest, tmp),
+        ]

@@ -1,0 +1,178 @@
+"""Instruction set of the batched SIMD virtual machine.
+
+The VM models a 128-bit (4-lane) SIMD register file like the Cell SPE's
+(the GPU's 4-component pipelines and the scalar Opteron/MTA pipelines
+reuse the same opcodes with their own cost tables and widths).  Each
+*architectural* instruction executes elementwise over a **batch** of
+loop iterations — the SPMD trick that lets a Python interpreter produce
+exact per-iteration instruction streams at NumPy speed.
+
+Functional semantics live here; *costs* (latency, issue pipe) live in
+per-device :class:`CostTable` instances because the same opcode costs
+different amounts on different machines.
+
+Simplification, documented: the reciprocal/rsqrt *estimate* opcodes
+(``frest``, ``frsqest``) compute the exact value rather than a 12-bit
+estimate.  The kernels still carry their Newton-refinement instruction
+sequences (that is what costs cycles); the functional result is simply
+already converged.  This keeps VM outputs bit-comparable with the NumPy
+reference kernels.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["OpSpec", "CostTable", "OpCost", "OPS", "EVEN", "ODD"]
+
+#: Issue-pipe tags, named after the SPE's dual pipes: EVEN carries
+#: arithmetic, ODD carries loads/stores/shuffles/branches.
+EVEN = "even"
+ODD = "odd"
+
+
+@dataclasses.dataclass(frozen=True)
+class OpSpec:
+    """Functional definition of one opcode."""
+
+    name: str
+    arity: int
+    func: Callable[..., np.ndarray]
+    uses_imm: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class OpCost:
+    """Cost of one opcode on one machine: result latency and issue pipe."""
+
+    latency: int
+    pipe: str = EVEN
+
+    def __post_init__(self) -> None:
+        if self.latency < 1:
+            raise ValueError(f"latency must be >= 1, got {self.latency}")
+        if self.pipe not in (EVEN, ODD):
+            raise ValueError(f"pipe must be 'even' or 'odd', got {self.pipe}")
+
+
+@dataclasses.dataclass(frozen=True)
+class CostTable:
+    """Per-machine opcode cost table.
+
+    ``issue_width`` is the number of instructions issued per cycle when
+    pipes allow (2 for the SPE's dual-issue, 1 for single-issue cores).
+    Unknown opcodes fall back to ``default`` so device tables only list
+    what they care about.
+    """
+
+    name: str
+    costs: dict[str, OpCost]
+    issue_width: int = 1
+    default: OpCost = OpCost(latency=1, pipe=EVEN)
+
+    def cost(self, op: str) -> OpCost:
+        return self.costs.get(op, self.default)
+
+
+def _splat(src: np.ndarray, imm: int) -> np.ndarray:
+    """Broadcast lane ``imm`` across all lanes."""
+    return np.repeat(src[..., imm : imm + 1], src.shape[-1], axis=-1)
+
+
+def _shuf(a: np.ndarray, b: np.ndarray, imm: tuple[int, ...]) -> np.ndarray:
+    """General two-source lane permute; indices >= width select from b."""
+    width = a.shape[-1]
+    lanes = []
+    for index in imm:
+        if index < width:
+            lanes.append(a[..., index])
+        else:
+            lanes.append(b[..., index - width])
+    return np.stack(lanes, axis=-1)
+
+
+def _rot_lanes(src: np.ndarray, imm: int) -> np.ndarray:
+    """Rotate lanes left by ``imm`` (SPE rotqbyi analogue)."""
+    return np.roll(src, -imm, axis=-1)
+
+
+def _selb(a: np.ndarray, b: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Bitwise select: lane takes b where mask is 'true' (nonzero), else a."""
+    return np.where(mask != 0, b, a)
+
+
+def _il(template: np.ndarray, imm: float) -> np.ndarray:
+    """Load immediate into every lane; template fixes shape/dtype."""
+    return np.full_like(template, imm)
+
+
+def _ilv(template: np.ndarray, imm: tuple[float, ...]) -> np.ndarray:
+    """Load a per-lane immediate vector (e.g. an image-offset constant)."""
+    out = np.empty_like(template)
+    for lane, value in enumerate(imm):
+        out[..., lane] = value
+    if len(imm) < out.shape[-1]:
+        out[..., len(imm) :] = 0.0
+    return out
+
+
+def _true_mask(cond: np.ndarray) -> np.ndarray:
+    """Comparison results: 1.0 where true, 0.0 where false (all-lanes)."""
+    return cond.astype(cond.dtype) if cond.dtype.kind == "f" else cond
+
+
+def _cmp(func: Callable[[np.ndarray, np.ndarray], np.ndarray]):
+    def wrapped(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return func(a, b).astype(a.dtype)
+
+    return wrapped
+
+
+#: The full opcode dictionary.  Arithmetic ops are elementwise over
+#: (batch, width); data-movement ops manipulate lanes.
+OPS: dict[str, OpSpec] = {
+    spec.name: spec
+    for spec in [
+        # --- floating-point arithmetic (even pipe on SPE) ---
+        OpSpec("fa", 2, lambda a, b: a + b),
+        OpSpec("fs", 2, lambda a, b: a - b),
+        OpSpec("fm", 2, lambda a, b: a * b),
+        OpSpec("fma", 3, lambda a, b, c: a * b + c),
+        OpSpec("fms", 3, lambda a, b, c: a * b - c),
+        OpSpec("fnms", 3, lambda a, b, c: c - a * b),
+        OpSpec("fdiv", 2, lambda a, b: a / b),  # real divide (Opteron/MTA)
+        OpSpec("fsqrt", 1, lambda a: np.sqrt(a)),  # real sqrt (Opteron/MTA)
+        OpSpec("frest", 1, lambda a: 1.0 / a),  # reciprocal estimate
+        OpSpec("frsqest", 1, lambda a: 1.0 / np.sqrt(a)),  # rsqrt estimate
+        OpSpec("fi", 2, lambda a, b: b),  # interpolate step of est. refinement
+        OpSpec("fabs", 1, lambda a: np.abs(a)),
+        OpSpec("fneg", 1, lambda a: -a),
+        OpSpec("fmin", 2, lambda a, b: np.minimum(a, b)),
+        OpSpec("fmax", 2, lambda a, b: np.maximum(a, b)),
+        OpSpec("fround", 1, lambda a: np.round(a)),
+        OpSpec("cpsgn", 2, lambda a, b: np.copysign(a, b)),
+        # --- comparisons: produce 1.0/0.0 masks ---
+        OpSpec("fcgt", 2, _cmp(lambda a, b: a > b)),
+        OpSpec("fclt", 2, _cmp(lambda a, b: a < b)),
+        OpSpec("fceq", 2, _cmp(lambda a, b: a == b)),
+        # --- logical / select (odd pipe on SPE) ---
+        OpSpec("selb", 3, _selb),
+        OpSpec("and_", 2, lambda a, b: a * b),  # mask conjunction
+        OpSpec("or_", 2, lambda a, b: np.maximum(a, b)),  # mask disjunction
+        # --- data movement (odd pipe on SPE) ---
+        OpSpec("mov", 1, lambda a: a.copy()),
+        OpSpec("splat", 1, _splat, uses_imm=True),
+        OpSpec("shufb", 2, _shuf, uses_imm=True),
+        OpSpec("rotqbyi", 1, _rot_lanes, uses_imm=True),
+        # --- immediates / loads / stores ---
+        OpSpec("il", 1, _il, uses_imm=True),  # src fixes shape/dtype
+        OpSpec("ilv", 1, _ilv, uses_imm=True),
+        OpSpec("lqd", 1, lambda a: a.copy()),  # local-store load (costed)
+        OpSpec("stqd", 1, lambda a: a.copy()),  # local-store store (costed)
+        OpSpec("texfetch", 1, lambda a: a.copy()),  # GPU texture fetch
+        OpSpec("nop", 0, None),
+    ]
+}

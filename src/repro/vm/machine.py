@@ -1,0 +1,203 @@
+"""Functional interpreter of the batched SIMD VM.
+
+:class:`Machine` executes a program's segment bodies over a *batch*:
+every register is an ``(batch, width)`` array and each instruction is
+applied elementwise, so one interpreted instruction performs the work of
+``batch`` architectural iterations.  This gives real numerics (the
+device tests compare VM force output against the NumPy reference
+kernels) while the instruction stream stays exact for the cycle model.
+
+Predication: an :class:`IfBlock` executes its body unconditionally,
+then lane-wise selects the new values where the condition register is
+nonzero and restores the old values elsewhere — the standard SPMD
+treatment of divergent branches.  While doing so the machine *measures*
+P(taken) into :attr:`Machine.branch_stats`, which is where the cost
+model's branch probabilities come from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.vm.isa import OPS
+from repro.vm.program import IfBlock, Instr, Loop, Node, Program, Segment
+
+__all__ = ["Machine", "MachineError"]
+
+
+class MachineError(RuntimeError):
+    """Raised for malformed programs or register-file misuse."""
+
+
+class Machine:
+    """A batched SPMD interpreter with a ``(batch, width)`` register file."""
+
+    def __init__(self, width: int = 4, dtype: np.dtype | type = np.float32) -> None:
+        if width < 1:
+            raise ValueError(f"width must be >= 1, got {width}")
+        self.width = width
+        self.dtype = np.dtype(dtype)
+        #: measured P(taken) per IfBlock prob_key, accumulated over runs
+        self.branch_stats: dict[str, list[float]] = {}
+
+    # -- register helpers ------------------------------------------------
+
+    def make_register(self, batch: int, fill: float = 0.0) -> np.ndarray:
+        """A fresh (batch, width) register filled with ``fill``."""
+        return np.full((batch, self.width), fill, dtype=self.dtype)
+
+    def load_vec3(self, values: np.ndarray, batch_pad: float = 0.0) -> np.ndarray:
+        """Pack (batch, 3) vectors into registers, 4th lane = ``batch_pad``.
+
+        This mirrors the paper's layout choice: "use the first three
+        components of the inherent SIMD data types for the x, y, and z
+        components" (section 5.1).
+        """
+        values = np.asarray(values, dtype=self.dtype)
+        if values.ndim != 2 or values.shape[1] > self.width:
+            raise MachineError(
+                f"expected (batch, <= {self.width}) array, got {values.shape}"
+            )
+        reg = self.make_register(values.shape[0], batch_pad)
+        reg[:, : values.shape[1]] = values
+        return reg
+
+    # -- execution -------------------------------------------------------
+
+    def run_segment(
+        self,
+        program: Program,
+        segment_name: str,
+        env: dict[str, np.ndarray],
+    ) -> dict[str, np.ndarray]:
+        """Execute one segment body over the batch described by ``env``.
+
+        ``env`` maps register names to (batch, width) arrays; it is
+        mutated in place and also returned.  Registers referenced before
+        definition raise :class:`MachineError`.
+        """
+        segment = program.segment(segment_name)
+        self._check_env(env)
+        self._exec_nodes(segment.body, env, loop_indices=[])
+        return env
+
+    def measured_probability(self, prob_key: str) -> float:
+        """Mean measured P(taken) for a branch key across all runs so far."""
+        samples = self.branch_stats.get(prob_key)
+        if not samples:
+            raise KeyError(f"no measurements recorded for branch {prob_key!r}")
+        return float(np.mean(samples))
+
+    # -- internals -------------------------------------------------------
+
+    def _check_env(self, env: dict[str, np.ndarray]) -> None:
+        batches = set()
+        for name, reg in env.items():
+            if reg.ndim != 2 or reg.shape[1] != self.width:
+                raise MachineError(
+                    f"register {name!r} has shape {reg.shape}, expected "
+                    f"(batch, {self.width})"
+                )
+            batches.add(reg.shape[0])
+        if len(batches) > 1:
+            raise MachineError(f"inconsistent batch sizes in env: {batches}")
+
+    def _exec_nodes(
+        self,
+        nodes: tuple[Node, ...],
+        env: dict[str, np.ndarray],
+        loop_indices: list[int],
+    ) -> None:
+        for node in nodes:
+            if isinstance(node, Instr):
+                self._exec_instr(node, env, loop_indices)
+            elif isinstance(node, Loop):
+                for index in range(node.count):
+                    self._exec_nodes(node.body, env, loop_indices + [index])
+            elif isinstance(node, IfBlock):
+                self._exec_if(node, env, loop_indices)
+            else:  # pragma: no cover - defensive
+                raise MachineError(f"unknown node type {type(node)!r}")
+
+    def _exec_instr(
+        self,
+        instr: Instr,
+        env: dict[str, np.ndarray],
+        loop_indices: list[int],
+    ) -> None:
+        spec = OPS[instr.op]
+        if spec.func is None:  # nop
+            return
+        try:
+            srcs = [env[name] for name in instr.srcs]
+        except KeyError as exc:
+            raise MachineError(
+                f"instruction {instr.op} reads undefined register {exc}"
+            ) from exc
+        imm = self._resolve_imm(instr, loop_indices)
+        # Garbage lanes (padding, excluded self-pairs) legitimately hit
+        # inf/nan in estimate ops, exactly as idle SIMD lanes do on
+        # hardware; they are masked out downstream, so keep NumPy quiet.
+        with np.errstate(all="ignore"):
+            if spec.uses_imm:
+                result = spec.func(*srcs, imm)
+            else:
+                result = spec.func(*srcs)
+        if instr.dest is not None:
+            env[instr.dest] = np.asarray(result, dtype=self.dtype)
+
+    @staticmethod
+    def _resolve_imm(instr: Instr, loop_indices: list[int]) -> object | None:
+        """Resolve per-loop-iteration immediates.
+
+        Convention: for ``il`` a tuple immediate holds one scalar per
+        iteration of the innermost enclosing loop; for ``ilv`` a tuple of
+        tuples holds one lane vector per iteration.  Anything else is
+        passed through unchanged.
+        """
+        imm = instr.imm
+        if not loop_indices or not isinstance(imm, tuple) or not imm:
+            return imm
+        index = loop_indices[-1] % len(imm)
+        if instr.op == "il" and isinstance(imm[0], (float, int)):
+            return imm[index]
+        if instr.op == "ilv" and isinstance(imm[0], tuple):
+            return imm[index]
+        return imm
+
+    def _exec_if(
+        self,
+        node: IfBlock,
+        env: dict[str, np.ndarray],
+        loop_indices: list[int],
+    ) -> None:
+        if node.cond not in env:
+            raise MachineError(f"IfBlock condition {node.cond!r} undefined")
+        mask = env[node.cond] != 0
+        taken_rows = mask.any(axis=-1)
+        self.branch_stats.setdefault(node.prob_key, []).append(
+            float(taken_rows.mean()) if taken_rows.size else 0.0
+        )
+        written = self._written_registers(node.body)
+        saved = {name: env[name].copy() for name in written if name in env}
+        self._exec_nodes(node.body, env, loop_indices)
+        for name in written:
+            if name in saved:
+                env[name] = np.where(mask, env[name], saved[name])
+            elif name in env:
+                # First defined inside the If: zero out untaken lanes so
+                # untaken iterations contribute the additive identity.
+                env[name] = np.where(mask, env[name], self.dtype.type(0.0))
+
+    @staticmethod
+    def _written_registers(nodes: tuple[Node, ...]) -> list[str]:
+        written: list[str] = []
+        stack: list[Node] = list(nodes)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Instr):
+                if node.dest is not None and node.dest not in written:
+                    written.append(node.dest)
+            elif isinstance(node, (Loop, IfBlock)):
+                stack.extend(node.body)
+        return written

@@ -1,0 +1,195 @@
+"""Program representation for the batched SIMD VM.
+
+A :class:`Program` is a sequence of :class:`Segment` s.  Each segment's
+body executes once per unit of its *trip key* — a named quantity
+("pairs", "atoms", …) resolved against a :class:`Metrics` mapping at
+cost-estimation time.  Inside a body three node kinds may appear:
+
+* :class:`Instr` — one architectural instruction;
+* :class:`Loop` — a fixed-trip inner loop (the 3- or 9-iteration image
+  searches); functional execution really iterates, cost = trips x body;
+* :class:`IfBlock` — a data-dependent branch.  Functional execution is
+  predicated (lanes where the condition is false keep their old values);
+  the cost model charges the body weighted by the branch probability
+  plus a taken-branch penalty on machines without branch prediction.
+  Branch probabilities are *measured* — either during functional
+  execution or from the NumPy kernel's pair statistics — never guessed.
+
+The same program therefore yields (a) real numerics and (b) an exact
+instruction-issue stream for the cycle model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, Mapping, Union
+
+__all__ = ["Instr", "Loop", "IfBlock", "Segment", "Program", "Metrics", "Node"]
+
+Metrics = Mapping[str, float]
+
+
+@dataclasses.dataclass(frozen=True)
+class Instr:
+    """One architectural instruction: ``dest = op(*srcs, imm)``."""
+
+    op: str
+    dest: str | None
+    srcs: tuple[str, ...] = ()
+    imm: object | None = None
+
+    def __post_init__(self) -> None:
+        from repro.vm.isa import OPS
+
+        if self.op not in OPS:
+            raise ValueError(f"unknown opcode {self.op!r}")
+        spec = OPS[self.op]
+        if len(self.srcs) != spec.arity:
+            raise ValueError(
+                f"{self.op} expects {spec.arity} sources, got {len(self.srcs)}"
+            )
+        if spec.uses_imm and self.imm is None:
+            raise ValueError(f"{self.op} requires an immediate")
+
+
+@dataclasses.dataclass(frozen=True)
+class Loop:
+    """A fixed-trip-count inner loop with per-iteration overhead.
+
+    ``overhead_instrs`` models the scalar loop bookkeeping (counter
+    update + compare + branch) that the SIMDized kernels eliminate; it
+    is charged per iteration on the odd (branch) pipe.
+    """
+
+    count: int
+    body: tuple["Node", ...]
+    overhead_instrs: int = 2
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"loop count must be >= 1, got {self.count}")
+        if self.overhead_instrs < 0:
+            raise ValueError("overhead_instrs must be >= 0")
+
+
+@dataclasses.dataclass(frozen=True)
+class IfBlock:
+    """A data-dependent conditional region guarded by mask register ``cond``.
+
+    ``prob_key`` names the metric holding P(taken).  ``penalty`` is the
+    extra cycles charged per taken branch on machines with no branch
+    prediction (SPE) or per mispredict on predicting machines.
+    ``fetch_stall`` is charged on *every* evaluation: an unhinted
+    conditional branch interrupts the SPU's sequential fetch for a few
+    cycles even when it falls through — this is exactly the cost the
+    paper's "replace an if test with copysign" optimization removes.
+    """
+
+    cond: str
+    body: tuple["Node", ...]
+    prob_key: str
+    penalty: int = 18
+    fetch_stall: int = 4
+
+    def __post_init__(self) -> None:
+        if self.penalty < 0:
+            raise ValueError("penalty must be >= 0")
+        if self.fetch_stall < 0:
+            raise ValueError("fetch_stall must be >= 0")
+
+
+Node = Union[Instr, Loop, IfBlock]
+
+
+@dataclasses.dataclass(frozen=True)
+class Segment:
+    """A region executed ``metrics[trips_key]`` times."""
+
+    name: str
+    trips_key: str
+    body: tuple[Node, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class Program:
+    """A named kernel: ordered segments plus declared I/O registers."""
+
+    name: str
+    segments: tuple[Segment, ...]
+    inputs: tuple[str, ...] = ()
+    outputs: tuple[str, ...] = ()
+
+    def segment(self, name: str) -> Segment:
+        for seg in self.segments:
+            if seg.name == name:
+                return seg
+        raise KeyError(f"program {self.name!r} has no segment {name!r}")
+
+    def instruction_count(self) -> int:
+        """Static instruction count (loop bodies counted once)."""
+        return sum(_count_nodes(seg.body) for seg in self.segments)
+
+    def registers(self) -> set[str]:
+        """Every register name the program reads or writes."""
+        regs: set[str] = set(self.inputs) | set(self.outputs)
+        for seg in self.segments:
+            for node in _walk(seg.body):
+                if isinstance(node, Instr):
+                    regs.update(node.srcs)
+                    if node.dest is not None:
+                        regs.add(node.dest)
+                elif isinstance(node, IfBlock):
+                    regs.add(node.cond)
+        return regs
+
+    def validate(self) -> None:
+        """Check def-before-use treating ``inputs`` as pre-defined.
+
+        Registers first defined inside a Loop or IfBlock are accepted as
+        loop-carried only if also written before the region; a plain
+        first-use-inside-If of an undefined register is an error.
+        """
+        defined = set(self.inputs)
+        _check_defs(
+            tuple(node for seg in self.segments for node in seg.body), defined
+        )
+        missing = set(self.outputs) - defined
+        if missing:
+            raise ValueError(
+                f"program {self.name!r} never defines outputs {sorted(missing)}"
+            )
+
+
+def _check_defs(nodes: tuple[Node, ...], defined: set[str]) -> None:
+    for node in nodes:
+        if isinstance(node, Instr):
+            unknown = [s for s in node.srcs if s not in defined]
+            if unknown:
+                raise ValueError(
+                    f"instruction {node.op} reads undefined registers {unknown}"
+                )
+            if node.dest is not None:
+                defined.add(node.dest)
+        elif isinstance(node, Loop):
+            _check_defs(node.body, defined)
+        elif isinstance(node, IfBlock):
+            if node.cond not in defined:
+                raise ValueError(f"IfBlock condition {node.cond!r} undefined")
+            _check_defs(node.body, defined)
+
+
+def _walk(nodes: tuple[Node, ...]) -> Iterator[Node]:
+    for node in nodes:
+        yield node
+        if isinstance(node, Loop):
+            yield from _walk(node.body)
+        elif isinstance(node, IfBlock):
+            yield from _walk(node.body)
+
+
+def _count_nodes(nodes: tuple[Node, ...]) -> int:
+    total = 0
+    for node in _walk(nodes):
+        if isinstance(node, Instr):
+            total += 1
+    return total

@@ -1,0 +1,234 @@
+"""Cycle estimation: an in-order, dual-issue pipeline model.
+
+Given a :class:`~repro.vm.program.Program`, a per-machine
+:class:`~repro.vm.isa.CostTable` and a metrics mapping (trip counts and
+branch probabilities), this module produces a :class:`CycleReport` with
+per-segment cycle totals.
+
+The model is the classic in-order issue model:
+
+* instructions issue in program order, at most ``issue_width`` per
+  cycle and at most one per pipe per cycle;
+* an instruction issues no earlier than the ready time of its operands
+  (issue time + latency of the producer);
+* loop iterations do not overlap (no software pipelining / no modulo
+  scheduling) — deliberately conservative, matching the paper's note
+  that the 2006 GNU toolchain was "unable to perform significant code
+  optimization" for the SPEs;
+* an :class:`IfBlock` charges its compare-and-branch always, its body
+  and a taken-branch penalty weighted by the measured probability.
+
+Because programs are data-independent apart from branch probabilities,
+one scheduling pass per program gives exact per-trip cycle counts; the
+device models then scale by trip counts that the functional MD run
+measures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping
+
+from repro.vm.isa import CostTable
+from repro.vm.program import IfBlock, Instr, Loop, Metrics, Node, Program
+
+__all__ = [
+    "SegmentCycles",
+    "CycleReport",
+    "estimate_cycles",
+    "straightline_cycles",
+    "count_issues",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class SegmentCycles:
+    """Cycle accounting for one program segment."""
+
+    name: str
+    trips: float
+    cycles_per_trip: float
+    total: float
+
+
+@dataclasses.dataclass(frozen=True)
+class CycleReport:
+    """Cycle accounting for a whole program on one machine."""
+
+    program: str
+    machine: str
+    segments: tuple[SegmentCycles, ...]
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(seg.total for seg in self.segments)
+
+    def segment(self, name: str) -> SegmentCycles:
+        for seg in self.segments:
+            if seg.name == name:
+                return seg
+        raise KeyError(f"no segment {name!r} in report for {self.program!r}")
+
+
+class _PipelineState:
+    """In-order issue bookkeeping for one straight-line run."""
+
+    def __init__(self, table: CostTable) -> None:
+        self.table = table
+        self.ready: dict[str, int] = {}
+        self.last_issue_cycle = -1
+        self.pipes_at_last: set[str] = set()
+        self.completion = 0
+
+    def issue(self, instr: Instr) -> None:
+        cost = self.table.cost(instr.op)
+        operands_ready = max(
+            (self.ready.get(src, 0) for src in instr.srcs), default=0
+        )
+        t = max(operands_ready, self.last_issue_cycle)
+        # In-order multi-issue: share a cycle with the previous
+        # instruction only if width allows and the pipe is free.
+        if t == self.last_issue_cycle and (
+            len(self.pipes_at_last) >= self.table.issue_width
+            or cost.pipe in self.pipes_at_last
+        ):
+            t += 1
+        if t > self.last_issue_cycle:
+            self.pipes_at_last = set()
+        self.last_issue_cycle = t
+        self.pipes_at_last.add(cost.pipe)
+        finish = t + cost.latency
+        if instr.dest is not None:
+            self.ready[instr.dest] = finish
+        self.completion = max(self.completion, finish)
+
+
+def straightline_cycles(instrs: list[Instr], table: CostTable) -> float:
+    """Cycles to fully execute a straight-line instruction run."""
+    if not instrs:
+        return 0.0
+    state = _PipelineState(table)
+    for instr in instrs:
+        state.issue(instr)
+    return float(state.completion)
+
+
+def _nodes_cycles(nodes: tuple[Node, ...], table: CostTable, metrics: Metrics) -> float:
+    """Cycles for a node sequence: schedule maximal straight-line runs,
+    compose loops and conditionals additively (pipeline flushed at
+    region boundaries — the conservative in-order assumption)."""
+    total = 0.0
+    run: list[Instr] = []
+
+    def flush() -> None:
+        nonlocal total
+        if run:
+            total += straightline_cycles(run, table)
+            run.clear()
+
+    for node in nodes:
+        if isinstance(node, Instr):
+            run.append(node)
+        elif isinstance(node, Loop):
+            flush()
+            body = _nodes_cycles(node.body, table, metrics)
+            total += node.count * (body + float(node.overhead_instrs))
+        elif isinstance(node, IfBlock):
+            flush()
+            prob = float(metrics.get(node.prob_key, 0.0))
+            if not 0.0 <= prob <= 1.0:
+                raise ValueError(
+                    f"branch probability {node.prob_key}={prob} outside [0, 1]"
+                )
+            body = _nodes_cycles(node.body, table, metrics)
+            # one cycle for the branch, a fetch stall on every evaluation,
+            # and body + flush penalty when taken
+            total += (
+                1.0
+                + float(node.fetch_stall)
+                + prob * (body + float(node.penalty))
+            )
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown node type {type(node)!r}")
+    flush()
+    return total
+
+
+def _nodes_issues(
+    nodes: tuple[Node, ...],
+    metrics: Metrics,
+    issue_slots: Mapping[str, float],
+) -> float:
+    total = 0.0
+    for node in nodes:
+        if isinstance(node, Instr):
+            total += float(issue_slots.get(node.op, 1.0))
+        elif isinstance(node, Loop):
+            body = _nodes_issues(node.body, metrics, issue_slots)
+            total += node.count * (body + float(node.overhead_instrs))
+        elif isinstance(node, IfBlock):
+            prob = float(metrics.get(node.prob_key, 0.0))
+            body = _nodes_issues(node.body, metrics, issue_slots)
+            total += 1.0 + prob * body
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown node type {type(node)!r}")
+    return total
+
+
+def count_issues(
+    program: Program,
+    metrics: Metrics,
+    issue_slots: Mapping[str, float] | None = None,
+) -> float:
+    """Total instruction-issue slots a program consumes.
+
+    This is the cost measure for latency-tolerant machines (the MTA-2):
+    with enough concurrent streams, per-instruction latency is hidden
+    and throughput is one issue per cycle, so time = issues / rate.
+    ``issue_slots`` maps opcodes that decompose into multi-instruction
+    sequences (software divide/sqrt) to their slot counts; unlisted
+    opcodes cost one slot.
+    """
+    issue_slots = issue_slots or {}
+    total = 0.0
+    for seg in program.segments:
+        if seg.trips_key not in metrics:
+            raise KeyError(
+                f"metrics missing trip key {seg.trips_key!r} for segment "
+                f"{seg.name!r} of program {program.name!r}"
+            )
+        trips = float(metrics[seg.trips_key])
+        total += trips * _nodes_issues(seg.body, metrics, issue_slots)
+    return total
+
+
+def estimate_cycles(
+    program: Program, table: CostTable, metrics: Metrics
+) -> CycleReport:
+    """Cycle report for ``program`` on the machine described by ``table``.
+
+    ``metrics`` must contain every segment trip key and every IfBlock
+    probability key the program references.
+    """
+    segments = []
+    for seg in program.segments:
+        if seg.trips_key not in metrics:
+            raise KeyError(
+                f"metrics missing trip key {seg.trips_key!r} for segment "
+                f"{seg.name!r} of program {program.name!r}"
+            )
+        trips = float(metrics[seg.trips_key])
+        if trips < 0:
+            raise ValueError(f"trip count {seg.trips_key}={trips} negative")
+        per_trip = _nodes_cycles(seg.body, table, metrics)
+        segments.append(
+            SegmentCycles(
+                name=seg.name,
+                trips=trips,
+                cycles_per_trip=per_trip,
+                total=trips * per_trip,
+            )
+        )
+    return CycleReport(
+        program=program.name, machine=table.name, segments=tuple(segments)
+    )

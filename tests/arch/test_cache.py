@@ -1,0 +1,167 @@
+"""Tests for the set-associative LRU cache simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.cache import Cache, CacheHierarchy, CacheStats
+
+
+def _cache(size=1024, line=64, ways=2):
+    return Cache(size_bytes=size, line_bytes=line, ways=ways)
+
+
+class TestGeometry:
+    def test_rejects_nonpositive_sizes(self):
+        with pytest.raises(ValueError):
+            Cache(0, 64, 2)
+        with pytest.raises(ValueError):
+            Cache(1024, 0, 2)
+        with pytest.raises(ValueError):
+            Cache(1024, 64, 0)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            Cache(3 * 64 * 2, 64, 2)  # 3 sets
+
+    def test_set_count(self):
+        assert _cache().n_sets == 1024 // (64 * 2)
+
+
+class TestLRUBehavior:
+    def test_cold_miss_then_hit(self):
+        c = _cache()
+        assert c.access_line(5) is False
+        assert c.access_line(5) is True
+
+    def test_lru_eviction_order(self):
+        c = Cache(size_bytes=2 * 64, line_bytes=64, ways=2)  # 1 set, 2 ways
+        c.access_line(0)
+        c.access_line(1)
+        c.access_line(0)  # 0 is now MRU
+        c.access_line(2)  # evicts 1 (LRU)
+        assert c.access_line(0) is True
+        assert c.access_line(1) is False
+
+    def test_cyclic_scan_beyond_capacity_always_misses(self):
+        """The classic LRU pathology driving Figure 9: a repeated
+        sequential scan of an array one line larger than the cache hits
+        nothing."""
+        c = Cache(size_bytes=4 * 64, line_bytes=64, ways=4)  # 4 lines
+        lines = [0, 1, 2, 3, 4]
+        for _ in range(3):
+            for line in lines:
+                c.access_line(line)
+        c.reset_stats()
+        for line in lines:
+            c.access_line(line)
+        assert c.stats.hits == 0
+
+    def test_scan_within_capacity_all_hits_after_warmup(self):
+        c = Cache(size_bytes=8 * 64, line_bytes=64, ways=8)
+        lines = list(range(6))
+        for line in lines:
+            c.access_line(line)
+        c.reset_stats()
+        for line in lines:
+            c.access_line(line)
+        assert c.stats.miss_rate == 0.0
+
+    def test_flush_invalidates(self):
+        c = _cache()
+        c.access_line(1)
+        c.flush()
+        assert c.access_line(1) is False
+
+    def test_access_array_api(self):
+        c = _cache()
+        hits = c.access(np.array([0, 64, 0, 64]))
+        np.testing.assert_array_equal(hits, [False, False, True, True])
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=300)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_matches_naive_lru_model(self, trace):
+        """The simulator must agree with an obviously-correct reference."""
+        ways, n_sets = 2, 4
+        c = Cache(size_bytes=ways * n_sets * 64, line_bytes=64, ways=ways)
+        reference: dict[int, list[int]] = {s: [] for s in range(n_sets)}
+        for line in trace:
+            set_index = line % n_sets
+            lru = reference[set_index]
+            expected_hit = line in lru
+            if expected_hit:
+                lru.remove(line)
+            elif len(lru) >= ways:
+                lru.pop(0)
+            lru.append(line)
+            assert c.access_line(line) == expected_hit
+
+    @given(st.lists(st.integers(min_value=0, max_value=200), min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_property_bigger_cache_never_fewer_hits_fully_assoc(self, trace):
+        """LRU inclusion property: for fully-associative LRU caches a
+        larger capacity never hits less on the same trace."""
+        small = Cache(size_bytes=4 * 64, line_bytes=64, ways=4)
+        large = Cache(size_bytes=16 * 64, line_bytes=64, ways=16)
+        for line in trace:
+            small.access_line(line)
+            large.access_line(line)
+        assert large.stats.hits >= small.stats.hits
+
+
+class TestStats:
+    def test_counters(self):
+        c = _cache()
+        c.access(np.array([0, 0, 64]))
+        assert c.stats.accesses == 3
+        assert c.stats.hits == 1
+        assert c.stats.misses == 2
+        assert c.stats.miss_rate == pytest.approx(2 / 3)
+
+    def test_empty_miss_rate(self):
+        assert CacheStats().miss_rate == 0.0
+
+    def test_merge(self):
+        merged = CacheStats(10, 4).merge(CacheStats(5, 1))
+        assert merged.accesses == 15
+        assert merged.hits == 5
+
+
+class TestHierarchy:
+    def _hierarchy(self):
+        l1 = Cache(size_bytes=2 * 64, line_bytes=64, ways=2, name="L1")
+        l2 = Cache(size_bytes=8 * 64, line_bytes=64, ways=8, name="L2")
+        return CacheHierarchy([(l1, 10.0), (l2, 100.0)], memory_penalty_cycles=0.0)
+
+    def test_requires_levels(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy([], memory_penalty_cycles=0.0)
+
+    def test_l1_hit_costs_nothing(self):
+        h = self._hierarchy()
+        h.access(np.array([0]))
+        assert h.access(np.array([0])) == 0.0
+
+    def test_miss_cascade_charges_both_levels(self):
+        h = self._hierarchy()
+        # cold: miss L1 (10) and miss L2 (100)
+        assert h.access(np.array([0])) == 110.0
+
+    def test_l2_hit_after_l1_eviction(self):
+        h = self._hierarchy()
+        h.access(np.array([0, 64, 128]))  # 0 evicted from 1-set... depends
+        # touch something resident in L2 but maybe not L1: cost is 0 or 10
+        stall = h.access(np.array([0]))
+        assert stall in (0.0, 10.0)
+
+    def test_stats_exposed_per_level(self):
+        h = self._hierarchy()
+        h.access(np.array([0, 0]))
+        stats = h.stats()
+        assert stats["L1"].accesses == 2
+        assert stats["L2"].accesses == 1  # only the L1 miss probed L2

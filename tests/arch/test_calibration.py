@@ -1,0 +1,84 @@
+"""Sanity tests over the calibration constants.
+
+These guard the paper-anchored relationships between constants so a
+future retune cannot silently break the facts the models rely on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import calibration as cal
+
+
+class TestClocks:
+    def test_opteron_is_the_paper_part(self):
+        assert cal.OPTERON_CLOCK_HZ == pytest.approx(2.2e9)
+
+    def test_mta_clock_ratio_matches_paper(self):
+        """'the clock speed of the ... MTA-2 system is about 11x slower
+        than the 2.2 GHz Opteron processor' (section 5.3)."""
+        ratio = cal.OPTERON_CLOCK_HZ / cal.MTA_CLOCK_HZ
+        assert ratio == pytest.approx(11.0, rel=0.05)
+
+    def test_xmt_clock_is_higher_than_mta(self):
+        assert cal.XMT_CLOCK_HZ > cal.MTA_CLOCK_HZ
+
+
+class TestWidths:
+    def test_paper_stated_widths(self):
+        assert cal.CELL_N_SPES == 8
+        assert cal.MTA_N_STREAMS == 128
+        assert cal.GPU_N_PIPELINES == 24
+        assert cal.MTA_MAX_PROCESSORS == 256
+        assert cal.XMT_MAX_PROCESSORS >= 8000
+
+
+class TestCell:
+    def test_local_store_is_256kb(self):
+        assert cal.SPE_LOCAL_STORE_BYTES == 256 * 1024
+        assert cal.SPE_LOCAL_STORE_RESERVED_BYTES < cal.SPE_LOCAL_STORE_BYTES
+
+    def test_mailbox_is_negligible_next_to_thread_launch(self):
+        """Otherwise the Figure-6 fix would not work."""
+        assert cal.SPE_MAILBOX_S < cal.SPE_THREAD_LAUNCH_S / 1000
+
+    def test_dma_moves_2048_atoms_much_faster_than_a_launch(self):
+        transfer = 2048 * cal.VEC4_F32_BYTES / cal.EIB_DMA_BANDWIDTH_BPS
+        assert transfer < cal.SPE_THREAD_LAUNCH_S / 100
+
+
+class TestGpu:
+    def test_pipeline_efficiency_in_unit_interval(self):
+        assert 0.0 < cal.GPU_PIPELINE_EFFICIENCY <= 1.0
+
+    def test_jit_setup_is_a_fraction_of_a_second(self):
+        """Section 5.2's exact words."""
+        assert 0.0 < cal.GPU_JIT_SETUP_S < 1.0
+
+    def test_per_step_overheads_are_milliseconds(self):
+        assert 1e-4 < cal.GPU_STEP_OVERHEAD_S < 1e-2
+        assert 1e-4 < cal.GPU_READBACK_SYNC_S < 1e-2
+
+
+class TestOpteronHierarchy:
+    def test_geometry_is_the_k8(self):
+        assert cal.OPTERON_L1_BYTES == 64 * 1024
+        assert cal.OPTERON_L1_WAYS == 2
+        assert cal.OPTERON_L2_BYTES == 1024 * 1024
+
+    def test_penalties_ordered(self):
+        assert 0 < cal.OPTERON_L2_PENALTY_CYCLES < cal.OPTERON_MEMORY_PENALTY_CYCLES
+
+    def test_l1_knee_sits_inside_the_paper_sweep(self):
+        """Figure 9's knee must fall between 256 and 8192 atoms."""
+        knee_atoms = cal.OPTERON_L1_BYTES / cal.VEC3_F64_BYTES
+        assert 256 < knee_atoms < 8192
+
+
+class TestMta:
+    def test_serial_gap_is_the_pipeline_depth(self):
+        assert cal.MTA_SERIAL_ISSUE_GAP_CYCLES == 21
+
+    def test_saturated_issue_rate(self):
+        assert cal.MTA_ISSUE_PER_CYCLE == 1.0

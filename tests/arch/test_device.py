@@ -1,0 +1,105 @@
+"""Tests for the Device template and metrics plumbing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.device import Device, merge_breakdowns
+from repro.arch.profilecounts import KernelMetrics, pair_trip_metrics
+from repro.md.forces import compute_forces
+from repro.md.simulation import MDConfig
+
+
+class _ToyDevice(Device):
+    """Constant-cost device for exercising the template method."""
+
+    precision = "float32"
+    name = "toy"
+
+    def force_backend(self, sim_box, potential):
+        def backend(positions):
+            return compute_forces(positions, sim_box, potential, dtype=np.float32)
+
+        return backend
+
+    def step_seconds(self, metrics, step_index):
+        first = 1.0 if step_index == 0 else 0.0
+        return {"compute": 0.5, "setup_like": first}
+
+    def setup_breakdown(self):
+        return {"jit": 2.0}
+
+
+class TestKernelMetrics:
+    def test_as_dict_keys(self):
+        metrics = KernelMetrics(
+            n_atoms=10, pairs_examined=90, interacting_fraction=0.5
+        )
+        d = metrics.as_dict()
+        assert d["pairs"] == 90
+        assert d["interacting"] == 45
+        assert d["atoms"] == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KernelMetrics(n_atoms=0, pairs_examined=0, interacting_fraction=0.0)
+        with pytest.raises(ValueError):
+            KernelMetrics(n_atoms=1, pairs_examined=0, interacting_fraction=2.0)
+
+    def test_pair_trip_metrics_splits_workers(self):
+        m = pair_trip_metrics(n_atoms=100, interacting_pairs=50, workers=4)
+        assert m.pairs_examined == pytest.approx(100 * 99 / 4)
+        # fraction counts unordered pairs twice over all ordered pairs
+        assert m.interacting_fraction == pytest.approx(100 / (100 * 99))
+
+    def test_pair_trip_metrics_rejects_bad_workers(self):
+        with pytest.raises(ValueError):
+            pair_trip_metrics(10, 5, workers=0)
+
+    def test_branch_probabilities_passthrough(self):
+        m = pair_trip_metrics(10, 5, branch_probabilities={"x": 0.3})
+        assert m.as_dict()["x"] == 0.3
+
+
+class TestDeviceRun:
+    def test_run_produces_consistent_result(self):
+        device = _ToyDevice()
+        result = device.run(MDConfig(n_atoms=128), 4)
+        assert result.n_steps == 4
+        assert result.total_seconds == pytest.approx(0.5 * 4 + 1.0)
+        assert result.setup_seconds == pytest.approx(2.0)
+        assert result.total_seconds_with_setup == pytest.approx(5.0)
+        assert result.seconds_per_step == pytest.approx(result.total_seconds / 4)
+        assert len(result.records) == 5  # initial + 4
+        assert len(result.step_breakdowns) == 4
+        assert result.component("compute") == pytest.approx(2.0)
+        assert result.component("missing") == 0.0
+
+    def test_run_enforces_device_precision(self):
+        device = _ToyDevice()
+        result = device.run(MDConfig(n_atoms=128, dtype="float64"), 1)
+        assert result.config.dtype == "float32"
+
+    def test_zero_steps(self):
+        result = _ToyDevice().run(MDConfig(n_atoms=128), 0)
+        assert result.total_seconds == 0.0
+        assert result.seconds_per_step == 0.0
+
+    def test_negative_steps_rejected(self):
+        with pytest.raises(ValueError):
+            _ToyDevice().run(MDConfig(n_atoms=128), -1)
+
+    def test_final_state_exposed(self):
+        result = _ToyDevice().run(MDConfig(n_atoms=128), 2)
+        assert result.final_positions.shape == (128, 3)
+        assert result.final_velocities.shape == (128, 3)
+
+
+class TestMergeBreakdowns:
+    def test_merges_and_sums(self):
+        merged = merge_breakdowns({"a": 1.0, "b": 2.0}, {"a": 3.0, "c": 1.0})
+        assert merged == {"a": 4.0, "b": 2.0, "c": 1.0}
+
+    def test_empty(self):
+        assert merge_breakdowns() == {}

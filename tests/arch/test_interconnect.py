@@ -1,0 +1,121 @@
+"""Tests for bus/DMA/PCIe transfer models and memory structures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.clock import Clock
+from repro.arch.interconnect import DMAEngine, PCIeBus, TransferModel
+from repro.arch.memory import LocalStore, LocalStoreOverflow, array_bytes
+
+
+class TestClock:
+    def test_roundtrip(self):
+        clock = Clock(2.2e9)
+        assert clock.seconds(clock.cycles(0.5)) == pytest.approx(0.5)
+
+    def test_period(self):
+        assert Clock(1e9).period == pytest.approx(1e-9)
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(ValueError):
+            Clock(0.0)
+
+    def test_rejects_negative_inputs(self):
+        clock = Clock(1e9)
+        with pytest.raises(ValueError):
+            clock.seconds(-1)
+        with pytest.raises(ValueError):
+            clock.cycles(-1)
+
+
+class TestTransferModel:
+    def test_latency_plus_bandwidth(self):
+        link = TransferModel(latency_s=1e-6, bandwidth_bytes_per_s=1e9)
+        assert link.transfer_time(1e9) == pytest.approx(1.0 + 1e-6)
+
+    def test_transactions_multiply_latency(self):
+        link = TransferModel(latency_s=1e-6, bandwidth_bytes_per_s=1e9)
+        assert link.transfer_time(0, n_transactions=5) == pytest.approx(5e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TransferModel(latency_s=-1, bandwidth_bytes_per_s=1e9)
+        with pytest.raises(ValueError):
+            TransferModel(latency_s=0, bandwidth_bytes_per_s=0)
+        link = TransferModel(latency_s=0, bandwidth_bytes_per_s=1e9)
+        with pytest.raises(ValueError):
+            link.transfer_time(-1)
+        with pytest.raises(ValueError):
+            link.transfer_time(10, n_transactions=0)
+
+
+class TestDMA:
+    def test_chunks_large_transfers(self):
+        link = TransferModel(latency_s=1e-6, bandwidth_bytes_per_s=25.6e9)
+        dma = DMAEngine(link=link, max_transfer_bytes=16 * 1024)
+        t_small = dma.transfer_time(16 * 1024)
+        t_large = dma.transfer_time(64 * 1024)
+        # 4 chunks: 4x the latency, 4x the bytes
+        assert t_large == pytest.approx(
+            4 * 1e-6 + 64 * 1024 / 25.6e9
+        )
+        assert t_large > 4 * (t_small - 1e-6)
+
+    def test_zero_bytes_is_free(self):
+        link = TransferModel(latency_s=1e-6, bandwidth_bytes_per_s=1e9)
+        assert DMAEngine(link=link).transfer_time(0) == 0.0
+
+    def test_rejects_negative(self):
+        link = TransferModel(latency_s=1e-6, bandwidth_bytes_per_s=1e9)
+        with pytest.raises(ValueError):
+            DMAEngine(link=link).transfer_time(-5)
+
+
+class TestPCIe:
+    def test_readback_includes_sync(self):
+        link = TransferModel(latency_s=10e-6, bandwidth_bytes_per_s=1.4e9)
+        bus = PCIeBus(link=link, readback_sync_s=1e-3)
+        up = bus.upload_time(32 * 1024)
+        down = bus.readback_time(32 * 1024)
+        assert down == pytest.approx(up + 1e-3)
+
+
+class TestLocalStore:
+    def test_allocation_tracking(self):
+        ls = LocalStore(capacity_bytes=1024, reserved_bytes=100)
+        ls.allocate("positions", 500)
+        assert ls.used_bytes == 600
+        assert ls.free_bytes == 424
+        ls.release("positions")
+        assert ls.free_bytes == 924
+
+    def test_overflow_raises(self):
+        ls = LocalStore(capacity_bytes=1024, reserved_bytes=100)
+        with pytest.raises(LocalStoreOverflow):
+            ls.allocate("too_big", 2000)
+
+    def test_duplicate_name_rejected(self):
+        ls = LocalStore(capacity_bytes=1024, reserved_bytes=0)
+        ls.allocate("a", 10)
+        with pytest.raises(ValueError):
+            ls.allocate("a", 10)
+
+    def test_release_unknown_raises(self):
+        ls = LocalStore(capacity_bytes=1024, reserved_bytes=0)
+        with pytest.raises(KeyError):
+            ls.release("missing")
+
+    def test_fits(self):
+        ls = LocalStore(capacity_bytes=1024, reserved_bytes=24)
+        assert ls.fits(1000)
+        assert not ls.fits(1001)
+
+    def test_reserved_must_fit(self):
+        with pytest.raises(ValueError):
+            LocalStore(capacity_bytes=100, reserved_bytes=100)
+
+    def test_array_bytes(self):
+        assert array_bytes(10, 16) == 160
+        with pytest.raises(ValueError):
+            array_bytes(-1, 16)

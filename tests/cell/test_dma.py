@@ -1,0 +1,85 @@
+"""Tests for the DMA traffic plan, residency layout and overlap model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import calibration as cal
+from repro.arch.memory import LocalStore, LocalStoreOverflow
+from repro.cell.dma import MDTrafficPlan, ResidencyPlan, make_dma_engine
+
+ENGINE = make_dma_engine()
+
+
+def _store(free_kb: int) -> LocalStore:
+    return LocalStore(capacity_bytes=free_kb * 1024 + 1024, reserved_bytes=1024)
+
+
+class TestResidencyPlan:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResidencyPlan(resident=True, tile_atoms=0, transfers_per_step=1)
+        with pytest.raises(ValueError):
+            ResidencyPlan(resident=True, tile_atoms=1, transfers_per_step=0)
+
+
+class TestLayout:
+    def test_paper_workload_is_resident(self):
+        plan = MDTrafficPlan(n_atoms=2048, n_spes=8)
+        layout = plan.layout(_store(free_kb=200))
+        assert layout.resident
+        assert layout.transfers_per_step == 1
+
+    def test_large_system_tiles(self):
+        plan = MDTrafficPlan(n_atoms=65536, n_spes=8)  # 1 MB of positions
+        layout = plan.layout(_store(free_kb=200))
+        assert not layout.resident
+        assert layout.tile_atoms * layout.transfers_per_step >= plan.n_atoms
+        # double buffering: two tiles must fit beside the output rows
+        tile_bytes = layout.tile_atoms * cal.VEC4_F32_BYTES
+        assert 2 * tile_bytes + plan.bytes_out <= 200 * 1024
+
+    def test_hopeless_store_raises(self):
+        plan = MDTrafficPlan(n_atoms=65536, n_spes=1)
+        tiny = LocalStore(capacity_bytes=2048, reserved_bytes=1024)
+        with pytest.raises(LocalStoreOverflow):
+            plan.layout(tiny)
+
+
+class TestTransferTimes:
+    def test_tiled_moves_same_bytes_with_more_setups(self):
+        plan = MDTrafficPlan(n_atoms=65536, n_spes=8)
+        resident_like = plan.step_transfer_seconds(ENGINE)
+        layout = plan.layout(_store(free_kb=200))
+        tiled = plan.step_transfer_seconds(ENGINE, layout)
+        assert tiled >= resident_like * 0.99  # never cheaper
+
+    def test_exposed_time_resident_is_full_transfer(self):
+        plan = MDTrafficPlan(n_atoms=2048, n_spes=8)
+        layout = plan.layout(_store(free_kb=200))
+        raw = plan.step_transfer_seconds(ENGINE, layout)
+        assert plan.exposed_dma_seconds(ENGINE, layout, 1.0) == pytest.approx(raw)
+
+    def test_exposed_time_tiled_hides_under_compute(self):
+        plan = MDTrafficPlan(n_atoms=65536, n_spes=8)
+        layout = plan.layout(_store(free_kb=200))
+        raw = plan.step_transfer_seconds(ENGINE, layout)
+        busy = plan.exposed_dma_seconds(ENGINE, layout, compute_seconds=10.0)
+        idle = plan.exposed_dma_seconds(ENGINE, layout, compute_seconds=0.0)
+        assert busy < idle
+        assert idle == pytest.approx(raw)
+        # with abundant compute only the first tile fill is exposed
+        first_tile = ENGINE.transfer_time(layout.tile_atoms * cal.VEC4_F32_BYTES)
+        assert busy == pytest.approx(first_tile)
+
+    def test_exposed_rejects_negative_compute(self):
+        plan = MDTrafficPlan(n_atoms=2048, n_spes=8)
+        layout = plan.layout(_store(free_kb=200))
+        with pytest.raises(ValueError):
+            plan.exposed_dma_seconds(ENGINE, layout, -1.0)
+
+    def test_plan_validation(self):
+        with pytest.raises(ValueError):
+            MDTrafficPlan(n_atoms=0, n_spes=1)
+        with pytest.raises(ValueError):
+            MDTrafficPlan(n_atoms=10, n_spes=0)

@@ -1,0 +1,28 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.md import MDConfig, cubic_lattice
+
+
+@pytest.fixture
+def small_config() -> MDConfig:
+    """A fast workload whose box still accommodates the 2.5-sigma cutoff."""
+    return MDConfig(n_atoms=128)
+
+
+@pytest.fixture
+def small_system(small_config):
+    """(config, box, potential, positions) for a 128-atom lattice."""
+    box = small_config.make_box()
+    potential = small_config.make_potential()
+    positions = cubic_lattice(small_config.n_atoms, box)
+    return small_config, box, potential, positions
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20070326)  # IPDPS 2007 conference date

@@ -1,0 +1,67 @@
+"""Tests for table/plot rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reporting import ascii_plot, format_table
+
+
+class TestFormatTable:
+    def test_basic_render(self):
+        text = format_table(
+            ("name", "value"), (("a", 1.5), ("bb", 2.0)), title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert "1.5" in text
+        assert "bb" in text
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), (("x",),))
+
+    def test_scientific_notation_for_extremes(self):
+        text = format_table(("v",), ((1.0e-9,), (123456.0,)))
+        assert "e-09" in text
+        assert "e+05" in text
+
+    def test_empty_rows(self):
+        text = format_table(("a",), ())
+        assert "a" in text
+
+
+class TestAsciiPlot:
+    def test_renders_all_series_markers(self):
+        text = ascii_plot(
+            {"one": [(1, 1), (2, 2)], "two": [(1, 2), (2, 4)]},
+            width=20,
+            height=6,
+        )
+        assert "o=one" in text
+        assert "x=two" in text
+        assert "o" in text.splitlines()[2] or "o" in text
+
+    def test_log_axes(self):
+        text = ascii_plot(
+            {"s": [(10, 1), (100, 100), (1000, 10000)]},
+            logx=True,
+            logy=True,
+        )
+        assert "1e+03" in text or "1000" in text
+
+    def test_log_axis_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"s": [(0, 1)]}, logx=True)
+
+    def test_empty_series(self):
+        assert ascii_plot({"s": []}) == "(no data)"
+
+    def test_canvas_size_validation(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"s": [(1, 1)]}, width=2, height=2)
+
+    def test_degenerate_single_point(self):
+        text = ascii_plot({"s": [(5, 5)]})
+        assert "s" in text

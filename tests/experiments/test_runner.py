@@ -1,0 +1,34 @@
+"""Tests for the experiment runner CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import runner
+
+
+class TestRoster:
+    def test_full_roster_covers_every_artifact(self):
+        factories = runner.all_experiments(quick=False)
+        assert len(factories) == 14
+
+    def test_quick_roster_same_length(self):
+        assert len(runner.all_experiments(quick=True)) == len(
+            runner.all_experiments(quick=False)
+        )
+
+
+class TestCli:
+    def test_only_filter_runs_one_experiment(self, capsys):
+        exit_code = runner.main(["--quick", "--only", "abl-precision"])
+        out = capsys.readouterr().out
+        assert "abl-precision" in out
+        assert "fig7" not in out
+        assert exit_code == 0
+
+    def test_module_main_entry(self):
+        import repro.__main__  # noqa: F401 - import must succeed
+
+    def test_bad_flag_rejected(self):
+        with pytest.raises(SystemExit):
+            runner.main(["--bogus"])

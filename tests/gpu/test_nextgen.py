@@ -1,0 +1,67 @@
+"""Tests for the CUDA-class (G80) GPU projection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpu import GpuDevice
+from repro.gpu.nextgen import NextGenGpuDevice, NextGenGpuSpec
+from repro.md import MDConfig, MDSimulation
+
+
+class TestSpec:
+    def test_defaults_are_g80(self):
+        spec = NextGenGpuSpec()
+        assert spec.n_processors == 128
+        assert spec.shader_clock_hz == pytest.approx(1.35e9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NextGenGpuSpec(n_processors=0)
+        with pytest.raises(ValueError):
+            NextGenGpuSpec(efficiency=0.0)
+        with pytest.raises(ValueError):
+            NextGenGpuSpec(tile_atoms=0)
+        with pytest.raises(ValueError):
+            NextGenGpuSpec(shader_clock_hz=0.0)
+
+
+class TestDevice:
+    def test_faster_than_streaming_model_at_scale(self):
+        cfg = MDConfig(n_atoms=1024)
+        old = GpuDevice().run(cfg, 2)
+        new = NextGenGpuDevice().run(cfg, 2)
+        assert new.seconds_per_step < old.seconds_per_step
+
+    def test_breakdown_components(self):
+        result = NextGenGpuDevice().run(MDConfig(n_atoms=256), 2)
+        for key in ("kernel", "reduction", "pcie_upload", "pcie_readback"):
+            assert key in result.breakdown
+
+    def test_reduction_is_log_depth(self):
+        device = NextGenGpuDevice()
+        t1k = device.reduction_seconds(1024)
+        t1m = device.reduction_seconds(1024 * 1024)
+        assert t1m == pytest.approx(2 * t1k)
+        with pytest.raises(ValueError):
+            device.reduction_seconds(0)
+
+    def test_physics_matches_reference_float32(self):
+        cfg = MDConfig(n_atoms=256)
+        result = NextGenGpuDevice().run(cfg, 3)
+        reference = GpuDevice().run(cfg, 3)
+        np.testing.assert_allclose(
+            result.final_positions, reference.final_positions, atol=1e-12
+        )
+
+    def test_more_processors_faster(self):
+        cfg = MDConfig(n_atoms=512)
+        small = NextGenGpuDevice(NextGenGpuSpec(n_processors=32)).run(cfg, 2)
+        large = NextGenGpuDevice(NextGenGpuSpec(n_processors=128)).run(cfg, 2)
+        assert large.component("kernel") < small.component("kernel")
+
+    def test_setup_cheaper_than_streaming_model(self):
+        old = GpuDevice().run(MDConfig(n_atoms=128), 1)
+        new = NextGenGpuDevice().run(MDConfig(n_atoms=128), 1)
+        assert new.setup_seconds < old.setup_seconds

@@ -1,0 +1,145 @@
+"""Tests for the shader contract and GPU kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpu.kernels import (
+    build_md_shader,
+    build_reduction_shader,
+    reduction_pass_count,
+    shader_constants,
+)
+from repro.gpu.shader import (
+    MAX_INPUT_ARRAYS,
+    ShaderContractError,
+    ShaderProgram,
+)
+from repro.vm.builder import Asm
+from repro.vm.program import Program, Segment
+
+A = Asm()
+
+
+def _program(body, inputs, outputs):
+    prog = Program(
+        "t", (Segment("main", "pairs", tuple(body)),), inputs=inputs, outputs=outputs
+    )
+    prog.validate()
+    return prog
+
+
+class TestShaderContract:
+    def test_rejects_scatter_stores(self):
+        prog = _program(
+            [A.fa("out", "src", "src"), A.stqd("spill", "out")],
+            ("src",),
+            ("out",),
+        )
+        with pytest.raises(ShaderContractError, match="scatter"):
+            ShaderProgram(prog, input_arrays=("src",), output_register="out")
+
+    def test_rejects_writing_input_arrays(self):
+        prog = _program(
+            [A.fa("src", "src", "src"), A.mov("out", "src")],
+            ("src",),
+            ("out",),
+        )
+        with pytest.raises(ShaderContractError, match="read-only"):
+            ShaderProgram(prog, input_arrays=("src",), output_register="out")
+
+    def test_rejects_array_as_both_input_and_output(self):
+        prog = _program([A.fa("buf", "x", "x")], ("x",), ("buf",))
+        with pytest.raises(ShaderContractError, match="both input"):
+            ShaderProgram(prog, input_arrays=("buf",), output_register="buf")
+
+    def test_rejects_never_writing_output(self):
+        prog = _program([A.fa("tmp", "src", "src")], ("src",), ())
+        with pytest.raises(ShaderContractError, match="never writes"):
+            ShaderProgram(prog, input_arrays=("src",), output_register="out")
+
+    def test_rejects_too_many_samplers(self):
+        arrays = tuple(f"t{i}" for i in range(MAX_INPUT_ARRAYS + 1))
+        prog = _program([A.fa("out", "t0", "t0")], arrays, ("out",))
+        with pytest.raises(ShaderContractError, match="sampler"):
+            ShaderProgram(prog, input_arrays=arrays, output_register="out")
+
+    def test_md_shader_satisfies_contract(self):
+        shader = build_md_shader(10.0)  # construction enforces the contract
+        assert shader.output_register == "acc_out"
+        assert shader.input_arrays == ("xj",)
+
+
+class TestReduction:
+    def test_pass_counts(self):
+        assert reduction_pass_count(1) == 0
+        assert reduction_pass_count(4, fanin=4) == 1
+        assert reduction_pass_count(5, fanin=4) == 2
+        assert reduction_pass_count(2048, fanin=4) == 6
+        assert reduction_pass_count(2048, fanin=2) == 11
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            reduction_pass_count(0)
+        with pytest.raises(ValueError):
+            reduction_pass_count(8, fanin=1)
+        with pytest.raises(ValueError):
+            build_reduction_shader(fanin=1)
+
+    def test_reduction_shader_obeys_contract(self):
+        shader = build_reduction_shader(4)
+        assert shader.input_arrays == ("src0", "src1", "src2", "src3")
+
+
+class TestFunctionalReduction:
+    def test_sums_correctly(self):
+        from repro.gpu.kernels import gpu_reduce
+
+        rng = np.random.default_rng(7)
+        values = rng.normal(size=333).astype(np.float32)
+        total, passes = gpu_reduce(values, fanin=4)
+        assert total == pytest.approx(float(values.sum(dtype=np.float64)), abs=1e-3)
+        assert passes == reduction_pass_count(333, 4)
+
+    def test_single_element_needs_no_pass(self):
+        from repro.gpu.kernels import gpu_reduce
+
+        total, passes = gpu_reduce(np.array([4.5]), fanin=4)
+        assert total == pytest.approx(4.5)
+        assert passes == 0
+
+    def test_rejects_empty(self):
+        from repro.gpu.kernels import gpu_reduce
+
+        with pytest.raises(ValueError):
+            gpu_reduce(np.array([]))
+
+    def test_fanin_changes_pass_count_not_result(self):
+        from repro.gpu.kernels import gpu_reduce
+
+        values = np.arange(64, dtype=np.float32)
+        t2, p2 = gpu_reduce(values, fanin=2)
+        t8, p8 = gpu_reduce(values, fanin=8)
+        assert t2 == pytest.approx(t8)
+        assert p2 > p8
+
+
+class TestShaderConstants:
+    def test_covers_program_inputs(self):
+        from repro.md.lj import LennardJones
+
+        constants = shader_constants(LennardJones(), 10.0)
+        shader = build_md_shader(10.0)
+        missing = (
+            set(shader.program.inputs)
+            - set(constants)
+            - {"xi", "xj", "self_flag", "zero", "tiny"}
+        )
+        assert not missing
+
+    def test_invL_is_reciprocal(self):
+        from repro.md.lj import LennardJones
+
+        constants = shader_constants(LennardJones(), 8.0)
+        assert constants["invL"] == pytest.approx(1.0 / 8.0)

@@ -1,0 +1,123 @@
+"""Cross-device integration tests: the same physics everywhere.
+
+The reproduction's core guarantee — every device model *computes* the MD
+run, so all four must agree on the trajectory to their arithmetic
+precision, while disagreeing (by design) on simulated time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cell import CellDevice, PPEOnlyDevice
+from repro.gpu import GpuDevice
+from repro.md import MDConfig, MDSimulation, kinetic_energy
+from repro.mta import MTADevice
+from repro.opteron import OpteronDevice
+
+CONFIG = MDConfig(n_atoms=256)
+STEPS = 5
+
+
+@pytest.fixture(scope="module")
+def all_results():
+    devices = {
+        "opteron": OpteronDevice(),
+        "cell8": CellDevice(n_spes=8),
+        "cell1": CellDevice(n_spes=1),
+        "ppe": PPEOnlyDevice(),
+        "gpu": GpuDevice(),
+        "mta_full": MTADevice(fully_multithreaded=True),
+        "mta_part": MTADevice(fully_multithreaded=False),
+    }
+    return {name: dev.run(CONFIG, STEPS) for name, dev in devices.items()}
+
+
+class TestTrajectoryAgreement:
+    def test_float64_devices_agree_exactly(self, all_results):
+        np.testing.assert_allclose(
+            all_results["opteron"].final_positions,
+            all_results["mta_full"].final_positions,
+            atol=1e-13,
+        )
+
+    def test_float32_devices_agree_exactly_with_each_other(self, all_results):
+        np.testing.assert_allclose(
+            all_results["cell8"].final_positions,
+            all_results["gpu"].final_positions,
+            atol=1e-13,
+        )
+        np.testing.assert_allclose(
+            all_results["cell1"].final_positions,
+            all_results["cell8"].final_positions,
+            atol=1e-13,
+        )
+
+    def test_float32_close_to_float64(self, all_results):
+        delta = np.abs(
+            all_results["cell8"].final_positions
+            - all_results["opteron"].final_positions
+        )
+        assert delta.max() < 1e-3  # single-precision drift over 5 steps
+
+    def test_reference_simulation_matches_opteron_device(self, all_results):
+        sim = MDSimulation(CONFIG)
+        sim.run(STEPS)
+        np.testing.assert_allclose(
+            sim.state.positions,
+            all_results["opteron"].final_positions,
+            atol=1e-13,
+        )
+
+    def test_energy_conservation_on_every_device(self, all_results):
+        for name, result in all_results.items():
+            energies = [r.total_energy for r in result.records]
+            drift = max(abs(e - energies[0]) for e in energies) / abs(energies[0])
+            assert drift < 5e-3, name
+
+
+class TestTimingOrdering:
+    """The paper's headline ordering at a mid-size workload."""
+
+    def test_mta_partial_is_slowest(self, all_results):
+        slowest = max(all_results.items(), key=lambda kv: kv[1].total_seconds)
+        assert slowest[0] == "mta_part"
+
+    def test_mta_does_not_outperform_opteron(self, all_results):
+        assert (
+            all_results["mta_full"].total_seconds
+            > all_results["opteron"].total_seconds
+        )
+
+    def test_breakdowns_sum_to_totals(self, all_results):
+        for name, result in all_results.items():
+            assert sum(result.breakdown.values()) == pytest.approx(
+                result.total_seconds
+            ), name
+
+    def test_records_monotone_steps(self, all_results):
+        for result in all_results.values():
+            steps = [r.step for r in result.records]
+            assert steps == sorted(steps)
+
+
+class TestVmModeEndToEnd:
+    """Full VM execution through the actual kernel instruction streams."""
+
+    def test_cell_vm_full_run_conserves_energy(self):
+        cfg = MDConfig(n_atoms=128)
+        result = CellDevice(n_spes=1, mode="vm").run(cfg, 5)
+        energies = [r.total_energy for r in result.records]
+        drift = max(abs(e - energies[0]) for e in energies) / abs(energies[0])
+        assert drift < 5e-3
+
+    def test_gpu_vm_full_run_matches_fast_mode(self):
+        cfg = MDConfig(n_atoms=128)
+        vm = GpuDevice(mode="vm").run(cfg, 3)
+        fast = GpuDevice(mode="fast").run(cfg, 3)
+        np.testing.assert_allclose(
+            vm.final_positions, fast.final_positions, atol=1e-4
+        )
+        # timing is identical: the cost model is mode-independent
+        assert vm.total_seconds == pytest.approx(fast.total_seconds, rel=0.05)

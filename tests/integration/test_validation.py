@@ -1,0 +1,74 @@
+"""Tests for the cross-device validation API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cell import CellDevice
+from repro.gpu import GpuDevice
+from repro.md import MDConfig
+from repro.mta import MTADevice, XMTDevice
+from repro.opteron import OpteronDevice
+from repro.validation import validate_devices
+
+
+class TestValidateDevices:
+    def test_full_roster_passes(self):
+        report = validate_devices(
+            [
+                OpteronDevice(),
+                CellDevice(n_spes=4),
+                GpuDevice(),
+                MTADevice(fully_multithreaded=True),
+                XMTDevice(n_processors=4),
+            ],
+            config=MDConfig(n_atoms=256),
+            n_steps=4,
+        )
+        assert report.all_passed, report.failures()
+        assert len(report.devices) == 5
+
+    def test_float32_devices_report_small_but_nonzero_error(self):
+        report = validate_devices(
+            [CellDevice(n_spes=1)], config=MDConfig(n_atoms=256), n_steps=4
+        )
+        (outcome,) = report.devices
+        assert 0.0 < outcome.max_position_error < 1e-3
+
+    def test_detects_broken_physics(self):
+        class BrokenDevice(OpteronDevice):
+            name = "broken"
+
+            def force_backend(self, sim_box, potential):
+                base = super().force_backend(sim_box, potential)
+
+                def corrupted(positions):
+                    result = base(positions)
+                    return type(result)(
+                        accelerations=result.accelerations * 1.5,  # wrong!
+                        potential_energy=result.potential_energy,
+                        interacting_pairs=result.interacting_pairs,
+                        pairs_examined=result.pairs_examined,
+                    )
+
+                return corrupted
+
+        report = validate_devices(
+            [BrokenDevice()], config=MDConfig(n_atoms=128), n_steps=4
+        )
+        assert not report.all_passed
+        assert any("diverged" in f or "drift" in f for f in report.failures())
+
+    def test_rejects_zero_steps(self):
+        with pytest.raises(ValueError):
+            validate_devices([OpteronDevice()], n_steps=0)
+
+    def test_report_records_measured_quantities(self):
+        report = validate_devices(
+            [OpteronDevice()], config=MDConfig(n_atoms=128), n_steps=3
+        )
+        (outcome,) = report.devices
+        assert outcome.precision == "float64"
+        assert np.isfinite(outcome.energy_drift)
+        assert outcome.breakdown_consistent

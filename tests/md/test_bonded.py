@@ -1,0 +1,140 @@
+"""Tests for harmonic bonded interactions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.md.bonded import BondedForceField, HarmonicAngle, HarmonicBond
+from repro.md.box import PeriodicBox
+
+BOX = PeriodicBox(20.0)
+
+
+def numerical_forces(field, positions, h=1e-6):
+    positions = np.asarray(positions, dtype=np.float64)
+    forces = np.zeros_like(positions)
+    for atom in range(positions.shape[0]):
+        for axis in range(3):
+            plus = positions.copy()
+            plus[atom, axis] += h
+            minus = positions.copy()
+            minus[atom, axis] -= h
+            _f1, e_plus = field.compute(plus, BOX)
+            _f2, e_minus = field.compute(minus, BOX)
+            forces[atom, axis] = -(e_plus - e_minus) / (2 * h)
+    return forces
+
+
+class TestValidation:
+    def test_bond_rejects_self(self):
+        with pytest.raises(ValueError):
+            HarmonicBond(i=1, j=1, k=1.0, r0=1.0)
+
+    def test_bond_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            HarmonicBond(i=0, j=1, k=-1.0, r0=1.0)
+        with pytest.raises(ValueError):
+            HarmonicBond(i=0, j=1, k=1.0, r0=0.0)
+
+    def test_angle_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            HarmonicAngle(i=0, j=1, k=0, k_theta=1.0, theta0=1.0)
+
+    def test_angle_rejects_bad_theta0(self):
+        with pytest.raises(ValueError):
+            HarmonicAngle(i=0, j=1, k=2, k_theta=1.0, theta0=0.0)
+
+
+class TestBonds:
+    def test_zero_force_at_rest_length(self):
+        field = BondedForceField(bonds=[HarmonicBond(0, 1, k=100.0, r0=1.5)])
+        positions = np.array([[0.0, 0.0, 0.0], [1.5, 0.0, 0.0]])
+        forces, energy = field.compute(positions, BOX)
+        np.testing.assert_allclose(forces, 0.0, atol=1e-12)
+        assert energy == pytest.approx(0.0)
+
+    def test_stretched_bond_pulls_in(self):
+        field = BondedForceField(bonds=[HarmonicBond(0, 1, k=100.0, r0=1.0)])
+        positions = np.array([[0.0, 0.0, 0.0], [1.4, 0.0, 0.0]])
+        forces, energy = field.compute(positions, BOX)
+        assert forces[0, 0] > 0.0  # atom 0 pulled toward atom 1
+        assert forces[1, 0] < 0.0
+        assert energy == pytest.approx(0.5 * 100.0 * 0.4**2)
+
+    def test_bond_across_periodic_boundary(self):
+        field = BondedForceField(bonds=[HarmonicBond(0, 1, k=10.0, r0=1.0)])
+        positions = np.array([[0.2, 5.0, 5.0], [19.8, 5.0, 5.0]])  # 0.4 apart
+        _forces, energy = field.compute(positions, BOX)
+        assert energy == pytest.approx(0.5 * 10.0 * (0.4 - 1.0) ** 2)
+
+    def test_forces_match_numerical_gradient(self, rng):
+        field = BondedForceField(
+            bonds=[HarmonicBond(0, 1, 50.0, 1.2), HarmonicBond(1, 2, 80.0, 0.9)]
+        )
+        positions = rng.uniform(4, 6, size=(3, 3))
+        analytic, _e = field.compute(positions, BOX)
+        numeric = numerical_forces(field, positions)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+
+class TestAngles:
+    def test_zero_force_at_equilibrium_angle(self):
+        field = BondedForceField(
+            angles=[HarmonicAngle(0, 1, 2, k_theta=30.0, theta0=np.pi / 2)]
+        )
+        positions = np.array(
+            [[1.0, 0.0, 0.0], [0.0, 0.0, 0.0], [0.0, 1.0, 0.0]]
+        )
+        forces, energy = field.compute(positions, BOX)
+        np.testing.assert_allclose(forces, 0.0, atol=1e-10)
+        assert energy == pytest.approx(0.0, abs=1e-12)
+
+    def test_angle_forces_match_numerical_gradient(self, rng):
+        field = BondedForceField(
+            angles=[HarmonicAngle(0, 1, 2, k_theta=25.0, theta0=1.9)]
+        )
+        positions = np.array(
+            [[5.0, 5.0, 5.0], [6.1, 5.2, 4.9], [6.8, 6.3, 5.5]]
+        ) + rng.normal(0, 0.05, (3, 3))
+        analytic, _e = field.compute(positions, BOX)
+        numeric = numerical_forces(field, positions)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+    def test_angle_forces_sum_to_zero(self, rng):
+        field = BondedForceField(
+            angles=[HarmonicAngle(0, 1, 2, k_theta=25.0, theta0=2.0)]
+        )
+        positions = rng.uniform(4, 7, size=(3, 3))
+        forces, _e = field.compute(positions, BOX)
+        np.testing.assert_allclose(forces.sum(axis=0), 0.0, atol=1e-12)
+
+
+class TestCombined:
+    def test_n_terms(self):
+        field = BondedForceField(
+            bonds=[HarmonicBond(0, 1, 1.0, 1.0)],
+            angles=[HarmonicAngle(0, 1, 2, 1.0, 2.0)],
+        )
+        assert field.n_terms == 2
+
+    def test_empty_field_is_zero(self):
+        field = BondedForceField()
+        forces, energy = field.compute(np.zeros((4, 3)) + 1.0, BOX)
+        np.testing.assert_allclose(forces, 0.0)
+        assert energy == 0.0
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_property_combined_gradient_consistency(self, seed):
+        rng = np.random.default_rng(seed)
+        field = BondedForceField(
+            bonds=[HarmonicBond(0, 1, 40.0, 1.1), HarmonicBond(2, 3, 60.0, 1.4)],
+            angles=[HarmonicAngle(1, 2, 3, 20.0, 1.8)],
+        )
+        positions = rng.uniform(5, 8, size=(4, 3))
+        analytic, _e = field.compute(positions, BOX)
+        numeric = numerical_forces(field, positions)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-4)

@@ -1,0 +1,124 @@
+"""Unit + property tests for the periodic cell."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.md.box import IMAGE_OFFSETS, PeriodicBox
+
+BOX = PeriodicBox(length=10.0)
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_length(self):
+        for bad in (0.0, -1.0):
+            with pytest.raises(ValueError):
+                PeriodicBox(length=bad)
+
+    def test_volume_and_half_length(self):
+        assert BOX.volume == pytest.approx(1000.0)
+        assert BOX.half_length == pytest.approx(5.0)
+
+    def test_from_density(self):
+        box = PeriodicBox.from_density(n_atoms=1000, density=1.0)
+        assert box.length == pytest.approx(10.0)
+
+    def test_from_density_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            PeriodicBox.from_density(0, 1.0)
+        with pytest.raises(ValueError):
+            PeriodicBox.from_density(10, -1.0)
+
+    def test_image_offsets_are_27_unique(self):
+        assert IMAGE_OFFSETS.shape == (27, 3)
+        assert len({tuple(row) for row in IMAGE_OFFSETS}) == 27
+
+
+class TestWrap:
+    def test_wrap_puts_positions_in_cell(self, rng):
+        positions = rng.uniform(-50, 50, size=(200, 3))
+        wrapped = BOX.wrap(positions)
+        assert np.all(wrapped >= 0.0)
+        assert np.all(wrapped < BOX.length)
+
+    def test_wrap_is_idempotent(self, rng):
+        positions = rng.uniform(-50, 50, size=(50, 3))
+        once = BOX.wrap(positions)
+        twice = BOX.wrap(once)
+        np.testing.assert_allclose(once, twice)
+
+    def test_wrap_preserves_in_cell_points(self, rng):
+        positions = rng.uniform(0, BOX.length - 1e-9, size=(50, 3))
+        np.testing.assert_allclose(BOX.wrap(positions), positions)
+
+    def test_wrap_float32_edge(self):
+        # a coordinate just below L in float32 must not escape the cell
+        pos = np.array([[np.nextafter(np.float32(10.0), np.float32(0.0)), 0, 0]],
+                       dtype=np.float32)
+        wrapped = BOX.wrap(pos.astype(np.float64))
+        assert np.all(wrapped < BOX.length)
+        assert np.all(wrapped >= 0.0)
+
+
+class TestMinimumImage:
+    def test_simple_cases(self):
+        np.testing.assert_allclose(
+            BOX.minimum_image(np.array([6.0, -6.0, 0.0])),
+            np.array([-4.0, 4.0, 0.0]),
+        )
+
+    def test_result_bounded_by_half_length(self, rng):
+        deltas = rng.uniform(-10, 10, size=(500, 3))
+        mi = BOX.minimum_image(deltas)
+        assert np.all(np.abs(mi) <= BOX.half_length + 1e-12)
+
+    def test_27search_matches_closed_form(self, rng):
+        a = BOX.wrap(rng.uniform(0, 10, size=(100, 3)))
+        b = BOX.wrap(rng.uniform(0, 10, size=(100, 3)))
+        delta = a - b
+        np.testing.assert_allclose(
+            BOX.minimum_image_27search(delta),
+            BOX.minimum_image(delta),
+            atol=1e-12,
+        )
+
+    def test_distance_symmetry(self, rng):
+        a = rng.uniform(0, 10, size=(40, 3))
+        b = rng.uniform(0, 10, size=(40, 3))
+        np.testing.assert_allclose(BOX.distance(a, b), BOX.distance(b, a))
+
+    @given(
+        st.lists(
+            st.floats(min_value=-9.99, max_value=9.99),
+            min_size=3,
+            max_size=3,
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_property_minimum_image_is_shortest(self, delta):
+        delta = np.array(delta)
+        mi = BOX.minimum_image(delta)
+        # the minimum image must be at least as short as any integer shift
+        base = float(np.linalg.norm(mi))
+        for shift in IMAGE_OFFSETS:
+            candidate = float(np.linalg.norm(delta + shift * BOX.length))
+            assert base <= candidate + 1e-9
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=9.999999),
+            min_size=6,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_property_wrap_preserves_pair_distance(self, coords):
+        a = np.array(coords[:3])
+        b = np.array(coords[3:])
+        shifted_a = a + 30.0
+        d1 = BOX.distance(a, b)
+        d2 = BOX.distance(BOX.wrap(shifted_a), b)
+        assert d1 == pytest.approx(d2, abs=1e-9)

@@ -1,0 +1,126 @@
+"""Tests for the velocity-Verlet and leapfrog integrators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.md.box import PeriodicBox
+from repro.md.forces import compute_forces
+from repro.md.integrators import State, leapfrog_step, velocity_verlet_step
+from repro.md.lattice import cubic_lattice, maxwell_boltzmann_velocities
+from repro.md.lj import LennardJones
+
+
+def _setup(n=64, temperature=0.5, seed=11, rcut=2.0):
+    box = PeriodicBox.from_density(n, 0.7)
+    potential = LennardJones(rcut=rcut)
+    rng = np.random.default_rng(seed)
+    positions = cubic_lattice(n, box)
+    velocities = maxwell_boltzmann_velocities(n, temperature, rng)
+    force = lambda pos: compute_forces(pos, box, potential)  # noqa: E731
+    result = force(positions)
+    state = State(
+        positions=positions,
+        velocities=velocities,
+        accelerations=result.accelerations,
+        potential_energy=result.potential_energy,
+    )
+    return box, force, state
+
+
+class TestState:
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            State(
+                positions=np.zeros((4, 3)),
+                velocities=np.zeros((5, 3)),
+                accelerations=np.zeros((4, 3)),
+            )
+
+    def test_copy_is_deep(self):
+        _box, _force, state = _setup(n=8, rcut=1.0)
+        clone = state.copy()
+        clone.positions[0, 0] += 1.0
+        assert state.positions[0, 0] != clone.positions[0, 0]
+
+
+class TestVelocityVerlet:
+    def test_rejects_nonpositive_dt(self):
+        box, force, state = _setup(n=8, rcut=1.0)
+        with pytest.raises(ValueError):
+            velocity_verlet_step(state, 0.0, box, force)
+
+    def test_positions_stay_wrapped(self):
+        box, force, state = _setup()
+        for _ in range(20):
+            state, _ = velocity_verlet_step(state, 0.004, box, force)
+        assert np.all(state.positions >= 0.0)
+        assert np.all(state.positions < box.length)
+
+    def test_momentum_conserved(self):
+        box, force, state = _setup()
+        p0 = state.velocities.sum(axis=0)
+        for _ in range(50):
+            state, _ = velocity_verlet_step(state, 0.004, box, force)
+        np.testing.assert_allclose(state.velocities.sum(axis=0), p0, atol=1e-10)
+
+    def test_energy_conserved_tightly(self):
+        box, force, state = _setup()
+        def total(s):
+            return s.potential_energy + 0.5 * float(np.sum(s.velocities**2))
+        e0 = total(state)
+        worst = 0.0
+        for _ in range(100):
+            state, _ = velocity_verlet_step(state, 0.002, box, force)
+            worst = max(worst, abs(total(state) - e0))
+        assert worst / abs(e0) < 5e-4
+
+    def test_smaller_dt_conserves_better(self):
+        drifts = []
+        for dt in (0.008, 0.002):
+            box, force, state = _setup()
+            def total(s):
+                return s.potential_energy + 0.5 * float(np.sum(s.velocities**2))
+            e0 = total(state)
+            t = 0.0
+            worst = 0.0
+            while t < 0.4:
+                state, _ = velocity_verlet_step(state, dt, box, force)
+                worst = max(worst, abs(total(state) - e0))
+                t += dt
+            drifts.append(worst)
+        assert drifts[1] < drifts[0]
+
+    def test_time_reversibility(self):
+        box, force, state = _setup(n=27, rcut=1.5)
+        start = state.copy()
+        for _ in range(10):
+            state, _ = velocity_verlet_step(state, 0.004, box, force)
+        # reverse velocities and integrate back
+        state = State(
+            positions=state.positions,
+            velocities=-state.velocities,
+            accelerations=state.accelerations,
+            potential_energy=state.potential_energy,
+        )
+        for _ in range(10):
+            state, _ = velocity_verlet_step(state, 0.004, box, force)
+        delta = box.minimum_image(state.positions - start.positions)
+        np.testing.assert_allclose(delta, 0.0, atol=1e-9)
+
+
+class TestLeapfrog:
+    def test_matches_velocity_verlet_positions(self):
+        box, force, vv_state = _setup()
+        lf_state = vv_state.copy()
+        for _ in range(20):
+            vv_state, _ = velocity_verlet_step(vv_state, 0.004, box, force)
+            lf_state, _ = leapfrog_step(lf_state, 0.004, box, force)
+        delta = box.minimum_image(vv_state.positions - lf_state.positions)
+        np.testing.assert_allclose(delta, 0.0, atol=1e-9)
+
+    def test_rejects_nonpositive_dt(self):
+        box, force, state = _setup(n=8, rcut=1.0)
+        with pytest.raises(ValueError):
+            leapfrog_step(state, -0.1, box, force)

@@ -1,0 +1,91 @@
+"""Tests for lattice and velocity initialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.md.box import PeriodicBox
+from repro.md.lattice import (
+    cubic_lattice,
+    fcc_lattice,
+    maxwell_boltzmann_velocities,
+    zero_net_momentum,
+)
+from repro.md.observables import temperature
+
+BOX = PeriodicBox(length=8.0)
+
+
+class TestCubicLattice:
+    @pytest.mark.parametrize("n", [1, 2, 7, 27, 64, 100, 129])
+    def test_exact_count_any_n(self, n):
+        assert cubic_lattice(n, BOX).shape == (n, 3)
+
+    def test_positions_inside_box(self):
+        pos = cubic_lattice(100, BOX)
+        assert np.all(pos >= 0.0)
+        assert np.all(pos < BOX.length)
+
+    def test_no_overlapping_sites(self):
+        pos = cubic_lattice(64, BOX)
+        d = pos[:, None, :] - pos[None, :, :]
+        r2 = np.einsum("ijk,ijk->ij", d, d)
+        np.fill_diagonal(r2, np.inf)
+        assert r2.min() > 0.1
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            cubic_lattice(0, BOX)
+
+
+class TestFccLattice:
+    @pytest.mark.parametrize("n", [4, 32, 100, 256])
+    def test_exact_count(self, n):
+        assert fcc_lattice(n, BOX).shape == (n, 3)
+
+    def test_positions_inside_box(self):
+        pos = fcc_lattice(108, BOX)
+        assert np.all(pos >= 0.0)
+        assert np.all(pos < BOX.length)
+
+    def test_fcc_denser_nearest_neighbor_than_cubic(self):
+        # same N, same box: FCC nearest-neighbor distance differs from SC
+        n = 32
+        for maker in (cubic_lattice, fcc_lattice):
+            pos = maker(n, BOX)
+            d = pos[:, None, :] - pos[None, :, :]
+            r2 = np.einsum("ijk,ijk->ij", d, d)
+            np.fill_diagonal(r2, np.inf)
+            assert np.isfinite(r2.min())
+
+
+class TestVelocities:
+    def test_zero_net_momentum(self, rng):
+        v = maxwell_boltzmann_velocities(500, 1.5, rng)
+        np.testing.assert_allclose(v.sum(axis=0), 0.0, atol=1e-10)
+
+    def test_exact_temperature(self, rng):
+        v = maxwell_boltzmann_velocities(500, 0.72, rng)
+        assert temperature(v) == pytest.approx(0.72, rel=1e-12)
+
+    def test_zero_temperature_is_at_rest(self, rng):
+        v = maxwell_boltzmann_velocities(10, 0.0, rng)
+        np.testing.assert_allclose(v, 0.0)
+
+    def test_single_atom_at_rest(self, rng):
+        v = maxwell_boltzmann_velocities(1, 1.0, rng)
+        np.testing.assert_allclose(v, 0.0)
+
+    def test_rejects_negative_temperature(self, rng):
+        with pytest.raises(ValueError):
+            maxwell_boltzmann_velocities(10, -1.0, rng)
+
+    def test_zero_net_momentum_helper(self, rng):
+        v = rng.normal(size=(50, 3)) + 3.0
+        centred = zero_net_momentum(v)
+        np.testing.assert_allclose(centred.mean(axis=0), 0.0, atol=1e-12)
+        # relative velocities preserved
+        np.testing.assert_allclose(
+            centred[1] - centred[0], v[1] - v[0], atol=1e-12
+        )

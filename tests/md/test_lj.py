@@ -1,0 +1,97 @@
+"""Unit + property tests for the Lennard-Jones potential."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.md.lj import LennardJones
+
+LJ = LennardJones(rcut=2.5, shift=False)
+LJ_SHIFTED = LennardJones(rcut=2.5, shift=True)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("field", ["epsilon", "sigma", "rcut"])
+    def test_rejects_nonpositive_parameters(self, field):
+        with pytest.raises(ValueError):
+            LennardJones(**{field: 0.0})
+
+    def test_shift_energy_zero_when_unshifted(self):
+        assert LJ.shift_energy == 0.0
+
+    def test_shift_energy_equals_potential_at_cutoff(self):
+        assert LJ_SHIFTED.shift_energy == pytest.approx(
+            float(LJ.energy(np.array([2.5 - 1e-12]))[0]), abs=1e-9
+        )
+
+
+class TestEnergy:
+    def test_zero_at_sigma(self):
+        assert float(LJ.energy(np.array([1.0]))[0]) == pytest.approx(0.0)
+
+    def test_minimum_depth_is_epsilon(self):
+        r_min = LJ.minimum()
+        assert float(LJ.energy(np.array([r_min]))[0]) == pytest.approx(-1.0)
+
+    def test_zero_beyond_cutoff(self):
+        assert float(LJ.energy(np.array([3.0]))[0]) == 0.0
+        assert float(LJ.force_magnitude(np.array([3.0]))[0]) == 0.0
+
+    def test_shifted_energy_continuous_at_cutoff(self):
+        just_in = float(LJ_SHIFTED.energy(np.array([2.5 - 1e-9]))[0])
+        assert just_in == pytest.approx(0.0, abs=1e-6)
+
+    def test_rejects_nonpositive_separation(self):
+        with pytest.raises(ValueError):
+            LJ.energy(np.array([0.0]))
+        with pytest.raises(ValueError):
+            LJ.force_magnitude(np.array([-1.0]))
+        with pytest.raises(ValueError):
+            LJ.force_over_r(np.array([0.0]))
+
+
+class TestForce:
+    def test_zero_force_at_minimum(self):
+        assert float(LJ.force_magnitude(np.array([LJ.minimum()]))[0]) == pytest.approx(
+            0.0, abs=1e-10
+        )
+
+    def test_repulsive_inside_minimum_attractive_outside(self):
+        assert float(LJ.force_magnitude(np.array([0.9]))[0]) > 0.0
+        assert float(LJ.force_magnitude(np.array([1.5]))[0]) < 0.0
+
+    def test_force_over_r_consistent_with_force_magnitude(self):
+        r = np.linspace(0.8, 2.4, 40)
+        np.testing.assert_allclose(
+            LJ.force_over_r(r * r) * r,
+            LJ.force_magnitude(r),
+            rtol=1e-10,
+        )
+
+    @given(st.floats(min_value=0.81, max_value=2.4))
+    @settings(max_examples=200, deadline=None)
+    def test_property_force_is_negative_energy_gradient(self, r):
+        h = 1e-6
+        v_plus = float(LJ.energy(np.array([r + h]))[0])
+        v_minus = float(LJ.energy(np.array([r - h]))[0])
+        numeric = -(v_plus - v_minus) / (2 * h)
+        analytic = float(LJ.force_magnitude(np.array([r]))[0])
+        assert analytic == pytest.approx(numeric, rel=1e-4, abs=1e-5)
+
+    @given(st.floats(min_value=0.5, max_value=2.4))
+    @settings(max_examples=100, deadline=None)
+    def test_property_shift_does_not_change_force(self, r):
+        assert float(LJ.force_magnitude(np.array([r]))[0]) == pytest.approx(
+            float(LJ_SHIFTED.force_magnitude(np.array([r]))[0])
+        )
+
+    def test_scaling_with_epsilon(self):
+        strong = LennardJones(epsilon=3.0, rcut=2.5, shift=False)
+        r = np.array([1.3])
+        assert float(strong.energy(r)[0]) == pytest.approx(3.0 * float(LJ.energy(r)[0]))
+        assert float(strong.force_magnitude(r)[0]) == pytest.approx(
+            3.0 * float(LJ.force_magnitude(r)[0])
+        )

@@ -1,0 +1,70 @@
+"""Tests for the radial distribution function."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.md.box import PeriodicBox
+from repro.md.lattice import cubic_lattice
+from repro.md.rdf import radial_distribution
+from repro.md.simulation import MDConfig, MDSimulation
+
+
+class TestValidation:
+    def test_rejects_empty_frames(self):
+        with pytest.raises(ValueError):
+            radial_distribution([], PeriodicBox(10.0))
+
+    def test_rejects_bad_rmax(self):
+        box = PeriodicBox(10.0)
+        positions = np.random.default_rng(0).uniform(0, 10, (20, 3))
+        with pytest.raises(ValueError):
+            radial_distribution([positions], box, r_max=6.0)  # > L/2
+        with pytest.raises(ValueError):
+            radial_distribution([positions], box, n_bins=0)
+
+    def test_rejects_mismatched_frames(self):
+        box = PeriodicBox(10.0)
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            radial_distribution(
+                [rng.uniform(0, 10, (20, 3)), rng.uniform(0, 10, (19, 3))], box
+            )
+
+
+class TestPhysics:
+    def test_ideal_gas_is_flat(self, rng):
+        """Uniform random points: g(r) ~ 1 away from r = 0."""
+        box = PeriodicBox(12.0)
+        frames = [box.wrap(rng.uniform(0, 12, (400, 3))) for _ in range(5)]
+        rdf = radial_distribution(frames, box, n_bins=40)
+        tail = rdf.g[len(rdf.g) // 2 :]
+        assert np.mean(tail) == pytest.approx(1.0, abs=0.08)
+
+    def test_crystal_shows_shell_structure(self):
+        box = PeriodicBox(8.0)
+        positions = cubic_lattice(512, box)  # 8x8x8 lattice, spacing 1.0
+        rdf = radial_distribution([positions], box, n_bins=160)
+        peak_r, peak_g = rdf.first_peak()
+        assert peak_r == pytest.approx(1.0, abs=0.05)  # nearest neighbors
+        assert peak_g > 5.0  # sharp crystal peak
+        # no pairs inside the lattice spacing
+        inside = rdf.g[rdf.r < 0.9]
+        np.testing.assert_allclose(inside, 0.0)
+
+    def test_lj_liquid_first_peak_near_minimum(self):
+        sim = MDSimulation(MDConfig(n_atoms=256, dt=0.002), record_every=25)
+        sim.run(100)
+        frames = [frame.positions for frame in sim.trajectory.frames[2:]]
+        rdf = radial_distribution(frames, sim.box, n_bins=80)
+        peak_r, peak_g = rdf.first_peak()
+        # dense LJ fluid: first peak near 2^(1/6) sigma ~ 1.12
+        assert 0.95 < peak_r < 1.3
+        assert peak_g > 1.5
+
+    def test_accepts_single_2d_array(self, rng):
+        box = PeriodicBox(10.0)
+        positions = box.wrap(rng.uniform(0, 10, (50, 3)))
+        rdf = radial_distribution(positions, box)
+        assert rdf.n_frames == 1

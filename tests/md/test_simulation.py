@@ -1,0 +1,142 @@
+"""Tests for the MDSimulation driver and observables."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.md.observables import (
+    kinetic_energy,
+    net_momentum,
+    temperature,
+    total_energy,
+    virial_pressure,
+)
+from repro.md.simulation import MDConfig, MDSimulation
+from repro.md.units import ARGON
+
+
+class TestMDConfig:
+    def test_defaults_match_paper_workload(self):
+        config = MDConfig()
+        assert config.n_atoms == 2048
+        assert config.rcut == 2.5
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            MDConfig(n_atoms=1)
+        with pytest.raises(ValueError):
+            MDConfig(dt=0.0)
+        with pytest.raises(ValueError):
+            MDConfig(dtype="float16")
+
+    def test_box_matches_density(self):
+        config = MDConfig(n_atoms=1000, density=0.5)
+        assert config.make_box().volume == pytest.approx(2000.0)
+
+
+class TestMDSimulation:
+    def test_run_advances_steps(self, small_config):
+        sim = MDSimulation(small_config)
+        records = sim.run(5)
+        assert len(records) == 5
+        assert sim.step_count == 5
+        assert records[-1].step == 5
+
+    def test_deterministic_given_seed(self, small_config):
+        a = MDSimulation(small_config)
+        b = MDSimulation(small_config)
+        a.run(10)
+        b.run(10)
+        np.testing.assert_array_equal(a.state.positions, b.state.positions)
+
+    def test_different_seed_differs(self):
+        a = MDSimulation(MDConfig(n_atoms=128, seed=1))
+        b = MDSimulation(MDConfig(n_atoms=128, seed=2))
+        a.run(3)
+        b.run(3)
+        assert not np.allclose(a.state.positions, b.state.positions)
+
+    def test_energy_drift_small(self):
+        # the compressed lattice start is stiff; a conservative dt keeps
+        # velocity Verlet's drift well-bounded
+        sim = MDSimulation(MDConfig(n_atoms=128, dt=0.001))
+        sim.run(50)
+        assert sim.energy_drift() < 2e-3
+
+    def test_rejects_negative_steps(self, small_config):
+        sim = MDSimulation(small_config)
+        with pytest.raises(ValueError):
+            sim.run(-1)
+
+    def test_records_carry_energies(self, small_config):
+        sim = MDSimulation(small_config)
+        (record,) = sim.run(1)
+        assert record.total_energy == pytest.approx(
+            record.kinetic_energy + record.potential_energy
+        )
+        assert record.interacting_pairs > 0
+
+    def test_custom_backend_is_used(self, small_config):
+        calls = []
+        from repro.md.forces import compute_forces
+
+        box = small_config.make_box()
+        potential = small_config.make_potential()
+
+        def backend(positions):
+            calls.append(1)
+            return compute_forces(positions, box, potential)
+
+        sim = MDSimulation(small_config, force_backend=backend)
+        sim.run(3)
+        assert len(calls) == 4  # initial + 3 steps
+
+
+class TestObservables:
+    def test_kinetic_energy(self):
+        v = np.array([[1.0, 0.0, 0.0], [0.0, 2.0, 0.0]])
+        assert kinetic_energy(v) == pytest.approx(0.5 * (1 + 4))
+
+    def test_temperature_definition(self):
+        v = np.ones((10, 3))
+        # KE = 15, T = 2*15/(3*10) = 1
+        assert temperature(v) == pytest.approx(1.0)
+
+    def test_temperature_rejects_empty(self):
+        with pytest.raises(ValueError):
+            temperature(np.zeros((0, 3)))
+
+    def test_net_momentum(self):
+        v = np.array([[1.0, 0.0, 0.0], [-1.0, 0.0, 0.0]])
+        np.testing.assert_allclose(net_momentum(v), 0.0)
+
+    def test_total_energy_of_state(self, small_config):
+        sim = MDSimulation(small_config)
+        e = total_energy(sim.state)
+        assert e == pytest.approx(
+            sim.records[0].kinetic_energy + sim.records[0].potential_energy
+        )
+
+    def test_virial_pressure_ideal_gas_limit(self):
+        # zero virial -> P = N T / V
+        assert virial_pressure(100, 50.0, 2.0, 0.0) == pytest.approx(4.0)
+
+    def test_virial_pressure_rejects_bad_volume(self):
+        with pytest.raises(ValueError):
+            virial_pressure(10, 0.0, 1.0, 0.0)
+
+
+class TestUnits:
+    def test_argon_temperature_scale(self):
+        assert ARGON.temperature_kelvin == pytest.approx(119.8, rel=1e-6)
+
+    def test_argon_time_unit_is_picoseconds(self):
+        # canonical LJ time unit for argon ~ 2.15 ps
+        assert ARGON.time_second == pytest.approx(2.15e-12, rel=0.02)
+
+    def test_roundtrips(self):
+        assert ARGON.to_kelvin(ARGON.to_reduced_temperature(300.0)) == pytest.approx(
+            300.0
+        )
+        assert ARGON.to_seconds(ARGON.to_reduced_time(1e-12)) == pytest.approx(1e-12)

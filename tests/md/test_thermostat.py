@@ -1,0 +1,84 @@
+"""Tests for the velocity-rescale and Berendsen thermostats."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.md.lattice import maxwell_boltzmann_velocities
+from repro.md.observables import temperature
+from repro.md.thermostat import BerendsenThermostat, VelocityRescale
+
+
+@pytest.fixture
+def hot_velocities(rng):
+    return maxwell_boltzmann_velocities(200, 2.0, rng)
+
+
+class TestVelocityRescale:
+    def test_hits_target_exactly(self, hot_velocities):
+        thermostat = VelocityRescale(target_temperature=0.5)
+        scaled = thermostat.apply(hot_velocities, step=0, dt=0.004)
+        assert temperature(scaled) == pytest.approx(0.5, rel=1e-12)
+        assert thermostat.applications == 1
+
+    def test_interval_gating(self, hot_velocities):
+        thermostat = VelocityRescale(target_temperature=0.5, interval=5)
+        untouched = thermostat.apply(hot_velocities, step=3, dt=0.004)
+        np.testing.assert_array_equal(untouched, hot_velocities)
+        scaled = thermostat.apply(hot_velocities, step=5, dt=0.004)
+        assert temperature(scaled) == pytest.approx(0.5)
+
+    def test_preserves_zero_momentum(self, hot_velocities):
+        thermostat = VelocityRescale(target_temperature=0.5)
+        scaled = thermostat.apply(hot_velocities, step=0, dt=0.004)
+        np.testing.assert_allclose(scaled.sum(axis=0), 0.0, atol=1e-10)
+
+    def test_at_rest_left_alone(self):
+        thermostat = VelocityRescale(target_temperature=1.0)
+        v = np.zeros((10, 3))
+        np.testing.assert_array_equal(thermostat.apply(v, 0, 0.004), v)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VelocityRescale(target_temperature=-1.0)
+        with pytest.raises(ValueError):
+            VelocityRescale(target_temperature=1.0, interval=0)
+
+
+class TestBerendsen:
+    def test_moves_toward_target(self, hot_velocities):
+        thermostat = BerendsenThermostat(target_temperature=0.5, tau=0.1)
+        t_before = temperature(hot_velocities)
+        scaled = thermostat.apply(hot_velocities, step=0, dt=0.004)
+        t_after = temperature(scaled)
+        assert 0.5 < t_after < t_before
+
+    def test_weak_coupling_is_gentler_than_rescale(self, hot_velocities):
+        gentle = BerendsenThermostat(target_temperature=0.5, tau=1.0)
+        strong = BerendsenThermostat(target_temperature=0.5, tau=0.05)
+        t_gentle = temperature(gentle.apply(hot_velocities, 0, 0.004))
+        t_strong = temperature(strong.apply(hot_velocities, 0, 0.004))
+        assert t_strong < t_gentle
+
+    def test_converges_over_many_steps(self, hot_velocities):
+        thermostat = BerendsenThermostat(target_temperature=0.8, tau=0.05)
+        v = hot_velocities
+        for step in range(200):
+            v = thermostat.apply(v, step, dt=0.004)
+        assert temperature(v) == pytest.approx(0.8, rel=1e-3)
+
+    def test_fixed_point_at_target(self, rng):
+        v = maxwell_boltzmann_velocities(100, 0.7, rng)
+        thermostat = BerendsenThermostat(target_temperature=0.7, tau=0.1)
+        scaled = thermostat.apply(v, 0, 0.004)
+        np.testing.assert_allclose(scaled, v, rtol=1e-10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BerendsenThermostat(target_temperature=-1.0)
+        with pytest.raises(ValueError):
+            BerendsenThermostat(target_temperature=1.0, tau=0.0)
+        thermostat = BerendsenThermostat(target_temperature=1.0)
+        with pytest.raises(ValueError):
+            thermostat.apply(np.ones((5, 3)), 0, dt=0.0)

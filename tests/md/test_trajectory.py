@@ -1,0 +1,63 @@
+"""Tests for trajectory recording and XYZ I/O."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.md.simulation import MDConfig, MDSimulation
+from repro.md.trajectory import Trajectory
+
+
+class TestRecording:
+    def test_records_every_step_by_default(self, small_config):
+        sim = MDSimulation(small_config)
+        sim.run(5)
+        assert len(sim.trajectory) == 6  # initial frame + 5 steps
+
+    def test_thinning(self):
+        config = MDConfig(n_atoms=128)
+        sim = MDSimulation(config, record_every=2)
+        sim.run(6)
+        steps = [frame.step for frame in sim.trajectory.frames]
+        assert steps == [0, 2, 4, 6]
+
+    def test_rejects_bad_stride(self):
+        with pytest.raises(ValueError):
+            Trajectory(record_every=0)
+
+    def test_energies_matrix(self, small_config):
+        sim = MDSimulation(small_config)
+        sim.run(3)
+        energies = sim.trajectory.energies()
+        assert energies.shape == (4, 3)
+        np.testing.assert_allclose(
+            energies[:, 2], energies[:, 0] + energies[:, 1]
+        )
+
+    def test_frames_are_copies(self, small_config):
+        sim = MDSimulation(small_config)
+        sim.run(2)
+        frame0 = sim.trajectory[0]
+        assert not np.shares_memory(frame0.positions, sim.state.positions)
+
+
+class TestXYZRoundTrip:
+    def test_write_and_read_back(self, tmp_path, small_config):
+        sim = MDSimulation(small_config, record_every=2)
+        sim.run(4)
+        path = tmp_path / "run.xyz"
+        sim.trajectory.write_xyz(path)
+        frames = Trajectory.read_xyz(path)
+        assert len(frames) == len(sim.trajectory)
+        for read, frame in zip(frames, sim.trajectory.frames):
+            np.testing.assert_allclose(read, frame.positions, atol=1e-7)
+
+    def test_xyz_header_counts(self, tmp_path, small_config):
+        sim = MDSimulation(small_config)
+        sim.run(1)
+        path = tmp_path / "run.xyz"
+        sim.trajectory.write_xyz(path, element="Xx")
+        text = path.read_text().splitlines()
+        assert text[0] == str(small_config.n_atoms)
+        assert text[2].startswith("Xx ")

@@ -1,0 +1,168 @@
+"""Tests for the loop IR and the MTA parallelizing-compiler model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mta.compiler import analyze_loop, compile_nest
+from repro.mta.kernels import md_kernel_ir
+from repro.mta.loopir import (
+    PRAGMA_ASSERT_PARALLEL,
+    ArrayRef,
+    LoopNest,
+    ScalarRef,
+    Statement,
+)
+
+
+def _loop(body, index="i", pragmas=frozenset(), label="L"):
+    return LoopNest(
+        index=index, trips_key="n", body=tuple(body), pragmas=pragmas, label=label
+    )
+
+
+class TestIR:
+    def test_reduction_statement_must_write_scalar(self):
+        with pytest.raises(ValueError):
+            Statement(
+                "bad",
+                writes=(ArrayRef("a", ("i",)),),
+                is_reduction=True,
+            )
+
+    def test_statement_collection(self):
+        inner = _loop([Statement("s1")], index="j", label="inner")
+        outer = _loop([Statement("s0"), inner], label="outer")
+        assert len(outer.statements()) == 2
+        assert len(outer.direct_statements()) == 1
+        assert outer.nested_loops() == [inner]
+
+
+class TestAnalysis:
+    def test_private_array_write_is_parallel(self):
+        loop = _loop(
+            [
+                Statement(
+                    "a[i] = f(b[i])",
+                    reads=(ArrayRef("b", ("i",)),),
+                    writes=(ArrayRef("a", ("i",)),),
+                )
+            ]
+        )
+        assert analyze_loop(loop).parallel
+
+    def test_cross_iteration_array_write_blocks(self):
+        loop = _loop(
+            [
+                Statement(
+                    "a[0] = b[i]",
+                    reads=(ArrayRef("b", ("i",)),),
+                    writes=(ArrayRef("a", ("k",)),),
+                )
+            ]
+        )
+        report = analyze_loop(loop)
+        assert not report.parallel
+        assert any("cross-iteration" in reason for reason in report.reasons)
+
+    def test_direct_scalar_reduction_is_recognized(self):
+        loop = _loop(
+            [
+                Statement(
+                    "s += a[i]",
+                    reads=(ScalarRef("s"), ArrayRef("a", ("i",))),
+                    writes=(ScalarRef("s"),),
+                    is_reduction=True,
+                )
+            ]
+        )
+        report = analyze_loop(loop)
+        assert report.parallel
+        assert "s" in report.recognized_reductions
+
+    def test_nested_scalar_reduction_blocks(self):
+        """The paper's exact failure: the PE reduction buried inside the
+        nested pair loop defeats the recognizer."""
+        inner = _loop(
+            [
+                Statement(
+                    "pe += v(i, j)",
+                    reads=(ScalarRef("pe"),),
+                    writes=(ScalarRef("pe"),),
+                    is_reduction=True,
+                )
+            ],
+            index="j",
+            label="inner",
+        )
+        outer = _loop([inner], label="outer")
+        report = analyze_loop(outer)
+        assert not report.parallel
+        assert any("pe" in reason for reason in report.reasons)
+
+    def test_privatized_scalar_does_not_block(self):
+        inner = _loop(
+            [
+                Statement(
+                    "t += v(i, j)",
+                    reads=(ScalarRef("t"),),
+                    writes=(ScalarRef("t"),),
+                    is_reduction=True,
+                )
+            ],
+            index="j",
+        )
+        outer = _loop(
+            [
+                Statement("t = 0", writes=(ScalarRef("t"),)),
+                inner,
+            ]
+        )
+        assert analyze_loop(outer).parallel
+
+    def test_pragma_overrides_analysis(self):
+        inner = _loop(
+            [
+                Statement(
+                    "pe += v",
+                    reads=(ScalarRef("pe"),),
+                    writes=(ScalarRef("pe"),),
+                    is_reduction=True,
+                )
+            ],
+            index="j",
+        )
+        outer = _loop(
+            [inner], pragmas=frozenset({PRAGMA_ASSERT_PARALLEL})
+        )
+        report = analyze_loop(outer)
+        assert report.parallel
+        assert report.via_pragma
+
+
+class TestMDKernelIR:
+    def test_original_source_force_loop_refused(self):
+        report = compile_nest(*md_kernel_ir(fully_multithreaded=False))
+        force = report.loop("step2_forces")
+        assert not force.parallel
+        assert any("pe" in reason for reason in force.reasons)
+        assert not report.all_parallel
+
+    def test_rest_of_kernel_parallelizes_without_modification(self):
+        report = compile_nest(*md_kernel_ir(fully_multithreaded=False))
+        for label in (
+            "step1_advance_velocities",
+            "step34_move_atoms",
+            "step5_energies",
+        ):
+            assert report.loop(label).parallel, label
+
+    def test_restructured_source_fully_parallel(self):
+        report = compile_nest(*md_kernel_ir(fully_multithreaded=True))
+        assert report.all_parallel
+        assert report.loop("step2_forces").via_pragma
+
+    def test_unknown_label_raises(self):
+        report = compile_nest(*md_kernel_ir(True))
+        with pytest.raises(KeyError):
+            report.loop("step99")

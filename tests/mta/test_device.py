@@ -1,0 +1,105 @@
+"""Tests for the MTA-2 stream model and device."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch import calibration as cal
+from repro.mta.device import MTADevice
+from repro.mta.streams import StreamModel
+from repro.md import MDConfig
+
+
+class TestStreamModel:
+    def test_saturated_utilization_is_one(self):
+        model = StreamModel(n_processors=1)
+        assert model.utilization(128) == 1.0
+        assert model.utilization(10_000) == 1.0
+
+    def test_undersaturated_scales_linearly(self):
+        model = StreamModel(n_processors=1)
+        assert model.utilization(64) == pytest.approx(0.5)
+
+    def test_multiprocessor_needs_more_threads(self):
+        model = StreamModel(n_processors=4)
+        assert model.utilization(128) == pytest.approx(0.25)
+        assert model.utilization(512) == 1.0
+
+    def test_serial_gap(self):
+        model = StreamModel()
+        serial = model.serial_seconds(1000)
+        parallel = model.parallel_seconds(1000, concurrent_threads=128)
+        assert serial / parallel == pytest.approx(cal.MTA_SERIAL_ISSUE_GAP_CYCLES)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamModel(n_processors=0)
+        model = StreamModel()
+        with pytest.raises(ValueError):
+            model.utilization(0)
+        with pytest.raises(ValueError):
+            model.parallel_seconds(-1, 128)
+        with pytest.raises(ValueError):
+            model.serial_seconds(-1)
+
+
+class TestMTADevice:
+    def test_partial_is_serial_gap_slower_on_force_loop(self):
+        cfg = MDConfig(n_atoms=256)
+        full = MTADevice(fully_multithreaded=True).run(cfg, 2)
+        part = MTADevice(fully_multithreaded=False).run(cfg, 2)
+        ratio = part.component("force_loop") / full.component("force_loop")
+        assert ratio == pytest.approx(cal.MTA_SERIAL_ISSUE_GAP_CYCLES, rel=1e-6)
+
+    def test_integration_parallel_in_both_modes(self):
+        cfg = MDConfig(n_atoms=256)
+        full = MTADevice(True).run(cfg, 2)
+        part = MTADevice(False).run(cfg, 2)
+        assert full.component("integration") == pytest.approx(
+            part.component("integration")
+        )
+
+    def test_compilation_report_attached(self):
+        device = MTADevice(fully_multithreaded=False)
+        assert not device.compilation.loop("step2_forces").parallel
+        device = MTADevice(fully_multithreaded=True)
+        assert device.compilation.loop("step2_forces").parallel
+
+    def test_double_precision_enforced(self):
+        result = MTADevice(True).run(MDConfig(n_atoms=128), 1)
+        assert result.config.dtype == "float64"
+
+    def test_higher_clock_is_proportionally_faster(self):
+        cfg = MDConfig(n_atoms=256)
+        mta = MTADevice(True, clock_hz=cal.MTA_CLOCK_HZ).run(cfg, 2)
+        xmt = MTADevice(True, clock_hz=cal.XMT_CLOCK_HZ).run(cfg, 2)
+        assert mta.total_seconds / xmt.total_seconds == pytest.approx(
+            cal.XMT_CLOCK_HZ / cal.MTA_CLOCK_HZ, rel=1e-9
+        )
+
+    def test_more_processors_faster_when_saturated(self):
+        cfg = MDConfig(n_atoms=512)
+        p1 = MTADevice(True, n_processors=1).run(cfg, 2)
+        p4 = MTADevice(True, n_processors=4).run(cfg, 2)
+        # the parallel force loop scales exactly; the serialized
+        # full/empty PE reduction does not (Amdahl), so the total is
+        # slightly above a perfect 4x
+        assert p4.component("force_loop") == pytest.approx(
+            p1.component("force_loop") / 4, rel=1e-9
+        )
+        assert p4.component("pe_reduction") == pytest.approx(
+            p1.component("pe_reduction"), rel=1e-9
+        )
+        assert p1.total_seconds / 4 <= p4.total_seconds < p1.total_seconds / 3.5
+
+    def test_physics_matches_reference_float64(self):
+        from repro.md import MDSimulation
+
+        cfg = MDConfig(n_atoms=128)
+        device_result = MTADevice(True).run(cfg, 3)
+        sim = MDSimulation(cfg)
+        sim.run(3)
+        np.testing.assert_allclose(
+            device_result.final_positions, sim.state.positions, atol=1e-12
+        )

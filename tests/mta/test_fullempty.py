@@ -1,0 +1,111 @@
+"""Tests for full/empty-bit synchronized memory."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mta.fullempty import (
+    SYNC_OP_ISSUES,
+    FullEmptyArray,
+    FullEmptyError,
+    FullEmptyWord,
+    SynchronizedReduction,
+)
+
+
+class TestWord:
+    def test_producer_consumer_handshake(self):
+        word = FullEmptyWord()
+        word.writeef(3.5)
+        assert word.full
+        assert word.readfe() == 3.5
+        assert not word.full
+
+    def test_write_to_full_word_deadlocks(self):
+        word = FullEmptyWord()
+        word.writeef(1.0)
+        with pytest.raises(FullEmptyError):
+            word.writeef(2.0)
+
+    def test_read_from_empty_word_deadlocks(self):
+        word = FullEmptyWord()
+        with pytest.raises(FullEmptyError):
+            word.readfe()
+        with pytest.raises(FullEmptyError):
+            word.readff()
+
+    def test_readff_leaves_full(self):
+        word = FullEmptyWord()
+        word.writeef(7.0)
+        assert word.readff() == 7.0
+        assert word.full
+
+    def test_unconditional_write_forces_full(self):
+        word = FullEmptyWord()
+        word.write_unconditional(9.0)
+        assert word.full
+        word.write_unconditional(10.0)  # allowed even when full
+        assert word.readfe() == 10.0
+
+
+class TestArray:
+    def test_per_element_tags(self):
+        arr = FullEmptyArray(4)
+        arr.writeef(2, 5.0)
+        assert arr.full_count() == 1
+        assert arr.readfe(2) == 5.0
+        assert arr.full_count() == 0
+
+    def test_double_write_deadlocks(self):
+        arr = FullEmptyArray(2)
+        arr.writeef(0, 1.0)
+        with pytest.raises(FullEmptyError):
+            arr.writeef(0, 2.0)
+
+    def test_empty_read_deadlocks(self):
+        arr = FullEmptyArray(2)
+        with pytest.raises(FullEmptyError):
+            arr.readfe(1)
+
+    def test_initially_full_option(self):
+        arr = FullEmptyArray(3, fill=1.5, full=True)
+        assert arr.full_count() == 3
+        assert arr.readfe(0) == 1.5
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            FullEmptyArray(0)
+
+
+class TestSynchronizedReduction:
+    def test_computes_the_sum(self, rng):
+        reduction = SynchronizedReduction()
+        values = rng.normal(size=100)
+        total = reduction.add_all(values)
+        assert total == pytest.approx(values.sum())
+
+    def test_accumulates_across_calls(self):
+        reduction = SynchronizedReduction()
+        reduction.add_all(np.array([1.0, 2.0]))
+        total = reduction.add_all(np.array([3.0]))
+        assert total == pytest.approx(6.0)
+
+    def test_serialized_cost_is_linear(self):
+        reduction = SynchronizedReduction()
+        assert reduction.critical_path_issues(100) == pytest.approx(
+            100 * (2 * SYNC_OP_ISSUES + 1)
+        )
+        reduction.add_all(np.ones(10))
+        assert reduction.serialized_issues == pytest.approx(
+            reduction.critical_path_issues(10)
+        )
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            SynchronizedReduction().critical_path_issues(-1)
+
+    def test_word_left_full_between_operations(self):
+        reduction = SynchronizedReduction()
+        reduction.add_all(np.array([2.0]))
+        assert reduction.word.full  # readable by any stream afterwards

@@ -1,0 +1,103 @@
+"""Tests for the XMT torus-network roofline model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import calibration as cal
+from repro.md import MDConfig
+from repro.mta.kernels import build_mta_pair_program
+from repro.mta.xmt import XMTDevice, XMTNetwork, memory_reference_count
+
+
+class TestNetwork:
+    def test_small_machines_injection_bound(self):
+        net = XMTNetwork(injection_words_per_cycle=0.5, bisection_coefficient=2.0)
+        assert net.aggregate_words_per_cycle(8) == pytest.approx(4.0)
+
+    def test_large_machines_bisection_bound(self):
+        net = XMTNetwork(injection_words_per_cycle=0.5, bisection_coefficient=2.0)
+        assert net.aggregate_words_per_cycle(512) == pytest.approx(
+            2.0 * 512 ** (2 / 3)
+        )
+
+    def test_crossover(self):
+        net = XMTNetwork(injection_words_per_cycle=0.5, bisection_coefficient=2.0)
+        assert net.crossover_processors() == pytest.approx(64.0)
+        p = 64
+        assert net.aggregate_words_per_cycle(p) == pytest.approx(0.5 * p)
+
+    def test_rate_monotone_in_processors(self):
+        net = XMTNetwork()
+        rates = [net.aggregate_words_per_cycle(p) for p in (1, 8, 64, 512, 4096)]
+        assert all(b >= a for a, b in zip(rates, rates[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            XMTNetwork(injection_words_per_cycle=0.0)
+        with pytest.raises(ValueError):
+            XMTNetwork(bisection_coefficient=-1.0)
+        with pytest.raises(ValueError):
+            XMTNetwork().aggregate_words_per_cycle(0)
+
+
+class TestMemoryCounting:
+    def test_counts_only_memory_ops(self):
+        program = build_mta_pair_program(13.4)
+        metrics = {"pairs": 1.0, "interacting_fraction": 0.0, "reflect_take": 0.0}
+        refs = memory_reference_count(program, metrics)
+        assert refs > 0
+        # far fewer memory refs than total issues
+        from repro.mta.kernels import MTA_ISSUE_SLOTS
+        from repro.vm.schedule import count_issues
+
+        total = count_issues(program, metrics, issue_slots=MTA_ISSUE_SLOTS)
+        assert refs < total / 2
+
+
+class TestXMTDevice:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            XMTDevice(n_processors=0)
+        with pytest.raises(ValueError):
+            XMTDevice(n_processors=cal.XMT_MAX_PROCESSORS + 1)
+        with pytest.raises(ValueError):
+            XMTDevice().memory_seconds(-1.0)
+
+    def test_uniform_memory_never_slower(self):
+        cfg = MDConfig(n_atoms=512)
+        torus = XMTDevice(n_processors=8).run(cfg, 2)
+        flat = XMTDevice(n_processors=8, uniform_memory=True).run(cfg, 2)
+        assert flat.total_seconds <= torus.total_seconds + 1e-12
+
+    def test_network_wait_zero_when_compute_bound(self):
+        cfg = MDConfig(n_atoms=512)
+        result = XMTDevice(n_processors=1).run(cfg, 2)
+        assert result.component("network_wait") == 0.0
+
+    def test_projection_matches_functional_run(self):
+        """The analytic projection must agree with a real run at a
+        feasible size when fed the measured fraction."""
+        cfg = MDConfig(n_atoms=512)
+        device = XMTDevice(n_processors=4)
+        functional = device.run(cfg, 1)
+        fraction = (
+            2.0
+            * functional.records[-1].interacting_pairs
+            / (512 * 511)
+        )
+        projected = device.projected_step_seconds(
+            512, fraction, cfg.make_box().length
+        )
+        assert sum(projected.values()) == pytest.approx(
+            functional.step_seconds[0], rel=0.02
+        )
+
+    def test_projection_shows_network_binding_at_scale(self):
+        device = XMTDevice(n_processors=2048)
+        parts = device.projected_step_seconds(262144, 0.05, 60.0)
+        assert parts["network_wait"] > 0.0
+
+    def test_double_precision(self):
+        result = XMTDevice(n_processors=2).run(MDConfig(n_atoms=128), 1)
+        assert result.config.dtype == "float64"

@@ -1,0 +1,119 @@
+"""Tests for the Opteron baseline: kernel cost, cache stalls, device."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch import calibration as cal
+from repro.md import MDConfig, MDSimulation
+from repro.opteron.costmodel import (
+    cache_stall_cycles_per_pair,
+    make_opteron_hierarchy,
+)
+from repro.opteron.device import OpteronDevice
+from repro.opteron.kernel import (
+    OPTERON_COST_TABLE,
+    build_integration_program,
+    build_opteron_kernel,
+)
+from repro.vm.schedule import estimate_cycles
+
+
+class TestKernelProgram:
+    def test_validates(self):
+        program = build_opteron_kernel(10.0)
+        program.validate()
+
+    def test_cycles_in_plausible_range(self):
+        program = build_opteron_kernel(10.0)
+        metrics = {
+            "pairs": 1.0,
+            "interacting_fraction": 0.027,
+            "reflect_take": 0.04,
+        }
+        per_pair = estimate_cycles(
+            program, OPTERON_COST_TABLE, metrics
+        ).total_cycles
+        # a naive double-precision kernel with a real sqrt: ~100-200 cycles
+        assert 80.0 <= per_pair <= 250.0
+
+    def test_interacting_fraction_raises_cost(self):
+        program = build_opteron_kernel(10.0)
+        lo = estimate_cycles(
+            program,
+            OPTERON_COST_TABLE,
+            {"pairs": 1.0, "interacting_fraction": 0.0, "reflect_take": 0.04},
+        ).total_cycles
+        hi = estimate_cycles(
+            program,
+            OPTERON_COST_TABLE,
+            {"pairs": 1.0, "interacting_fraction": 0.5, "reflect_take": 0.04},
+        ).total_cycles
+        assert hi > lo
+
+    def test_integration_program_validates(self):
+        build_integration_program().validate()
+
+
+class TestCacheStalls:
+    def test_zero_below_l1_capacity(self):
+        # 2048 atoms x 24 B = 48 KB < 64 KB L1
+        assert cache_stall_cycles_per_pair(2048) == 0.0
+
+    def test_positive_beyond_l1_capacity(self):
+        # 4096 atoms x 24 B = 96 KB > 64 KB L1: every line re-misses
+        stall = cache_stall_cycles_per_pair(4096)
+        assert stall > 0.0
+        # misses per pair = 24/64 lines; each costs the L2 penalty
+        expected = (24.0 / 64.0) * cal.OPTERON_L2_PENALTY_CYCLES
+        assert stall == pytest.approx(expected, rel=0.05)
+
+    def test_knee_location(self):
+        knee = cal.OPTERON_L1_BYTES // cal.VEC3_F64_BYTES  # ~2730 atoms
+        assert cache_stall_cycles_per_pair(knee - 200) == 0.0
+        assert cache_stall_cycles_per_pair(knee + 600) > 0.0
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            cache_stall_cycles_per_pair.__wrapped__(0)
+
+    def test_hierarchy_geometry(self):
+        hierarchy = make_opteron_hierarchy()
+        (l1, _p1), (l2, _p2) = hierarchy.levels
+        assert l1.size_bytes == cal.OPTERON_L1_BYTES
+        assert l2.size_bytes == cal.OPTERON_L2_BYTES
+
+
+class TestOpteronDevice:
+    def test_run_breakdown(self):
+        result = OpteronDevice().run(MDConfig(n_atoms=128), 2)
+        for key in ("kernel", "memory_stall", "integration"):
+            assert key in result.breakdown
+
+    def test_no_stall_component_below_knee(self):
+        result = OpteronDevice().run(MDConfig(n_atoms=512), 2)
+        assert result.component("memory_stall") == 0.0
+
+    def test_double_precision_enforced(self):
+        result = OpteronDevice().run(MDConfig(n_atoms=128), 1)
+        assert result.config.dtype == "float64"
+
+    def test_physics_matches_reference(self):
+        cfg = MDConfig(n_atoms=128)
+        device_result = OpteronDevice().run(cfg, 3)
+        sim = MDSimulation(cfg)
+        sim.run(3)
+        np.testing.assert_allclose(
+            device_result.final_positions, sim.state.positions, atol=1e-12
+        )
+
+    def test_rejects_bad_reflect_probability(self):
+        with pytest.raises(ValueError):
+            OpteronDevice(reflect_take=1.5)
+
+    def test_runtime_scales_superlinearly_with_atoms(self):
+        small = OpteronDevice().run(MDConfig(n_atoms=256), 2)
+        large = OpteronDevice().run(MDConfig(n_atoms=512), 2)
+        ratio = large.total_seconds / small.total_seconds
+        assert ratio > 3.0  # ~N^2

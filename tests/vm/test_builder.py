@@ -1,0 +1,81 @@
+"""Tests for the Asm builder DSL."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.vm.builder import Asm
+from repro.vm.program import IfBlock, Instr, Loop
+
+A = Asm()
+
+
+class TestInstructionFactories:
+    @pytest.mark.parametrize(
+        "method,args,op",
+        [
+            ("fa", ("d", "a", "b"), "fa"),
+            ("fs", ("d", "a", "b"), "fs"),
+            ("fm", ("d", "a", "b"), "fm"),
+            ("fma", ("d", "a", "b", "c"), "fma"),
+            ("fms", ("d", "a", "b", "c"), "fms"),
+            ("fnms", ("d", "a", "b", "c"), "fnms"),
+            ("fdiv", ("d", "a", "b"), "fdiv"),
+            ("fsqrt", ("d", "a"), "fsqrt"),
+            ("frest", ("d", "a"), "frest"),
+            ("frsqest", ("d", "a"), "frsqest"),
+            ("fabs", ("d", "a"), "fabs"),
+            ("fneg", ("d", "a"), "fneg"),
+            ("fmin", ("d", "a", "b"), "fmin"),
+            ("fmax", ("d", "a", "b"), "fmax"),
+            ("fround", ("d", "a"), "fround"),
+            ("cpsgn", ("d", "a", "b"), "cpsgn"),
+            ("fclt", ("d", "a", "b"), "fclt"),
+            ("fcgt", ("d", "a", "b"), "fcgt"),
+            ("fceq", ("d", "a", "b"), "fceq"),
+            ("selb", ("d", "a", "b", "m"), "selb"),
+            ("and_", ("d", "a", "b"), "and_"),
+            ("or_", ("d", "a", "b"), "or_"),
+            ("mov", ("d", "a"), "mov"),
+            ("lqd", ("d", "a"), "lqd"),
+            ("stqd", ("d", "a"), "stqd"),
+            ("texfetch", ("d", "a"), "texfetch"),
+        ],
+    )
+    def test_factory_produces_named_instr(self, method, args, op):
+        instr = getattr(A, method)(*args)
+        assert isinstance(instr, Instr)
+        assert instr.op == op
+        assert instr.dest == "d"
+
+    def test_immediate_factories(self):
+        assert A.splat("d", "a", 2).imm == 2
+        assert A.shufb("d", "a", "b", (0, 1, 2, 4)).imm == (0, 1, 2, 4)
+        assert A.rot("d", "a", 1).imm == 1
+        assert A.il("d", "a", 3.0).imm == 3.0
+        assert A.ilv("d", "a", (1.0, 2.0)).imm == (1.0, 2.0)
+
+    def test_nop(self):
+        nop = A.nop()
+        assert nop.op == "nop"
+        assert nop.dest is None
+
+
+class TestStructureFactories:
+    def test_loop(self):
+        loop = A.loop(3, [A.mov("d", "a")], overhead=1)
+        assert isinstance(loop, Loop)
+        assert loop.count == 3
+        assert loop.overhead_instrs == 1
+
+    def test_if(self):
+        block = A.if_("m", [A.mov("d", "a")], prob_key="p", penalty=7, fetch_stall=2)
+        assert isinstance(block, IfBlock)
+        assert block.penalty == 7
+        assert block.fetch_stall == 2
+        assert block.prob_key == "p"
+
+    def test_composites_return_lists(self):
+        assert len(A.hsum3("s", "v", tmp="t")) == 5
+        assert len(A.rsqrt_refined("y", "x", "t", "half", "three")) == 5
+        assert len(A.recip_refined("y", "x", "t", "two")) == 3

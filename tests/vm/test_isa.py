@@ -1,0 +1,94 @@
+"""Tests for opcode semantics and cost tables."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.vm.isa import EVEN, ODD, OPS, CostTable, OpCost
+
+
+class TestOpSemantics:
+    def _reg(self, *lanes):
+        return np.array([list(lanes)], dtype=np.float32)
+
+    def test_arithmetic_ops(self):
+        a = self._reg(1, 2, 3, 4)
+        b = self._reg(10, 20, 30, 40)
+        c = self._reg(100, 100, 100, 100)
+        np.testing.assert_allclose(OPS["fa"].func(a, b), a + b)
+        np.testing.assert_allclose(OPS["fs"].func(a, b), a - b)
+        np.testing.assert_allclose(OPS["fm"].func(a, b), a * b)
+        np.testing.assert_allclose(OPS["fma"].func(a, b, c), a * b + c)
+        np.testing.assert_allclose(OPS["fms"].func(a, b, c), a * b - c)
+        np.testing.assert_allclose(OPS["fnms"].func(a, b, c), c - a * b)
+
+    def test_estimates_are_exact(self):
+        a = self._reg(4.0, 16.0, 0.25, 1.0)
+        np.testing.assert_allclose(OPS["frest"].func(a), 1.0 / a)
+        np.testing.assert_allclose(OPS["frsqest"].func(a), 1.0 / np.sqrt(a))
+
+    def test_comparisons_produce_masks(self):
+        a = self._reg(1, 5, 3, 0)
+        b = self._reg(2, 2, 3, 1)
+        np.testing.assert_allclose(OPS["fclt"].func(a, b), [[1, 0, 0, 1]])
+        np.testing.assert_allclose(OPS["fcgt"].func(a, b), [[0, 1, 0, 0]])
+        np.testing.assert_allclose(OPS["fceq"].func(a, b), [[0, 0, 1, 0]])
+
+    def test_selb(self):
+        a = self._reg(1, 1, 1, 1)
+        b = self._reg(2, 2, 2, 2)
+        mask = self._reg(0, 1, 0, 1)
+        np.testing.assert_allclose(OPS["selb"].func(a, b, mask), [[1, 2, 1, 2]])
+
+    def test_splat(self):
+        a = self._reg(7, 8, 9, 10)
+        np.testing.assert_allclose(OPS["splat"].func(a, 2), [[9, 9, 9, 9]])
+
+    def test_shufb(self):
+        a = self._reg(0, 1, 2, 3)
+        b = self._reg(4, 5, 6, 7)
+        np.testing.assert_allclose(
+            OPS["shufb"].func(a, b, (0, 1, 2, 4)), [[0, 1, 2, 4]]
+        )
+
+    def test_rotate_lanes(self):
+        a = self._reg(0, 1, 2, 3)
+        np.testing.assert_allclose(OPS["rotqbyi"].func(a, 1), [[1, 2, 3, 0]])
+
+    def test_immediates(self):
+        a = self._reg(0, 0, 0, 0)
+        np.testing.assert_allclose(OPS["il"].func(a, 3.5), [[3.5] * 4])
+        np.testing.assert_allclose(
+            OPS["ilv"].func(a, (1.0, 2.0, 3.0, 4.0)), [[1, 2, 3, 4]]
+        )
+
+    def test_ilv_pads_missing_lanes_with_zero(self):
+        a = self._reg(9, 9, 9, 9)
+        np.testing.assert_allclose(OPS["ilv"].func(a, (1.0, 2.0)), [[1, 2, 0, 0]])
+
+    def test_copysign_and_round(self):
+        a = self._reg(3, -3, 2.5, -2.5)
+        b = self._reg(-1, 1, 1, 1)
+        np.testing.assert_allclose(OPS["cpsgn"].func(a, b), [[-3, 3, 2.5, 2.5]])
+        np.testing.assert_allclose(
+            OPS["fround"].func(self._reg(1.4, 1.6, -1.4, -1.6)), [[1, 2, -1, -2]]
+        )
+
+
+class TestCostTable:
+    def test_unknown_opcode_falls_back_to_default(self):
+        table = CostTable("t", costs={}, default=OpCost(3, ODD))
+        assert table.cost("fa").latency == 3
+        assert table.cost("fa").pipe == ODD
+
+    def test_rejects_bad_latency(self):
+        with pytest.raises(ValueError):
+            OpCost(latency=0)
+
+    def test_rejects_bad_pipe(self):
+        with pytest.raises(ValueError):
+            OpCost(latency=1, pipe="middle")
+
+    def test_pipe_tags(self):
+        assert EVEN != ODD

@@ -1,0 +1,205 @@
+"""Tests for the batched SPMD interpreter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vm.builder import Asm
+from repro.vm.machine import Machine, MachineError
+from repro.vm.program import Program, Segment
+
+A = Asm()
+
+
+def _program(body, inputs, outputs):
+    prog = Program(
+        "t", (Segment("main", "trips", tuple(body)),), inputs=inputs, outputs=outputs
+    )
+    prog.validate()
+    return prog
+
+
+def _run(machine, body, env, inputs, outputs):
+    prog = _program(body, inputs, outputs)
+    return machine.run_segment(prog, "main", env)
+
+
+class TestBasics:
+    def test_elementwise_over_batch(self):
+        m = Machine(width=4, dtype=np.float32)
+        x = m.load_vec3(np.arange(30, dtype=np.float32).reshape(10, 3))
+        env = {"x": x}
+        _run(m, [A.fa("y", "x", "x")], env, ("x",), ("y",))
+        np.testing.assert_allclose(env["y"], 2 * x)
+
+    def test_load_vec3_pads_fourth_lane(self):
+        m = Machine(width=4)
+        reg = m.load_vec3(np.ones((3, 3)), batch_pad=7.0)
+        np.testing.assert_allclose(reg[:, 3], 7.0)
+
+    def test_load_vec3_rejects_too_wide(self):
+        m = Machine(width=4)
+        with pytest.raises(MachineError):
+            m.load_vec3(np.ones((3, 5)))
+
+    def test_rejects_width_below_one(self):
+        with pytest.raises(ValueError):
+            Machine(width=0)
+
+    def test_undefined_register_raises(self):
+        m = Machine()
+        with pytest.raises(MachineError):
+            m._exec_instr(A.fa("y", "x", "x"), {}, [])
+
+    def test_inconsistent_batch_raises(self):
+        m = Machine()
+        env = {"a": m.make_register(4), "b": m.make_register(5)}
+        prog = _program([A.fa("y", "a", "a")], ("a", "b"), ("y",))
+        with pytest.raises(MachineError):
+            m.run_segment(prog, "main", env)
+
+
+class TestLoops:
+    def test_loop_accumulates(self):
+        m = Machine(width=4)
+        env = {"acc": m.make_register(3, 0.0), "one": m.make_register(3, 1.0)}
+        _run(
+            m,
+            [A.loop(5, [A.fa("acc", "acc", "one")])],
+            env,
+            ("acc", "one"),
+            ("acc",),
+        )
+        np.testing.assert_allclose(env["acc"], 5.0)
+
+    def test_per_iteration_scalar_immediates(self):
+        m = Machine(width=4)
+        env = {"acc": m.make_register(2, 0.0)}
+        body = [
+            A.il("k", "acc", (1.0, 10.0, 100.0)),
+            A.fa("acc", "acc", "k"),
+        ]
+        _run(m, [A.loop(3, body)], env, ("acc",), ("acc",))
+        np.testing.assert_allclose(env["acc"], 111.0)
+
+    def test_per_iteration_vector_immediates(self):
+        m = Machine(width=4)
+        env = {"acc": m.make_register(1, 0.0)}
+        body = [
+            A.ilv("k", "acc", ((1.0, 0.0, 0.0, 0.0), (0.0, 2.0, 0.0, 0.0))),
+            A.fa("acc", "acc", "k"),
+        ]
+        _run(m, [A.loop(2, body)], env, ("acc",), ("acc",))
+        np.testing.assert_allclose(env["acc"], [[1.0, 2.0, 0.0, 0.0]])
+
+
+class TestPredication:
+    def test_if_selects_lanewise(self):
+        m = Machine(width=4)
+        env = {
+            "x": m.make_register(2, 1.0),
+            "m": m.make_register(2, 0.0),
+        }
+        env["m"][0] = 1.0  # row 0 taken, row 1 not
+        _run(
+            m,
+            [A.if_("m", [A.fa("x", "x", "x")], prob_key="p")],
+            env,
+            ("x", "m"),
+            ("x",),
+        )
+        np.testing.assert_allclose(env["x"][0], 2.0)
+        np.testing.assert_allclose(env["x"][1], 1.0)
+
+    def test_if_zeroes_registers_first_defined_inside(self):
+        m = Machine(width=4)
+        env = {
+            "x": m.make_register(2, 3.0),
+            "m": m.make_register(2, 0.0),
+        }
+        env["m"][1] = 1.0
+        _run(
+            m,
+            [A.if_("m", [A.fm("y", "x", "x")], prob_key="p")],
+            env,
+            ("x", "m"),
+            ("x",),
+        )
+        np.testing.assert_allclose(env["y"][0], 0.0)  # untaken: additive identity
+        np.testing.assert_allclose(env["y"][1], 9.0)
+
+    def test_branch_probability_measured(self):
+        m = Machine(width=4)
+        env = {
+            "x": m.make_register(4, 1.0),
+            "m": m.make_register(4, 0.0),
+        }
+        env["m"][:1] = 1.0  # 25% taken
+        _run(
+            m,
+            [A.if_("m", [A.fa("x", "x", "x")], prob_key="pk")],
+            env,
+            ("x", "m"),
+            ("x",),
+        )
+        assert m.measured_probability("pk") == pytest.approx(0.25)
+
+    def test_measured_probability_requires_samples(self):
+        m = Machine()
+        with pytest.raises(KeyError):
+            m.measured_probability("never")
+
+
+class TestComposites:
+    def test_hsum3(self):
+        m = Machine(width=4)
+        env = {"v": m.load_vec3(np.array([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]]))}
+        _run(m, A.hsum3("s", "v", tmp="t"), env, ("v",), ("s",))
+        np.testing.assert_allclose(env["s"][:, 0], [6.0, 15.0])
+        # splatted across lanes
+        np.testing.assert_allclose(env["s"], env["s"][:, :1] * np.ones(4))
+
+    def test_rsqrt_refined(self):
+        m = Machine(width=4, dtype=np.float64)
+        env = {
+            "x": m.make_register(1, 16.0),
+            "half": m.make_register(1, 0.5),
+            "three": m.make_register(1, 3.0),
+        }
+        _run(
+            m,
+            A.rsqrt_refined("y", "x", tmp="t", half="half", three="three"),
+            env,
+            ("x", "half", "three"),
+            ("y",),
+        )
+        np.testing.assert_allclose(env["y"], 0.25, rtol=1e-12)
+
+    def test_recip_refined(self):
+        m = Machine(width=4, dtype=np.float64)
+        env = {"x": m.make_register(1, 8.0), "two": m.make_register(1, 2.0)}
+        _run(
+            m,
+            A.recip_refined("y", "x", tmp="t", two="two"),
+            env,
+            ("x", "two"),
+            ("y",),
+        )
+        np.testing.assert_allclose(env["y"], 0.125, rtol=1e-12)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100),
+            min_size=3,
+            max_size=3,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_hsum3_matches_numpy(self, coords):
+        m = Machine(width=4, dtype=np.float64)
+        env = {"v": m.load_vec3(np.array([coords]))}
+        _run(m, A.hsum3("s", "v", tmp="t"), env, ("v",), ("s",))
+        assert env["s"][0, 0] == pytest.approx(sum(coords), rel=1e-12, abs=1e-9)

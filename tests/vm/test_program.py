@@ -1,0 +1,90 @@
+"""Tests for program construction and validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.vm.builder import Asm
+from repro.vm.program import IfBlock, Instr, Loop, Program, Segment
+
+A = Asm()
+
+
+def _program(body, inputs=("x",), outputs=("y",)):
+    return Program(
+        "t", (Segment("main", "trips", tuple(body)),), inputs=inputs, outputs=outputs
+    )
+
+
+class TestInstr:
+    def test_rejects_unknown_opcode(self):
+        with pytest.raises(ValueError):
+            Instr("bogus", "d", ("a",))
+
+    def test_rejects_wrong_arity(self):
+        with pytest.raises(ValueError):
+            Instr("fa", "d", ("a",))
+
+    def test_rejects_missing_immediate(self):
+        with pytest.raises(ValueError):
+            Instr("splat", "d", ("a",))
+
+
+class TestLoopAndIf:
+    def test_loop_rejects_zero_count(self):
+        with pytest.raises(ValueError):
+            Loop(count=0, body=(A.mov("a", "b"),))
+
+    def test_if_rejects_negative_penalty(self):
+        with pytest.raises(ValueError):
+            IfBlock(cond="m", body=(), prob_key="p", penalty=-1)
+
+    def test_if_rejects_negative_fetch_stall(self):
+        with pytest.raises(ValueError):
+            IfBlock(cond="m", body=(), prob_key="p", fetch_stall=-1)
+
+
+class TestValidation:
+    def test_accepts_defined_flow(self):
+        prog = _program([A.fa("y", "x", "x")])
+        prog.validate()
+
+    def test_rejects_undefined_source(self):
+        prog = _program([A.fa("y", "x", "z")])
+        with pytest.raises(ValueError, match="undefined"):
+            prog.validate()
+
+    def test_rejects_missing_output(self):
+        prog = _program([A.fa("w", "x", "x")])
+        with pytest.raises(ValueError, match="outputs"):
+            prog.validate()
+
+    def test_rejects_undefined_if_condition(self):
+        prog = _program(
+            [A.if_("m", [A.fa("y", "x", "x")], prob_key="p")]
+        )
+        with pytest.raises(ValueError, match="condition"):
+            prog.validate()
+
+    def test_checks_inside_loops(self):
+        prog = _program([A.loop(2, [A.fa("y", "x", "nope")])])
+        with pytest.raises(ValueError, match="undefined"):
+            prog.validate()
+
+
+class TestIntrospection:
+    def test_instruction_count_counts_static_body_once(self):
+        prog = _program(
+            [A.fa("t", "x", "x"), A.loop(5, [A.fa("t", "t", "x")]), A.mov("y", "t")]
+        )
+        assert prog.instruction_count() == 3
+
+    def test_registers_collects_all_names(self):
+        prog = _program([A.fa("y", "x", "x")])
+        assert prog.registers() == {"x", "y"}
+
+    def test_segment_lookup(self):
+        prog = _program([A.fa("y", "x", "x")])
+        assert prog.segment("main").trips_key == "trips"
+        with pytest.raises(KeyError):
+            prog.segment("missing")

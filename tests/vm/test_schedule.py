@@ -1,0 +1,149 @@
+"""Tests for the cycle scheduler and the issue counter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.vm.builder import Asm
+from repro.vm.isa import EVEN, ODD, CostTable, OpCost
+from repro.vm.program import Program, Segment
+from repro.vm.schedule import count_issues, estimate_cycles, straightline_cycles
+
+A = Asm()
+
+DUAL = CostTable(
+    name="dual",
+    issue_width=2,
+    costs={
+        "fa": OpCost(6, EVEN),
+        "fm": OpCost(6, EVEN),
+        "mov": OpCost(2, ODD),
+        "lqd": OpCost(6, ODD),
+    },
+)
+SINGLE = CostTable(name="single", issue_width=1, costs={"fa": OpCost(1, EVEN)})
+
+
+def _program(body, trips_key="pairs"):
+    return Program(
+        "t",
+        (Segment("main", trips_key, tuple(body)),),
+        inputs=("a", "b"),
+        outputs=(),
+    )
+
+
+class TestStraightLine:
+    def test_single_instruction_costs_latency(self):
+        assert straightline_cycles([A.fa("c", "a", "b")], DUAL) == 6.0
+
+    def test_dependent_chain_serializes(self):
+        seq = [A.fa("c", "a", "b"), A.fa("d", "c", "b"), A.fa("e", "d", "b")]
+        assert straightline_cycles(seq, DUAL) == 18.0
+
+    def test_independent_ops_same_pipe_issue_one_per_cycle(self):
+        seq = [A.fa("c", "a", "b"), A.fa("d", "a", "b"), A.fa("e", "a", "b")]
+        # issue at 0,1,2; completion 2+6
+        assert straightline_cycles(seq, DUAL) == 8.0
+
+    def test_dual_issue_across_pipes(self):
+        seq = [A.fa("c", "a", "b"), A.mov("d", "a")]
+        # both issue at cycle 0 (different pipes): completion max(6, 2)
+        assert straightline_cycles(seq, DUAL) == 6.0
+
+    def test_same_pipe_cannot_dual_issue(self):
+        seq = [A.mov("c", "a"), A.mov("d", "a")]
+        # second must wait a cycle: completion 1 + 2
+        assert straightline_cycles(seq, DUAL) == 3.0
+
+    def test_single_issue_width_serializes_issue(self):
+        seq = [A.fa("c", "a", "b"), A.fa("d", "a", "b")]
+        # issue at cycles 0 and 1; the second completes at 1 + 1
+        assert straightline_cycles(seq, SINGLE) == 2.0
+
+    def test_empty_sequence(self):
+        assert straightline_cycles([], DUAL) == 0.0
+
+
+class TestSegments:
+    def test_trips_multiply(self):
+        prog = _program([A.fa("c", "a", "b")])
+        report = estimate_cycles(prog, DUAL, {"pairs": 100})
+        assert report.total_cycles == 600.0
+        assert report.segment("main").cycles_per_trip == 6.0
+
+    def test_missing_trip_key_raises(self):
+        prog = _program([A.fa("c", "a", "b")])
+        with pytest.raises(KeyError):
+            estimate_cycles(prog, DUAL, {})
+
+    def test_negative_trips_raises(self):
+        prog = _program([A.fa("c", "a", "b")])
+        with pytest.raises(ValueError):
+            estimate_cycles(prog, DUAL, {"pairs": -1})
+
+    def test_loop_charges_trips_and_overhead(self):
+        prog = _program([A.loop(4, [A.fa("c", "a", "b")], overhead=2)])
+        report = estimate_cycles(prog, DUAL, {"pairs": 1})
+        assert report.total_cycles == 4 * (6 + 2)
+
+    def test_if_charges_probability_weighted_body(self):
+        prog = _program(
+            [
+                A.fa("m", "a", "b"),
+                A.if_("m", [A.fa("c", "a", "b")], prob_key="p", penalty=10,
+                      fetch_stall=4),
+            ]
+        )
+        zero = estimate_cycles(prog, DUAL, {"pairs": 1, "p": 0.0}).total_cycles
+        half = estimate_cycles(prog, DUAL, {"pairs": 1, "p": 0.5}).total_cycles
+        # p=0: compare(6) + branch(1) + stall(4)
+        assert zero == 11.0
+        assert half == pytest.approx(11.0 + 0.5 * (6 + 10))
+
+    def test_if_rejects_probability_outside_unit_interval(self):
+        prog = _program(
+            [A.fa("m", "a", "b"), A.if_("m", [], prob_key="p")]
+        )
+        with pytest.raises(ValueError):
+            estimate_cycles(prog, DUAL, {"pairs": 1, "p": 1.5})
+
+    def test_report_total_is_sum_of_segments(self):
+        prog = Program(
+            "t",
+            (
+                Segment("s1", "pairs", (A.fa("c", "a", "b"),)),
+                Segment("s2", "atoms", (A.fa("d", "a", "b"),)),
+            ),
+            inputs=("a", "b"),
+        )
+        report = estimate_cycles(prog, DUAL, {"pairs": 10, "atoms": 5})
+        assert report.total_cycles == 60 + 30
+        with pytest.raises(KeyError):
+            report.segment("nope")
+
+
+class TestCountIssues:
+    def test_counts_instructions(self):
+        prog = _program([A.fa("c", "a", "b"), A.fa("d", "a", "b")])
+        assert count_issues(prog, {"pairs": 3}) == 6.0
+
+    def test_issue_slots_expand_ops(self):
+        prog = _program([A.fsqrt("c", "a")])
+        assert count_issues(prog, {"pairs": 2}, issue_slots={"fsqrt": 20}) == 40.0
+
+    def test_loops_and_ifs(self):
+        prog = _program(
+            [
+                A.fa("m", "a", "b"),
+                A.loop(3, [A.fa("c", "a", "b")], overhead=2),
+                A.if_("m", [A.fa("d", "a", "b")], prob_key="p"),
+            ]
+        )
+        total = count_issues(prog, {"pairs": 1, "p": 0.5})
+        assert total == 1 + 3 * (1 + 2) + 1 + 0.5 * 1
+
+    def test_missing_trips_key(self):
+        prog = _program([A.fa("c", "a", "b")])
+        with pytest.raises(KeyError):
+            count_issues(prog, {})
