@@ -74,6 +74,12 @@ class Device(abc.ABC):
     #: native arithmetic precision ("float32" on Cell/GPU, "float64"
     #: on Opteron/MTA-2 — section 3.5 of the paper)
     precision: str = "float64"
+    #: functional force path, a :mod:`repro.md.forcefield` registry name.
+    #: "all-pairs" reproduces the paper's deliberate O(N^2) formulation;
+    #: "cell" swaps in the linked-cell engine so large-N sweeps stay
+    #: feasible (the *simulated* cost model is unchanged — it prices the
+    #: paper's kernel from the step's measured metrics either way).
+    force_path: str = "all-pairs"
 
     @abc.abstractmethod
     def force_backend(self, sim_box, potential):
@@ -82,6 +88,19 @@ class Device(abc.ABC):
         The callable maps positions -> :class:`ForceResult` and must
         perform arithmetic in the device's native precision.
         """
+
+    def functional_backend(self, sim_box, potential):
+        """Resolve :attr:`force_path` through the backend registry.
+
+        The concrete devices' NumPy-level ("fast") force paths all
+        delegate here, so every device honors a ``force_path`` override;
+        instruction-level VM paths ignore it by design.
+        """
+        from repro.md.forcefield import make_force_backend
+
+        return make_force_backend(
+            self.force_path, sim_box, potential, dtype=np.dtype(self.precision)
+        )
 
     @abc.abstractmethod
     def step_seconds(

@@ -34,7 +34,7 @@ from repro.cell.ppe import PPE
 from repro.cell.scheduler import LaunchStrategy, SpeThreadScheduler
 from repro.cell.spe import SPE, SpePairSweep
 from repro.md.box import PeriodicBox
-from repro.md.forces import ForceResult, compute_forces
+from repro.md.forces import ForceResult
 from repro.md.lattice import cubic_lattice
 from repro.md.lj import LennardJones
 from repro.md.simulation import MDConfig
@@ -81,6 +81,7 @@ class CellDevice(Device):
         opt_level: str = "simd_acceleration",
         strategy: LaunchStrategy = LaunchStrategy.LAUNCH_ONCE,
         mode: str = "fast",
+        force_path: str = "all-pairs",
     ) -> None:
         if not 1 <= n_spes <= cal.CELL_N_SPES:
             raise ValueError(
@@ -94,6 +95,7 @@ class CellDevice(Device):
         self.opt_level = opt_level
         self.strategy = strategy
         self.mode = mode
+        self.force_path = force_path
         self.name = f"cell-{n_spes}spe-{opt_level}"
         self.ppe = PPE()
         self.spes = [SPE(index=i) for i in range(n_spes)]
@@ -105,11 +107,7 @@ class CellDevice(Device):
 
     def force_backend(self, sim_box: PeriodicBox, potential: LennardJones):
         if self.mode == "fast":
-
-            def backend(positions: np.ndarray) -> ForceResult:
-                return compute_forces(positions, sim_box, potential, dtype=np.float32)
-
-            return backend
+            return self.functional_backend(sim_box, potential)
 
         program = self._program(sim_box.length)
         sweep = SpePairSweep(program)
@@ -176,18 +174,16 @@ class PPEOnlyDevice(Device):
     precision = "float32"
     name = "cell-ppe-only"
 
-    def __init__(self) -> None:
+    def __init__(self, force_path: str = "all-pairs") -> None:
         self.ppe = PPE()
+        self.force_path = force_path
         self._program_cache: dict[float, object] = {}
 
     def prepare(self, config: MDConfig) -> None:
         self._box_length = config.make_box().length
 
     def force_backend(self, sim_box: PeriodicBox, potential: LennardJones):
-        def backend(positions: np.ndarray) -> ForceResult:
-            return compute_forces(positions, sim_box, potential, dtype=np.float32)
-
-        return backend
+        return self.functional_backend(sim_box, potential)
 
     def branch_probabilities(self, config: MDConfig) -> dict[str, float]:
         return {

@@ -37,17 +37,27 @@ _BASE_ATOMS = 256
 def run(
     atom_counts: Sequence[int] = PAPER_ATOM_COUNTS[1:],
     n_steps: int = 2,
+    force_path: str = "all-pairs",
 ) -> ExperimentResult:
+    """The fig9 sweep; ``force_path`` picks the functional force engine.
+
+    The simulated MTA/Opteron timings price the paper's O(N^2) kernel
+    either way — ``force_path="cell"`` only swaps the *functional*
+    engine so the sweep's host wall-clock stays O(N) at large N.
+    """
     if atom_counts[0] != _BASE_ATOMS:
         raise ValueError(f"the sweep must start at {_BASE_ATOMS} atoms")
     mta_seconds: list[float] = []
     opt_seconds: list[float] = []
     for n in atom_counts:
         _mres, msec = run_device(
-            MTADevice(fully_multithreaded=True), n, n_steps, normalize_steps=PAPER_STEPS
+            MTADevice(fully_multithreaded=True, force_path=force_path),
+            n,
+            n_steps,
+            normalize_steps=PAPER_STEPS,
         )
         _ores, osec = run_device(
-            OpteronDevice(), n, n_steps, normalize_steps=PAPER_STEPS
+            OpteronDevice(force_path=force_path), n, n_steps, normalize_steps=PAPER_STEPS
         )
         mta_seconds.append(msec)
         opt_seconds.append(osec)

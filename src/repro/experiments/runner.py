@@ -27,8 +27,15 @@ __all__ = ["all_experiments", "main"]
 
 def all_experiments(
     quick: bool = False,
+    force_path: str = "all-pairs",
 ) -> list[tuple[str, Callable[[], ExperimentResult]]]:
-    """(experiment id, factory) roster; ``quick`` shrinks the sweeps."""
+    """(experiment id, factory) roster; ``quick`` shrinks the sweeps.
+
+    ``force_path`` selects the functional force engine (a
+    :mod:`repro.md.forcefield` registry name) for the fig9 scaling
+    sweep — the experiment whose host wall-clock the O(N) cell list
+    actually unlocks at large N.
+    """
     if quick:
         sweep = (256, 512, 1024)
         return [
@@ -39,7 +46,12 @@ def all_experiments(
             ("table1", lambda: table1_perf.run(n_atoms=2048, n_steps=2)),
             ("fig7", lambda: fig7_gpu.run(atom_counts=sweep, n_steps=2)),
             ("fig8", lambda: fig8_mta.run(atom_counts=sweep, n_steps=2)),
-            ("fig9", lambda: fig9_scaling.run(atom_counts=sweep, n_steps=2)),
+            (
+                "fig9",
+                lambda: fig9_scaling.run(
+                    atom_counts=sweep, n_steps=2, force_path=force_path
+                ),
+            ),
             (
                 "abl-nlist",
                 lambda: ablations.run_neighborlist(n_atoms=512, n_steps=10),
@@ -64,7 +76,7 @@ def all_experiments(
         ("table1", table1_perf.run),
         ("fig7", fig7_gpu.run),
         ("fig8", fig8_mta.run),
-        ("fig9", fig9_scaling.run),
+        ("fig9", lambda: fig9_scaling.run(force_path=force_path)),
         ("abl-nlist", ablations.run_neighborlist),
         ("abl-reduce", ablations.run_gpu_reduction),
         ("abl-xmt", ablations.run_xmt_projection),
@@ -84,13 +96,33 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--only", default=None, help="run a single experiment id (e.g. fig7)"
     )
+    parser.add_argument(
+        "--skip",
+        action="append",
+        default=[],
+        metavar="ID",
+        help="skip an experiment id (repeatable)",
+    )
+    from repro.md.forcefield import available_backends
+
+    parser.add_argument(
+        "--force-path",
+        default="all-pairs",
+        choices=available_backends(),
+        help="functional force engine for the fig9 sweep",
+    )
     args = parser.parse_args(argv)
 
-    roster = all_experiments(quick=args.quick)
+    roster = all_experiments(quick=args.quick, force_path=args.force_path)
+    known = {eid for eid, _factory in roster}
+    for skipped in args.skip:
+        if skipped not in known:
+            parser.error(f"unknown experiment id {skipped!r}")
     if args.only:
-        roster = [(eid, factory) for eid, factory in roster if eid == args.only]
-        if not roster:
+        if args.only not in known:
             parser.error(f"unknown experiment id {args.only!r}")
+        roster = [(eid, factory) for eid, factory in roster if eid == args.only]
+    roster = [(eid, factory) for eid, factory in roster if eid not in args.skip]
     failures = 0
     for _eid, factory in roster:
         result = factory()

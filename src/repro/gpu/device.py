@@ -96,10 +96,11 @@ class GpuDevice(Device):
 
     precision = "float32"
 
-    def __init__(self, mode: str = "fast") -> None:
+    def __init__(self, mode: str = "fast", force_path: str = "all-pairs") -> None:
         if mode not in ("fast", "vm"):
             raise ValueError(f"mode must be 'fast' or 'vm', got {mode!r}")
         self.mode = mode
+        self.force_path = force_path
         self.name = "gpu-7900gtx"
         self.pipelines = PipelineArray()
         self.pcie = make_pcie_bus()
@@ -117,11 +118,7 @@ class GpuDevice(Device):
 
     def force_backend(self, sim_box: PeriodicBox, potential: LennardJones):
         if self.mode == "fast":
-
-            def backend(positions: np.ndarray) -> ForceResult:
-                return compute_forces(positions, sim_box, potential, dtype=np.float32)
-
-            return backend
+            return self.functional_backend(sim_box, potential)
 
         shader = self._shader(sim_box.length)
         sweep = GpuPairSweep(shader)

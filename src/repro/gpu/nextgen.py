@@ -28,8 +28,6 @@ from __future__ import annotations
 import dataclasses
 import math
 
-import numpy as np
-
 from repro.arch import calibration as cal
 from repro.arch.clock import Clock
 from repro.arch.device import Device
@@ -37,7 +35,6 @@ from repro.arch.profilecounts import KernelMetrics
 from repro.gpu.device import make_pcie_bus
 from repro.gpu.kernels import build_md_shader
 from repro.md.box import PeriodicBox
-from repro.md.forces import ForceResult, compute_forces
 from repro.md.lj import LennardJones
 from repro.md.simulation import MDConfig
 from repro.vm.schedule import count_issues
@@ -117,8 +114,11 @@ class NextGenGpuDevice(Device):
 
     precision = "float32"
 
-    def __init__(self, spec: NextGenGpuSpec | None = None) -> None:
+    def __init__(
+        self, spec: NextGenGpuSpec | None = None, force_path: str = "all-pairs"
+    ) -> None:
         self.spec = spec or NextGenGpuSpec()
+        self.force_path = force_path
         self.name = f"gpu-nextgen-{self.spec.n_processors}sp"
         self.clock = Clock(self.spec.shader_clock_hz, "g80")
         self.pcie = make_pcie_bus()
@@ -128,10 +128,7 @@ class NextGenGpuDevice(Device):
         self._box_length = config.make_box().length
 
     def force_backend(self, sim_box: PeriodicBox, potential: LennardJones):
-        def backend(positions: np.ndarray) -> ForceResult:
-            return compute_forces(positions, sim_box, potential, dtype=np.float32)
-
-        return backend
+        return self.functional_backend(sim_box, potential)
 
     def _shader(self, box_length: float):
         key = round(box_length, 12)

@@ -6,11 +6,24 @@ map.
 
 from repro.md.bonded import BondedForceField, HarmonicAngle, HarmonicBond
 from repro.md.box import PeriodicBox
+from repro.md.celllist import (
+    CellGrid,
+    CellList,
+    CellListForceBackend,
+    build_pairs_cells,
+)
+from repro.md.forcefield import (
+    VerletListForceBackend,
+    available_backends,
+    make_force_backend,
+    register_backend,
+)
 from repro.md.forces import (
     ForceResult,
     compute_forces,
     compute_forces_27image,
     compute_forces_reference,
+    compute_pair_forces,
 )
 from repro.md.integrators import State, leapfrog_step, velocity_verlet_step
 from repro.md.lattice import (
@@ -20,7 +33,11 @@ from repro.md.lattice import (
     zero_net_momentum,
 )
 from repro.md.lj import LennardJones
-from repro.md.neighborlist import NeighborList, compute_forces_neighborlist
+from repro.md.neighborlist import (
+    NeighborList,
+    build_pairs,
+    compute_forces_neighborlist,
+)
 from repro.md.observables import (
     kinetic_energy,
     net_momentum,
@@ -37,11 +54,15 @@ __all__ = [
     "ARGON",
     "BerendsenThermostat",
     "BondedForceField",
+    "CellGrid",
+    "CellList",
+    "CellListForceBackend",
     "ForceResult",
     "HarmonicAngle",
     "HarmonicBond",
     "RadialDistribution",
     "VelocityRescale",
+    "VerletListForceBackend",
     "radial_distribution",
     "Frame",
     "LJUnitSystem",
@@ -53,11 +74,17 @@ __all__ = [
     "State",
     "StepRecord",
     "Trajectory",
+    "available_backends",
+    "build_pairs",
+    "build_pairs_cells",
     "compute_forces",
     "compute_forces_27image",
     "compute_forces_neighborlist",
     "compute_forces_reference",
+    "compute_pair_forces",
     "cubic_lattice",
+    "make_force_backend",
+    "register_backend",
     "fcc_lattice",
     "kinetic_energy",
     "leapfrog_step",

@@ -18,10 +18,25 @@ from __future__ import annotations
 import numpy as np
 
 from repro.md.box import PeriodicBox
-from repro.md.forces import ForceResult
+from repro.md.forces import ForceResult, compute_pair_forces
 from repro.md.lj import LennardJones
 
 __all__ = ["NeighborList", "build_pairs", "compute_forces_neighborlist"]
+
+
+def validate_list_radius(radius: float, box: PeriodicBox) -> None:
+    """Raise if a pair-list radius is unusable for minimum-image searches.
+
+    Shared by :class:`NeighborList` and :class:`repro.md.celllist.CellList`
+    so the ``rcut + skin`` contract is checked once at construction *and*
+    again on every update — a box swapped mid-run can silently shrink
+    below an already-validated radius otherwise.
+    """
+    if radius > box.half_length:
+        raise ValueError(
+            f"list radius {radius} exceeds half the box length "
+            f"{box.half_length}; shrink rcut + skin or enlarge the box"
+        )
 
 
 def build_pairs(
@@ -33,10 +48,7 @@ def build_pairs(
     """Return all unordered pairs (i < j) within ``radius``, shape (m, 2)."""
     positions = np.asarray(positions, dtype=np.float64)
     n = positions.shape[0]
-    if radius > box.half_length:
-        raise ValueError(
-            f"list radius {radius} exceeds half the box length {box.half_length}"
-        )
+    validate_list_radius(radius, box)
     radius2 = radius * radius
     chunks: list[np.ndarray] = []
     for start in range(0, n, block):
@@ -74,11 +86,7 @@ class NeighborList:
     ) -> None:
         if skin < 0.0:
             raise ValueError(f"skin must be non-negative, got {skin}")
-        if potential.rcut + skin > box.half_length:
-            raise ValueError(
-                f"rcut + skin = {potential.rcut + skin} exceeds half the box "
-                f"length {box.half_length}"
-            )
+        validate_list_radius(potential.rcut + skin, box)
         self.box = box
         self.potential = potential
         self.skin = skin
@@ -95,8 +103,19 @@ class NeighborList:
         max_disp2 = float(np.max(np.einsum("ij,ij->i", delta, delta)))
         return max_disp2 > (0.5 * self.skin) ** 2
 
+    @property
+    def radius(self) -> float:
+        """The list radius, ``rcut + skin``."""
+        return self.potential.rcut + self.skin
+
     def update(self, positions: np.ndarray) -> bool:
-        """Rebuild the list if stale; returns True when a rebuild happened."""
+        """Rebuild the list if stale; returns True when a rebuild happened.
+
+        Re-validates ``rcut + skin`` against the *current* box on every
+        call: a box swapped mid-run must fail loudly here, not silently
+        serve a stale list between rebuilds.
+        """
+        validate_list_radius(self.radius, self.box)
         if not self.needs_rebuild(positions):
             return False
         positions = np.asarray(positions, dtype=np.float64)
@@ -118,45 +137,6 @@ def compute_forces_neighborlist(
     enough — a property the test suite asserts.
     """
     nlist.update(positions)
-    positions = np.asarray(positions, dtype=np.float64)
-    n = positions.shape[0]
-    dtype = np.dtype(dtype)
-    pos = positions.astype(dtype)
-    potential = nlist.potential
-    box = nlist.box
-    pairs = nlist.pairs
-    acc = np.zeros((n, 3), dtype=dtype)
-    if pairs.shape[0] == 0:
-        return ForceResult(
-            accelerations=acc.astype(np.float64),
-            potential_energy=0.0,
-            interacting_pairs=0,
-            pairs_examined=0,
-        )
-    i, j = pairs[:, 0], pairs[:, 1]
-    delta = pos[i] - pos[j]
-    length = dtype.type(box.length)
-    delta -= length * np.round(delta / length)
-    r2 = np.einsum("ij,ij->i", delta, delta)
-    within = r2 < dtype.type(potential.rcut2)
-    safe_r2 = np.where(within, r2, dtype.type(1.0))
-    inv_r2 = np.where(within, dtype.type(potential.sigma**2) / safe_r2, dtype.type(0.0))
-    sr6 = inv_r2 * inv_r2 * inv_r2
-    sr12 = sr6 * sr6
-    f_over_r = (
-        dtype.type(24.0 * potential.epsilon)
-        * (dtype.type(2.0) * sr12 - sr6)
-        * np.where(within, dtype.type(1.0) / safe_r2, dtype.type(0.0))
-    )
-    force = f_over_r[:, None] * delta
-    np.add.at(acc, i, force)
-    np.subtract.at(acc, j, force)
-    pair_pe = dtype.type(4.0 * potential.epsilon) * (sr12 - sr6) - np.where(
-        within, dtype.type(potential.shift_energy), dtype.type(0.0)
-    )
-    return ForceResult(
-        accelerations=acc.astype(np.float64),
-        potential_energy=float(pair_pe.sum(dtype=dtype)),
-        interacting_pairs=int(np.count_nonzero(within)),
-        pairs_examined=int(pairs.shape[0]),
+    return compute_pair_forces(
+        positions, nlist.pairs, nlist.box, nlist.potential, dtype=dtype
     )

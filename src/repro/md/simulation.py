@@ -93,12 +93,28 @@ class MDSimulation:
     def __init__(
         self,
         config: MDConfig,
-        force_backend: ForceBackend | None = None,
+        force_backend: ForceBackend | str | None = None,
         record_every: int = 1,
+        **backend_options: object,
     ) -> None:
         self.config = config
         self.box = config.make_box()
         self.potential = config.make_potential()
+        if isinstance(force_backend, str):
+            from repro.md.forcefield import make_force_backend
+
+            force_backend = make_force_backend(
+                force_backend,
+                self.box,
+                self.potential,
+                dtype=config.np_dtype,
+                **backend_options,
+            )
+        elif backend_options:
+            raise TypeError(
+                "backend options are only valid when force_backend is a "
+                f"registry name, got {sorted(backend_options)}"
+            )
         self._force_backend = force_backend or self._default_backend
         self.trajectory = Trajectory(record_every=record_every)
         self.records: list[StepRecord] = []

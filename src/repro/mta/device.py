@@ -18,7 +18,6 @@ from repro.arch import calibration as cal
 from repro.arch.device import Device
 from repro.arch.profilecounts import KernelMetrics
 from repro.md.box import PeriodicBox
-from repro.md.forces import ForceResult, compute_forces
 from repro.md.lj import LennardJones
 from repro.md.simulation import MDConfig
 from repro.mta.compiler import CompilationReport, compile_nest
@@ -49,11 +48,13 @@ class MTADevice(Device):
         n_processors: int = 1,
         clock_hz: float = cal.MTA_CLOCK_HZ,
         reflect_take: float = _DEFAULT_REFLECT_TAKE,
+        force_path: str = "all-pairs",
     ) -> None:
         mode = "fully" if fully_multithreaded else "partially"
         self.name = f"mta2-{mode}-multithreaded-{n_processors}p"
         self.fully_multithreaded = fully_multithreaded
         self.reflect_take = reflect_take
+        self.force_path = force_path
         from repro.arch.clock import Clock
 
         self.streams = StreamModel(
@@ -69,10 +70,7 @@ class MTADevice(Device):
         self._box_length = config.make_box().length
 
     def force_backend(self, sim_box: PeriodicBox, potential: LennardJones):
-        def backend(positions: np.ndarray) -> ForceResult:
-            return compute_forces(positions, sim_box, potential, dtype=np.float64)
-
-        return backend
+        return self.functional_backend(sim_box, potential)
 
     def branch_probabilities(self, config: MDConfig) -> dict[str, float]:
         return {"reflect_take": self.reflect_take}

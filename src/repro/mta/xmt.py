@@ -31,7 +31,6 @@ from repro.arch.clock import Clock
 from repro.arch.device import Device
 from repro.arch.profilecounts import KernelMetrics
 from repro.md.box import PeriodicBox
-from repro.md.forces import ForceResult, compute_forces
 from repro.md.lj import LennardJones
 from repro.md.simulation import MDConfig
 from repro.mta.kernels import (
@@ -108,6 +107,7 @@ class XMTDevice(Device):
         network: XMTNetwork | None = None,
         uniform_memory: bool = False,
         clock_hz: float = cal.XMT_CLOCK_HZ,
+        force_path: str = "all-pairs",
     ) -> None:
         if n_processors < 1 or n_processors > cal.XMT_MAX_PROCESSORS:
             raise ValueError(
@@ -120,16 +120,14 @@ class XMTDevice(Device):
         self.name = f"xmt-{n_processors}p-{memory_tag}"
         self.clock = Clock(clock_hz, "xmt")
         self.streams = StreamModel(n_processors=n_processors, clock=self.clock)
+        self.force_path = force_path
         self._program_cache: dict[float, object] = {}
 
     def prepare(self, config: MDConfig) -> None:
         self._box_length = config.make_box().length
 
     def force_backend(self, sim_box: PeriodicBox, potential: LennardJones):
-        def backend(positions: np.ndarray) -> ForceResult:
-            return compute_forces(positions, sim_box, potential, dtype=np.float64)
-
-        return backend
+        return self.functional_backend(sim_box, potential)
 
     def branch_probabilities(self, config: MDConfig) -> dict[str, float]:
         return {"reflect_take": 0.04}

@@ -2,14 +2,11 @@
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.arch import calibration as cal
 from repro.arch.clock import Clock
 from repro.arch.device import Device
 from repro.arch.profilecounts import KernelMetrics
 from repro.md.box import PeriodicBox
-from repro.md.forces import ForceResult, compute_forces
 from repro.md.lj import LennardJones
 from repro.md.simulation import MDConfig
 from repro.opteron.costmodel import cache_stall_cycles_per_pair
@@ -35,21 +32,23 @@ class OpteronDevice(Device):
     precision = "float64"
     name = "opteron-2.2GHz"
 
-    def __init__(self, reflect_take: float = _DEFAULT_REFLECT_TAKE) -> None:
+    def __init__(
+        self,
+        reflect_take: float = _DEFAULT_REFLECT_TAKE,
+        force_path: str = "all-pairs",
+    ) -> None:
         if not 0.0 <= reflect_take <= 1.0:
             raise ValueError(f"reflect_take {reflect_take} outside [0, 1]")
         self.clock = Clock(cal.OPTERON_CLOCK_HZ, "opteron")
         self.reflect_take = reflect_take
+        self.force_path = force_path
         self._program_cache: dict[float, object] = {}
 
     def prepare(self, config: MDConfig) -> None:
         self._box_length = config.make_box().length
 
     def force_backend(self, sim_box: PeriodicBox, potential: LennardJones):
-        def backend(positions: np.ndarray) -> ForceResult:
-            return compute_forces(positions, sim_box, potential, dtype=np.float64)
-
-        return backend
+        return self.functional_backend(sim_box, potential)
 
     def branch_probabilities(self, config: MDConfig) -> dict[str, float]:
         return {"reflect_take": self.reflect_take}

@@ -1,0 +1,49 @@
+"""The extended three-way abl-nlist ablation: shape and exactness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ablations
+
+
+@pytest.fixture(scope="module")
+def result():
+    return ablations.run_neighborlist(n_atoms=256, n_steps=5)
+
+
+class TestThreeWayAblation:
+    def test_result_shape(self, result):
+        assert result.experiment_id == "abl-nlist"
+        assert result.headers == (
+            "kernel",
+            "pairs_examined",
+            "reduction",
+            "rebuilds",
+            "reuses",
+        )
+        assert len(result.rows) == 3
+        kernels = [row[0] for row in result.rows]
+        assert kernels == ["all-pairs O(N^2)", "verlet list", "cell list"]
+        assert all(len(row) == len(result.headers) for row in result.rows)
+
+    def test_all_checks_pass(self, result):
+        assert result.all_passed, "\n".join(str(c) for c in result.checks)
+
+    def test_cell_pair_counts_match_verlet_exactly(self, result):
+        exact = {c.key: c for c in result.checks}["abl_nlist_cell_pairs_exact"]
+        assert exact.measured == 0.0
+        assert (exact.low, exact.high) == (0.0, 0.0)
+
+    def test_both_lists_examine_fewer_pairs_than_all_pairs(self, result):
+        allpairs, verlet, cell = result.rows
+        assert verlet[1] < allpairs[1]
+        assert cell[1] < allpairs[1]
+        # same skin, same staleness rule => same reduction story
+        assert verlet[2] >= 3.0 and cell[2] >= 3.0
+
+    def test_reuse_statistics_reported(self, result):
+        _allpairs, verlet, cell = result.rows
+        assert verlet[3] >= 1 and cell[3] >= 1  # at least the initial build
+        assert verlet[3] + verlet[4] == cell[3] + cell[4]  # same evaluation count
+        assert any("list reuse" in note for note in result.notes)

@@ -1,0 +1,172 @@
+"""Property-based equivalence net over the whole force stack.
+
+Every force backend — the nested-loop executable specification, the
+paper's two all-pairs kernels, the Verlet list, and the linked-cell
+list — must produce the same physics for arbitrary (valid) systems.
+Hypothesis drives random system sizes, densities, jitters, and cutoffs
+through every registered backend and asserts forces, energies, and
+interacting-pair counts agree to tight tolerances, plus the structural
+invariants: Newton's third law and NVE energy conservation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.md import (
+    MDConfig,
+    MDSimulation,
+    available_backends,
+    make_force_backend,
+)
+from repro.md.box import PeriodicBox
+from repro.md.celllist import build_pairs_cells
+from repro.md.forces import (
+    compute_forces,
+    compute_forces_27image,
+    compute_forces_reference,
+)
+from repro.md.lattice import cubic_lattice
+from repro.md.lj import LennardJones
+from repro.md.neighborlist import build_pairs
+
+#: Backend names exercised by the sweep tests (all of them, by
+#: construction — if a future backend registers itself, it is tested).
+ALL_BACKENDS = available_backends()
+
+
+def _make_system(n, density, jitter, seed, rcut_fraction):
+    """A jittered lattice whose cutoff always fits the box."""
+    box = PeriodicBox.from_density(n, density)
+    rcut = max(0.8, rcut_fraction * box.half_length)
+    potential = LennardJones(rcut=rcut)
+    rng = np.random.default_rng(seed)
+    positions = box.wrap(cubic_lattice(n, box) + rng.normal(0, jitter, (n, 3)))
+    return box, potential, positions
+
+
+def _backend_options(name, box, potential):
+    """Options keeping list radii inside the box for any geometry."""
+    if name in ("verlet", "cell"):
+        room = box.half_length - potential.rcut
+        key = "skin" if name == "verlet" else "buffer"
+        return {key: min(0.3, 0.5 * room)}
+    return {}
+
+
+system_strategy = st.tuples(
+    st.integers(min_value=24, max_value=120),  # n atoms
+    st.floats(min_value=0.2, max_value=1.1),  # density
+    st.floats(min_value=0.0, max_value=0.15),  # lattice jitter
+    st.integers(min_value=0, max_value=2**31),  # seed
+    st.floats(min_value=0.4, max_value=0.95),  # rcut / half_length
+)
+
+
+class TestPairSearchEquivalence:
+    @given(params=system_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_cell_search_finds_exactly_the_blocked_scan_pairs(self, params):
+        n, density, jitter, seed, rfrac = params
+        box, potential, positions = _make_system(n, density, jitter, seed, rfrac)
+        radius = potential.rcut
+        reference = build_pairs(positions, box, radius)
+        cells = build_pairs_cells(positions, box, radius)
+        assert {tuple(p) for p in cells} == {tuple(p) for p in reference}
+        assert cells.shape == reference.shape  # no duplicates either
+
+
+class TestForceEquivalence:
+    @given(params=system_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_all_registered_backends_agree(self, params):
+        n, density, jitter, seed, rfrac = params
+        box, potential, positions = _make_system(n, density, jitter, seed, rfrac)
+        config = MDConfig(n_atoms=n, density=density, rcut=potential.rcut)
+        assert config.make_box().length == pytest.approx(box.length)
+
+        results = {}
+        for name in ALL_BACKENDS:
+            backend = make_force_backend(
+                name, box, potential, **_backend_options(name, box, potential)
+            )
+            results[name] = backend(positions)
+
+        reference = results["reference"]
+        scale = max(1.0, float(np.max(np.abs(reference.accelerations))))
+        for name, result in results.items():
+            np.testing.assert_allclose(
+                result.accelerations,
+                reference.accelerations,
+                atol=1e-8 * scale,
+                err_msg=f"backend {name!r} disagrees with the specification",
+            )
+            assert result.potential_energy == pytest.approx(
+                reference.potential_energy, abs=1e-8 * max(1.0, abs(reference.potential_energy))
+            ), name
+            assert result.interacting_pairs == reference.interacting_pairs, name
+
+    @given(params=system_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_newtons_third_law_for_every_backend(self, params):
+        n, density, jitter, seed, rfrac = params
+        box, potential, positions = _make_system(n, density, jitter, seed, rfrac)
+        for name in ALL_BACKENDS:
+            backend = make_force_backend(
+                name, box, potential, **_backend_options(name, box, potential)
+            )
+            acc = backend(positions).accelerations
+            scale = max(1.0, float(np.max(np.abs(acc))))
+            np.testing.assert_allclose(
+                acc.sum(axis=0),
+                np.zeros(3),
+                atol=1e-9 * scale * n,
+                err_msg=f"backend {name!r} violates Newton's third law",
+            )
+
+    def test_direct_kernels_agree_on_dense_random_gas(self):
+        # Uniform random positions (not a jittered lattice): close
+        # approaches produce huge forces, and the kernels must still
+        # agree relative to that scale.
+        box = PeriodicBox.from_density(64, 0.5)
+        potential = LennardJones(rcut=0.9 * box.half_length)
+        rng = np.random.default_rng(7)
+        positions = box.random_positions(64, rng)
+        reference = compute_forces_reference(positions, box, potential)
+        blocked = compute_forces(positions, box, potential)
+        image27 = compute_forces_27image(positions, box, potential)
+        scale = float(np.max(np.abs(reference.accelerations)))
+        for other in (blocked, image27):
+            np.testing.assert_allclose(
+                other.accelerations, reference.accelerations, atol=1e-9 * scale
+            )
+            assert other.interacting_pairs == reference.interacting_pairs
+
+
+class TestEnergyConservation:
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_short_nve_run_conserves_energy(self, name):
+        config = MDConfig(n_atoms=256, dt=0.002)
+        if name == "reference":
+            config = MDConfig(n_atoms=64, dt=0.002, rcut=1.8)
+        sim = MDSimulation(config, force_backend=name)
+        sim.run(25)
+        # the repo-wide velocity-Verlet drift bound (see test_simulation)
+        assert sim.energy_drift() < 2e-3, name
+
+    @pytest.mark.parametrize("name", sorted(set(ALL_BACKENDS) - {"reference"}))
+    def test_backends_track_the_same_trajectory(self, name):
+        config = MDConfig(n_atoms=256)
+        reference = MDSimulation(config)
+        reference.run(10)
+        sim = MDSimulation(config, force_backend=name)
+        sim.run(10)
+        np.testing.assert_allclose(
+            sim.state.positions, reference.state.positions, atol=1e-7
+        )
+        assert sim.records[-1].total_energy == pytest.approx(
+            reference.records[-1].total_energy, rel=1e-9
+        )

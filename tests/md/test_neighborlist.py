@@ -55,6 +55,17 @@ class TestBuildPairs:
         with pytest.raises(ValueError):
             build_pairs(positions, box, radius=box.length)
 
+    def test_radius_exactly_half_box_is_allowed(self):
+        # regression: the guard is a strict >, so the largest meaningful
+        # radius — exactly half the box — must build, not raise
+        box, _potential, positions = _system()
+        pairs = build_pairs(positions, box, radius=box.half_length)
+        assert pairs.shape[0] > 0
+        with pytest.raises(ValueError):
+            build_pairs(
+                positions, box, radius=np.nextafter(box.half_length, np.inf)
+            )
+
 
 class TestNeighborList:
     def test_forces_match_all_pairs_when_fresh(self):
@@ -114,6 +125,22 @@ class TestNeighborList:
         box = PeriodicBox(length=4.2)
         with pytest.raises(ValueError):
             NeighborList(box, LennardJones(rcut=2.0), skin=0.5)
+
+    def test_box_shrunk_mid_run_fails_loudly(self):
+        # rcut + skin is validated at construction, but a box swapped
+        # mid-run could silently invalidate it between rebuilds; every
+        # update must re-check against the *current* box.
+        box, potential, positions = _system()
+        nlist = NeighborList(box, potential, skin=0.4)
+        nlist.update(positions)
+        nlist.box = PeriodicBox(length=potential.rcut)
+        with pytest.raises(ValueError, match="exceeds half the box"):
+            nlist.update(positions)  # even though no rebuild would be due
+
+    def test_radius_property(self):
+        box, potential, _positions = _system()
+        nlist = NeighborList(box, potential, skin=0.4)
+        assert nlist.radius == pytest.approx(potential.rcut + 0.4)
 
 
 class TestTrajectoryEquivalence:
