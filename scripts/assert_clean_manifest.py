@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""CI gate: assert the latest harness run manifest is clean.
+
+Usage::
+
+    python scripts/assert_clean_manifest.py RUNS_DIR [--expect-fresh]
+    python scripts/assert_clean_manifest.py RUNS_DIR --expect-cached
+
+Checks the most recent run under RUNS_DIR: every job must have
+``status == "ok"`` and pass its paper-shape bands.  ``--expect-fresh``
+additionally requires that nothing was served from the cache (first CI
+invocation); ``--expect-cached`` requires that *everything* was (the
+replay invocation — this is what proves the content-addressed cache
+actually hit).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("runs_dir", type=Path)
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--expect-fresh", action="store_true")
+    mode.add_argument("--expect-cached", action="store_true")
+    args = parser.parse_args(argv)
+
+    manifests = sorted(
+        args.runs_dir.glob("*/manifest.json"), key=lambda p: p.stat().st_mtime
+    )
+    if not manifests:
+        print(f"FAIL: no manifests under {args.runs_dir}", file=sys.stderr)
+        return 1
+    latest = manifests[-1]
+    manifest = json.loads(latest.read_text())
+
+    problems = []
+    for row in manifest["jobs"]:
+        if row["status"] != "ok":
+            problems.append(f"{row['job_id']}: status {row['status']}")
+        elif row["all_passed"] is False:
+            problems.append(f"{row['job_id']}: outside paper-shape bands")
+        if args.expect_fresh and row["cached"]:
+            problems.append(f"{row['job_id']}: unexpectedly served from cache")
+        if args.expect_cached and not row["cached"]:
+            problems.append(f"{row['job_id']}: expected a cache hit, recomputed")
+    if manifest["failures"]:
+        problems.append(f"manifest reports {manifest['failures']} failure(s)")
+
+    label = latest.parent.name
+    if problems:
+        print(f"FAIL: run {label}:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"OK: run {label}: {manifest['job_count']} job(s), "
+        f"{manifest['cached_count']} cached, 0 failures"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

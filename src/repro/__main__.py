@@ -1,7 +1,9 @@
-"""``python -m repro`` — run the full reproduction harness.
+"""``python -m repro`` — run the full reproduction roster.
 
 Delegates to :mod:`repro.experiments.runner`; pass ``--quick`` for the
-reduced sweeps or ``--only <id>`` for a single artifact.
+reduced sweeps, ``--only <id>`` for a single artifact, or ``--list``
+for the roster.  For parallel execution with cached, stored run
+artifacts use ``python -m repro.harness`` instead.
 """
 
 from __future__ import annotations

@@ -43,6 +43,7 @@ from repro.md import (
 from repro.mta import MTADevice
 
 __all__ = [
+    "DESCRIPTIONS",
     "run_neighborlist",
     "run_gpu_reduction",
     "run_xmt_projection",
@@ -52,6 +53,19 @@ __all__ = [
     "run_load_balance",
     "run_precision",
 ]
+
+#: One-line roster descriptions keyed by experiment id
+#: (``--list`` / harness job metadata).
+DESCRIPTIONS = {
+    "abl-nlist": "Three-way force-path ablation: O(N^2) vs Verlet vs cell list",
+    "abl-reduce": "PE-in-w readback vs multi-pass gather reduction on the GPU",
+    "abl-xmt": "Projection of the kernel onto XMT-class hardware",
+    "abl-xmt-net": "XMT network-locality penalty, quantified (section 3.3.1)",
+    "abl-cache": "Cache-friendliness of MD access patterns (section 3.4)",
+    "abl-nextgen": "Projection onto the unified-shader GPU generation (G80)",
+    "abl-balance": "Static block vs cyclic row partitioning across SPEs",
+    "abl-precision": "Single vs double precision energy drift on each device",
+}
 
 
 def _own_check(key: str, measured: float, low: float, high: float, desc: str) -> ShapeCheck:

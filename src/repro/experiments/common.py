@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import Sequence
+from typing import Any, Mapping, Sequence
 
 from repro.arch.device import Device, DeviceRunResult
 from repro.experiments.paperdata import SHAPE_BANDS
@@ -26,6 +26,24 @@ __all__ = [
 PAPER_STEPS = 10
 
 
+def _plain(value: object) -> object:
+    """Reduce a cell value to a JSON-native type.
+
+    Experiment rows mix Python scalars with numpy scalars (``round`` of
+    a ``np.float64`` stays a ``np.float64``); the run store persists
+    records as JSON, so collapse anything with ``.item()`` first.
+    """
+    if isinstance(value, bool) or value is None:
+        return value
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
+        value = value.item()
+    if isinstance(value, (int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    return str(value)
+
+
 @dataclasses.dataclass(frozen=True)
 class ShapeCheck:
     """One paper-shape assertion with its measured value."""
@@ -46,6 +64,29 @@ class ShapeCheck:
         return (
             f"[{status}] {self.description}: measured {self.measured:.3g} "
             f"(paper ~{self.paper_value:.3g}, accepted {self.low:.3g}..{self.high:.3g})"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "key": self.key,
+            "measured": float(self.measured),
+            "low": float(self.low),
+            "high": float(self.high),
+            "paper_value": float(self.paper_value),
+            "description": self.description,
+            # measured may be a numpy scalar; passed would then be np.bool_
+            "passed": bool(self.passed),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ShapeCheck":
+        return cls(
+            key=data["key"],
+            measured=data["measured"],
+            low=data["low"],
+            high=data["high"],
+            paper_value=data["paper_value"],
+            description=data["description"],
         )
 
 
@@ -74,6 +115,31 @@ class ExperimentResult:
         parts.extend(str(check) for check in self.checks)
         parts.extend(f"note: {note}" for note in self.notes)
         return "\n".join(parts)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-native form; the harness run store persists this."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [_plain(row) for row in self.rows],
+            "checks": [check.to_dict() for check in self.checks],
+            "notes": list(self.notes),
+            "plot": self.plot,
+            "all_passed": self.all_passed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentResult":
+        return cls(
+            experiment_id=data["experiment_id"],
+            title=data["title"],
+            headers=tuple(data["headers"]),
+            rows=tuple(tuple(row) for row in data["rows"]),
+            checks=tuple(ShapeCheck.from_dict(c) for c in data["checks"]),
+            notes=tuple(data.get("notes", ())),
+            plot=data.get("plot"),
+        )
 
 
 def check_band(key: str, measured: float) -> ShapeCheck:

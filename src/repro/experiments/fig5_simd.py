@@ -19,7 +19,10 @@ from repro.experiments.common import (
 )
 from repro.experiments.paperdata import FIG5_CUMULATIVE_SPEEDUP
 
-__all__ = ["run"]
+__all__ = ["DESCRIPTION", "run"]
+
+#: One-line roster description (``--list`` / harness job metadata).
+DESCRIPTION = "SIMD optimization ladder of the SPE acceleration kernel (Fig 5)"
 
 _STEP_BAND_KEYS = {
     "copysign": "fig5_copysign_gain",

@@ -22,7 +22,10 @@ from repro.experiments.common import (
     paper_config,
 )
 
-__all__ = ["run"]
+__all__ = ["DESCRIPTION", "run"]
+
+#: One-line roster description (``--list`` / harness job metadata).
+DESCRIPTION = "Thread launch-per-step vs launch-once overhead on the MTA (Fig 6)"
 
 
 def run(n_atoms: int = 2048, n_steps: int = PAPER_STEPS) -> ExperimentResult:

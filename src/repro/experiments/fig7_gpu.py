@@ -23,7 +23,10 @@ from repro.gpu import GpuDevice
 from repro.opteron import OpteronDevice
 from repro.reporting import ascii_plot
 
-__all__ = ["run"]
+__all__ = ["DESCRIPTION", "run"]
+
+#: One-line roster description (``--list`` / harness job metadata).
+DESCRIPTION = "GPU vs Opteron runtime across atom counts, with crossover (Fig 7)"
 
 
 def run(

@@ -24,7 +24,10 @@ from repro.experiments.paperdata import PAPER_ATOM_COUNTS
 from repro.mta import MTADevice
 from repro.reporting import ascii_plot
 
-__all__ = ["run"]
+__all__ = ["DESCRIPTION", "run"]
+
+#: One-line roster description (``--list`` / harness job metadata).
+DESCRIPTION = "Fully vs partially multithreaded MTA runtime sweep (Fig 8)"
 
 
 def run(

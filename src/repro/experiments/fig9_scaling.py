@@ -29,7 +29,10 @@ from repro.mta import MTADevice
 from repro.opteron import OpteronDevice
 from repro.reporting import ascii_plot
 
-__all__ = ["run"]
+__all__ = ["DESCRIPTION", "run"]
+
+#: One-line roster description (``--list`` / harness job metadata).
+DESCRIPTION = "MTA vs Opteron O(N^2) scaling ratios from a 256-atom base (Fig 9)"
 
 _BASE_ATOMS = 256
 

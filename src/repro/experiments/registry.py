@@ -1,0 +1,207 @@
+"""Declarative experiment roster: id → (callable, serializable config).
+
+Every artifact of the paper (Table 1, Figs 5–9) and every ablation is
+described here as an :class:`ExperimentSpec` — a *data* record naming
+the module/function to run plus JSON-serializable parameter dicts for
+the full-scale and ``--quick`` variants.  The harness derives cache
+keys and cross-process job payloads from these specs; the legacy runner
+derives its ``(id, factory)`` roster from them.  Adding an experiment
+means adding one entry to :data:`EXPERIMENTS` (and a ``DESCRIPTION`` in
+the module); every front-end picks it up.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+from typing import Any, Callable, Mapping
+
+from repro.experiments import (
+    ablations,
+    fig5_simd,
+    fig6_launch,
+    fig7_gpu,
+    fig8_mta,
+    fig9_scaling,
+    table1_perf,
+)
+
+__all__ = ["ExperimentSpec", "EXPERIMENTS", "spec_for", "experiment_ids"]
+
+#: The reduced sweep shared by the quick fig7/fig8/fig9 variants.
+_QUICK_SWEEP = (256, 512, 1024)
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentSpec:
+    """One schedulable experiment: identity, entry point, parameters.
+
+    ``full_params``/``quick_params`` must stay JSON-serializable — they
+    are hashed into the job's cache key and shipped to worker processes
+    verbatim.
+    """
+
+    experiment_id: str
+    module: str
+    func: str
+    description: str
+    full_params: Mapping[str, Any] = dataclasses.field(default_factory=dict)
+    quick_params: Mapping[str, Any] = dataclasses.field(default_factory=dict)
+    #: fig9 threads the functional force engine through to its sweep.
+    accepts_force_path: bool = False
+
+    def params(
+        self, *, quick: bool = False, force_path: str | None = None
+    ) -> dict[str, Any]:
+        """The resolved keyword arguments for one invocation."""
+        resolved = dict(self.quick_params if quick else self.full_params)
+        if self.accepts_force_path and force_path is not None:
+            resolved["force_path"] = force_path
+        return resolved
+
+    def resolve(self) -> Callable[..., Any]:
+        """Import and return the experiment entry point."""
+        return getattr(importlib.import_module(self.module), self.func)
+
+
+def _spec(
+    experiment_id: str,
+    module_obj: Any,
+    func: str,
+    description: str,
+    quick_params: Mapping[str, Any],
+    full_params: Mapping[str, Any] | None = None,
+    accepts_force_path: bool = False,
+) -> ExperimentSpec:
+    return ExperimentSpec(
+        experiment_id=experiment_id,
+        module=module_obj.__name__,
+        func=func,
+        description=description,
+        full_params=dict(full_params or {}),
+        quick_params=dict(quick_params),
+        accepts_force_path=accepts_force_path,
+    )
+
+
+#: Roster order matches the paper's presentation order (figures, then
+#: Table 1's companions, then the ablations).
+EXPERIMENTS: tuple[ExperimentSpec, ...] = (
+    _spec(
+        "fig5",
+        fig5_simd,
+        "run",
+        fig5_simd.DESCRIPTION,
+        quick_params={"n_atoms": 512, "n_steps": 3},
+    ),
+    # fig6/table1 assert 2048-atom ratios; quick runs 2 functional
+    # steps and lets the normalization recover the 10-step convention.
+    _spec(
+        "fig6",
+        fig6_launch,
+        "run",
+        fig6_launch.DESCRIPTION,
+        quick_params={"n_atoms": 2048, "n_steps": 2},
+    ),
+    _spec(
+        "table1",
+        table1_perf,
+        "run",
+        table1_perf.DESCRIPTION,
+        quick_params={"n_atoms": 2048, "n_steps": 2},
+    ),
+    _spec(
+        "fig7",
+        fig7_gpu,
+        "run",
+        fig7_gpu.DESCRIPTION,
+        quick_params={"atom_counts": _QUICK_SWEEP, "n_steps": 2},
+    ),
+    _spec(
+        "fig8",
+        fig8_mta,
+        "run",
+        fig8_mta.DESCRIPTION,
+        quick_params={"atom_counts": _QUICK_SWEEP, "n_steps": 2},
+    ),
+    _spec(
+        "fig9",
+        fig9_scaling,
+        "run",
+        fig9_scaling.DESCRIPTION,
+        quick_params={"atom_counts": _QUICK_SWEEP, "n_steps": 2},
+        accepts_force_path=True,
+    ),
+    _spec(
+        "abl-nlist",
+        ablations,
+        "run_neighborlist",
+        ablations.DESCRIPTIONS["abl-nlist"],
+        quick_params={"n_atoms": 512, "n_steps": 10},
+    ),
+    _spec(
+        "abl-reduce",
+        ablations,
+        "run_gpu_reduction",
+        ablations.DESCRIPTIONS["abl-reduce"],
+        quick_params={"n_atoms": 512},
+    ),
+    _spec(
+        "abl-xmt",
+        ablations,
+        "run_xmt_projection",
+        ablations.DESCRIPTIONS["abl-xmt"],
+        quick_params={"n_atoms": 512, "n_steps": 2},
+    ),
+    _spec(
+        "abl-xmt-net",
+        ablations,
+        "run_xmt_network",
+        ablations.DESCRIPTIONS["abl-xmt-net"],
+        quick_params={},
+    ),
+    _spec(
+        "abl-cache",
+        ablations,
+        "run_cache_patterns",
+        ablations.DESCRIPTIONS["abl-cache"],
+        quick_params={"n_atoms": 4096},
+    ),
+    _spec(
+        "abl-nextgen",
+        ablations,
+        "run_nextgen_gpu",
+        ablations.DESCRIPTIONS["abl-nextgen"],
+        quick_params={"atom_counts": (256, 1024)},
+    ),
+    _spec(
+        "abl-balance",
+        ablations,
+        "run_load_balance",
+        ablations.DESCRIPTIONS["abl-balance"],
+        quick_params={"n_atoms": 512},
+    ),
+    _spec(
+        "abl-precision",
+        ablations,
+        "run_precision",
+        ablations.DESCRIPTIONS["abl-precision"],
+        quick_params={"n_atoms": 256},
+    ),
+)
+
+_BY_ID = {spec.experiment_id: spec for spec in EXPERIMENTS}
+
+
+def experiment_ids() -> tuple[str, ...]:
+    return tuple(spec.experiment_id for spec in EXPERIMENTS)
+
+
+def spec_for(experiment_id: str) -> ExperimentSpec:
+    try:
+        return _BY_ID[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment id {experiment_id!r}; "
+            f"known ids: {', '.join(experiment_ids())}"
+        ) from None

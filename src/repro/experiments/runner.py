@@ -3,23 +3,23 @@
 ``python -m repro.experiments.runner [--quick]`` regenerates every
 table and figure of the paper plus the ablations, printing the measured
 values, the paper references, and the pass/fail of every shape check.
+
+This module is a thin compatibility shim over :mod:`repro.harness`:
+the roster lives in :mod:`repro.experiments.registry` and execution
+goes through :func:`repro.harness.api.run_roster` (inline, uncached,
+ephemeral — no ``runs/`` artifacts).  That buys crash isolation for
+free: an exception in one experiment is reported with its traceback
+and the rest of the roster still runs.  For parallel execution, the
+result cache, and stored run artifacts, use ``python -m repro.harness``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable
+from functools import partial
+from typing import Any, Callable, Mapping
 
-from repro.experiments import (
-    ablations,
-    fig5_simd,
-    fig6_launch,
-    fig7_gpu,
-    fig8_mta,
-    fig9_scaling,
-    table1_perf,
-)
 from repro.experiments.common import ExperimentResult
 
 __all__ = ["all_experiments", "main"]
@@ -31,61 +31,31 @@ def all_experiments(
 ) -> list[tuple[str, Callable[[], ExperimentResult]]]:
     """(experiment id, factory) roster; ``quick`` shrinks the sweeps.
 
+    Back-compat view of :data:`repro.experiments.registry.EXPERIMENTS`;
     ``force_path`` selects the functional force engine (a
     :mod:`repro.md.forcefield` registry name) for the fig9 scaling
     sweep — the experiment whose host wall-clock the O(N) cell list
     actually unlocks at large N.
     """
-    if quick:
-        sweep = (256, 512, 1024)
-        return [
-            ("fig5", lambda: fig5_simd.run(n_atoms=512, n_steps=3)),
-            # fig6/table1 assert 2048-atom ratios; run 2 functional steps
-            # and let the harness normalize to the 10-step convention.
-            ("fig6", lambda: fig6_launch.run(n_atoms=2048, n_steps=2)),
-            ("table1", lambda: table1_perf.run(n_atoms=2048, n_steps=2)),
-            ("fig7", lambda: fig7_gpu.run(atom_counts=sweep, n_steps=2)),
-            ("fig8", lambda: fig8_mta.run(atom_counts=sweep, n_steps=2)),
-            (
-                "fig9",
-                lambda: fig9_scaling.run(
-                    atom_counts=sweep, n_steps=2, force_path=force_path
-                ),
-            ),
-            (
-                "abl-nlist",
-                lambda: ablations.run_neighborlist(n_atoms=512, n_steps=10),
-            ),
-            ("abl-reduce", lambda: ablations.run_gpu_reduction(n_atoms=512)),
-            (
-                "abl-xmt",
-                lambda: ablations.run_xmt_projection(n_atoms=512, n_steps=2),
-            ),
-            ("abl-xmt-net", ablations.run_xmt_network),
-            ("abl-cache", lambda: ablations.run_cache_patterns(n_atoms=4096)),
-            (
-                "abl-nextgen",
-                lambda: ablations.run_nextgen_gpu(atom_counts=(256, 1024)),
-            ),
-            ("abl-balance", lambda: ablations.run_load_balance(n_atoms=512)),
-            ("abl-precision", lambda: ablations.run_precision(n_atoms=256)),
-        ]
+    from repro.experiments.registry import EXPERIMENTS
+
     return [
-        ("fig5", fig5_simd.run),
-        ("fig6", fig6_launch.run),
-        ("table1", table1_perf.run),
-        ("fig7", fig7_gpu.run),
-        ("fig8", fig8_mta.run),
-        ("fig9", lambda: fig9_scaling.run(force_path=force_path)),
-        ("abl-nlist", ablations.run_neighborlist),
-        ("abl-reduce", ablations.run_gpu_reduction),
-        ("abl-xmt", ablations.run_xmt_projection),
-        ("abl-xmt-net", ablations.run_xmt_network),
-        ("abl-cache", ablations.run_cache_patterns),
-        ("abl-nextgen", ablations.run_nextgen_gpu),
-        ("abl-balance", ablations.run_load_balance),
-        ("abl-precision", ablations.run_precision),
+        (
+            spec.experiment_id,
+            partial(spec.resolve(), **spec.params(quick=quick, force_path=force_path)),
+        )
+        for spec in EXPERIMENTS
     ]
+
+
+def _print_record(record: Mapping[str, Any]) -> None:
+    if record["status"] == "ok":
+        print(ExperimentResult.from_dict(record["result"]).render())
+    else:
+        print(f"[ERROR] {record['experiment_id']}: experiment {record['status']}")
+        if record.get("traceback"):
+            print(record["traceback"].rstrip())
+    print()
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -103,6 +73,11 @@ def main(argv: list[str] | None = None) -> int:
         metavar="ID",
         help="skip an experiment id (repeatable)",
     )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list experiment ids and descriptions, then exit",
+    )
     from repro.md.forcefield import available_backends
 
     parser.add_argument(
@@ -113,25 +88,39 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    roster = all_experiments(quick=args.quick, force_path=args.force_path)
-    known = {eid for eid, _factory in roster}
-    for skipped in args.skip:
-        if skipped not in known:
-            parser.error(f"unknown experiment id {skipped!r}")
-    if args.only:
-        if args.only not in known:
-            parser.error(f"unknown experiment id {args.only!r}")
-        roster = [(eid, factory) for eid, factory in roster if eid == args.only]
-    roster = [(eid, factory) for eid, factory in roster if eid not in args.skip]
-    failures = 0
-    for _eid, factory in roster:
-        result = factory()
-        print(result.render())
-        print()
-        if not result.all_passed:
-            failures += 1
+    if args.list:
+        from repro.harness.cli import print_roster
+
+        print_roster()
+        return 0
+
+    from repro.harness import api
+
+    try:
+        jobs = api.jobs_from_registry(
+            quick=args.quick,
+            force_path=args.force_path,
+            only=[args.only] if args.only else None,
+            skip=args.skip,
+        )
+    except KeyError as exc:
+        parser.error(exc.args[0])
+
+    outcome = api.run_roster(
+        jobs,
+        store=None,  # ephemeral: no runs/ artifacts, no cache
+        max_workers=0,  # inline, roster order, monkeypatch-friendly
+        use_cache=False,
+        on_record=_print_record,
+    )
+    failures = outcome.failures
     if failures:
-        print(f"{failures} experiment(s) outside their paper-shape bands")
+        crashed = outcome.manifest["not_ok_count"]
+        if crashed:
+            print(f"{crashed} experiment(s) raised instead of completing")
+        band = outcome.manifest["band_failure_count"]
+        if band:
+            print(f"{band} experiment(s) outside their paper-shape bands")
     return 1 if failures else 0
 
 

@@ -20,7 +20,10 @@ from repro.experiments.common import (
 from repro.experiments.paperdata import TABLE1_PAPER_SECONDS
 from repro.opteron import OpteronDevice
 
-__all__ = ["run"]
+__all__ = ["DESCRIPTION", "run"]
+
+#: One-line roster description (``--list`` / harness job metadata).
+DESCRIPTION = "Cross-device 2048-atom runtime comparison (Table 1)"
 
 
 def run(n_atoms: int = 2048, n_steps: int = PAPER_STEPS) -> ExperimentResult:

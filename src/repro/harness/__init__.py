@@ -1,0 +1,35 @@
+"""Parallel, cached, artifact-producing experiment execution.
+
+The harness turns the paper's roster (Table 1, Figs 5–9, ablations)
+into declarative jobs with content-addressed cache keys, fans them out
+across a process pool with per-job timeout/retry/crash isolation, and
+persists every run under ``runs/<run_id>/`` for replay, ``show`` and
+``diff``.  See ``python -m repro.harness --help``.
+"""
+
+from repro.harness.api import (
+    RunOutcome,
+    diff_runs,
+    jobs_from_registry,
+    manifest_essence,
+    run_roster,
+)
+from repro.harness.fingerprint import code_fingerprint
+from repro.harness.jobs import Job, execute_job, job_cache_key
+from repro.harness.scheduler import run_jobs
+from repro.harness.store import DEFAULT_RUNS_DIR, RunStore
+
+__all__ = [
+    "DEFAULT_RUNS_DIR",
+    "Job",
+    "RunOutcome",
+    "RunStore",
+    "code_fingerprint",
+    "diff_runs",
+    "execute_job",
+    "job_cache_key",
+    "jobs_from_registry",
+    "manifest_essence",
+    "run_jobs",
+    "run_roster",
+]

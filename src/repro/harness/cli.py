@@ -1,0 +1,224 @@
+"""``python -m repro.harness`` — the experiment-execution CLI.
+
+Subcommands::
+
+    run   [--quick] [--jobs N] [--only ID ...] [--skip ID ...]
+          [--force-path NAME] [--timeout S] [--retries N]
+          [--no-cache] [--invalidate ID ...] [--runs-dir DIR] [--list]
+    list  [--runs-dir DIR]            # stored runs, oldest first
+    show  RUN_ID [--render] [--runs-dir DIR]
+    diff  RUN_A RUN_B [--runs-dir DIR]   # shape-band regressions
+
+``run`` exits non-zero when any job failed to finish or finished
+outside its paper-shape bands; ``diff`` exits non-zero on regressions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Mapping
+
+from repro.harness import api
+from repro.harness.store import DEFAULT_RUNS_DIR, RunStore
+
+__all__ = ["main"]
+
+
+def _add_runs_dir(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--runs-dir",
+        default=DEFAULT_RUNS_DIR,
+        metavar="DIR",
+        help=f"run-store root (default: ./{DEFAULT_RUNS_DIR})",
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="execute the experiment roster")
+    run.add_argument("--quick", action="store_true", help="small systems, short sweeps")
+    run.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (default 1; 0 = inline in this process)",
+    )
+    run.add_argument("--only", action="append", default=[], metavar="ID",
+                     help="run only this experiment id (repeatable)")
+    run.add_argument("--skip", action="append", default=[], metavar="ID",
+                     help="skip an experiment id (repeatable)")
+    run.add_argument("--timeout", type=float, default=None, metavar="S",
+                     help="per-job timeout in seconds (requires --jobs >= 1)")
+    run.add_argument("--retries", type=int, default=0, metavar="N",
+                     help="extra attempts per failed/timed-out job")
+    run.add_argument("--backoff", type=float, default=0.25, metavar="S",
+                     help="base retry backoff (doubles per attempt)")
+    run.add_argument("--no-cache", action="store_true",
+                     help="recompute everything; do not read or reuse the cache")
+    run.add_argument("--invalidate", action="append", default=[], metavar="ID",
+                     help="drop cached records for an experiment id first (repeatable)")
+    run.add_argument("--list", action="store_true",
+                     help="list experiment ids and descriptions, then exit")
+    from repro.md.forcefield import available_backends
+
+    run.add_argument("--force-path", default="all-pairs",
+                     choices=available_backends(),
+                     help="functional force engine for the fig9 sweep")
+    _add_runs_dir(run)
+
+    lst = sub.add_parser("list", help="list stored runs")
+    _add_runs_dir(lst)
+
+    show = sub.add_parser("show", help="show one stored run")
+    show.add_argument("run_id")
+    show.add_argument("--render", action="store_true",
+                      help="render each job's full result table")
+    _add_runs_dir(show)
+
+    diff = sub.add_parser("diff", help="compare two runs' shape checks")
+    diff.add_argument("run_a")
+    diff.add_argument("run_b")
+    _add_runs_dir(diff)
+    return parser
+
+
+def print_roster(out=None) -> None:
+    """The ``--list`` listing: id + one-line description per experiment."""
+    from repro.experiments.registry import EXPERIMENTS
+
+    out = out if out is not None else sys.stdout
+    width = max(len(spec.experiment_id) for spec in EXPERIMENTS)
+    for spec in EXPERIMENTS:
+        print(f"{spec.experiment_id:<{width}}  {spec.description}", file=out)
+
+
+def _status_line(record: Mapping[str, Any]) -> str:
+    status = record["status"]
+    if status == "ok":
+        bands = "bands ok" if record.get("all_passed") else "BANDS FAIL"
+        status = f"ok, {bands}"
+    cached = " (cached)" if record.get("cached") else ""
+    return (
+        f"[{record['job_id']}] {status}{cached} "
+        f"— {record.get('wall_seconds', 0.0):.2f}s"
+        f", attempt {record.get('attempts', 1)}"
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.list:
+        print_roster()
+        return 0
+    try:
+        jobs = api.jobs_from_registry(
+            quick=args.quick,
+            force_path=args.force_path,
+            only=args.only or None,
+            skip=args.skip,
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    store = RunStore(args.runs_dir)
+    outcome = api.run_roster(
+        jobs,
+        store=store,
+        max_workers=args.jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+        backoff=args.backoff,
+        use_cache=not args.no_cache,
+        invalidate=args.invalidate,
+        run_meta={
+            "quick": args.quick,
+            "jobs": args.jobs,
+            "force_path": args.force_path,
+            "only": args.only,
+            "skip": args.skip,
+        },
+        on_record=lambda record: print(_status_line(record), flush=True),
+    )
+    m = outcome.manifest
+    print(
+        f"run {outcome.run_id}: {m['job_count']} job(s), "
+        f"{m['cached_count']} cached, {m['not_ok_count']} did not finish, "
+        f"{m['band_failure_count']} outside paper-shape bands "
+        f"({m['wall_seconds_total']:.2f}s)"
+    )
+    return outcome.exit_code
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    store = RunStore(args.runs_dir)
+    runs = store.list_runs()
+    if not runs:
+        print(f"no runs under {store.root}")
+        return 0
+    for run_id in runs:
+        m = store.read_manifest(run_id)
+        print(
+            f"{run_id}  jobs={m['job_count']} cached={m['cached_count']} "
+            f"failures={m['failures']}  {m['created']}"
+        )
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    store = RunStore(args.runs_dir)
+    try:
+        manifest = store.read_manifest(args.run_id)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"run {args.run_id}  created {manifest['created']}")
+    print(f"code fingerprint {manifest['code_fingerprint'][:16]}…")
+    for row in manifest["jobs"]:
+        print("  " + _status_line(row))
+    print(
+        f"{manifest['failures']} failure(s) "
+        f"({manifest['not_ok_count']} did not finish, "
+        f"{manifest['band_failure_count']} outside bands)"
+    )
+    if args.render:
+        from repro.experiments.common import ExperimentResult
+
+        for record in store.iter_job_records(args.run_id):
+            print()
+            if record.get("result"):
+                print(ExperimentResult.from_dict(record["result"]).render())
+            else:
+                print(f"[{record['job_id']}] {record['status']}")
+                if record.get("traceback"):
+                    print(record["traceback"])
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    store = RunStore(args.runs_dir)
+    try:
+        lines, regressions = api.diff_runs(store, args.run_a, args.run_b)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for line in lines:
+        print(line)
+    print(f"{regressions} regression(s)")
+    return 1 if regressions else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return {
+        "run": _cmd_run,
+        "list": _cmd_list,
+        "show": _cmd_show,
+        "diff": _cmd_diff,
+    }[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""Content hash of the ``repro`` source tree.
+
+The harness cache key is ``sha256({experiment id, params, code
+fingerprint})``; the code fingerprint makes cached records
+self-invalidating — edit any module under ``src/repro`` and every key
+changes, so stale results can never be replayed against new code.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+from pathlib import Path
+
+__all__ = ["code_fingerprint"]
+
+
+def _package_root() -> Path:
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+@functools.lru_cache(maxsize=8)
+def _fingerprint_of(root: str) -> str:
+    digest = hashlib.sha256()
+    for path in sorted(Path(root).rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        rel = path.relative_to(root).as_posix()
+        digest.update(rel.encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def code_fingerprint(root: Path | str | None = None) -> str:
+    """Hex digest over every ``*.py`` file under ``root``.
+
+    Defaults to the installed ``repro`` package.  Deterministic across
+    processes and machines (path-sorted, content-only — mtimes don't
+    matter); memoized per process.
+    """
+    if root is None:
+        root = _package_root()
+    return _fingerprint_of(str(Path(root).resolve()))

@@ -1,0 +1,112 @@
+"""The harness job model and the worker-side execution function.
+
+A :class:`Job` is the declarative unit the scheduler moves around: an
+id, an importable entry point, JSON-serializable parameters, and a
+content-addressed cache key.  :func:`execute_job` is the *only* code
+that runs inside worker processes — it takes a plain-dict payload
+(picklable under any multiprocessing start method), runs the
+experiment with stdout/stderr captured, and returns a plain-dict
+record, catching every Python-level failure so one bad experiment
+can never take down the pool.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import hashlib
+import importlib
+import io
+import json
+import time
+import traceback
+from typing import Any, Mapping
+
+__all__ = ["Job", "job_cache_key", "execute_job", "STATUS_OK", "STATUS_FAILED", "STATUS_TIMEOUT"]
+
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+STATUS_TIMEOUT = "timeout"
+
+
+@dataclasses.dataclass(frozen=True)
+class Job:
+    """One schedulable experiment invocation."""
+
+    job_id: str
+    experiment_id: str
+    module: str
+    func: str
+    params: Mapping[str, Any] = dataclasses.field(default_factory=dict)
+
+    def payload(self, cache_key: str | None = None) -> dict[str, Any]:
+        """The picklable dict shipped to worker processes."""
+        return {
+            "job_id": self.job_id,
+            "experiment_id": self.experiment_id,
+            "module": self.module,
+            "func": self.func,
+            "params": dict(self.params),
+            "cache_key": cache_key,
+        }
+
+
+def job_cache_key(job: Job, code_fingerprint: str) -> str:
+    """Content-addressed key: ``{experiment id, config, code}``.
+
+    Tuples and lists hash identically (both serialize as JSON arrays),
+    so a key computed from an in-memory roster matches one recomputed
+    from a JSON-round-tripped manifest.
+    """
+    payload = json.dumps(
+        {
+            "experiment_id": job.experiment_id,
+            "module": job.module,
+            "func": job.func,
+            "params": job.params,
+            "code": code_fingerprint,
+        },
+        sort_keys=True,
+        default=str,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def execute_job(payload: Mapping[str, Any]) -> dict[str, Any]:
+    """Run one job payload and return its record dict.
+
+    Never raises for experiment-level errors: exceptions become a
+    ``status="failed"`` record carrying the traceback.  The record is
+    JSON-native throughout — the run store persists it verbatim.
+    """
+    wall_start = time.perf_counter()
+    cpu_start = time.process_time()
+    captured = io.StringIO()
+    record: dict[str, Any] = {
+        "job_id": payload["job_id"],
+        "experiment_id": payload["experiment_id"],
+        "module": payload["module"],
+        "func": payload["func"],
+        "params": dict(payload.get("params") or {}),
+        "cache_key": payload.get("cache_key"),
+        "status": STATUS_OK,
+        "result": None,
+        "all_passed": None,
+        "traceback": None,
+        "stdout": "",
+        "wall_seconds": 0.0,
+        "cpu_seconds": 0.0,
+    }
+    try:
+        with contextlib.redirect_stdout(captured), contextlib.redirect_stderr(captured):
+            func = getattr(importlib.import_module(payload["module"]), payload["func"])
+            result = func(**record["params"])
+        record["result"] = result.to_dict()
+        record["all_passed"] = bool(result.all_passed)
+    except Exception:
+        record["status"] = STATUS_FAILED
+        record["traceback"] = traceback.format_exc()
+    record["stdout"] = captured.getvalue()
+    record["wall_seconds"] = time.perf_counter() - wall_start
+    record["cpu_seconds"] = time.process_time() - cpu_start
+    return record

@@ -1,0 +1,282 @@
+"""Process-pool job scheduler: fan-out, timeout, retry, crash isolation.
+
+Built on :class:`concurrent.futures.ProcessPoolExecutor`.  The roster's
+jobs are independent, so they simply fan out across ``max_workers``
+processes; the loop tracks a deadline per running future and a
+``not_before`` per retry so bounded exponential backoff never blocks a
+free slot.
+
+Failure containment comes in three tiers:
+
+* **Python exception in a job** — caught *inside* the worker by
+  :func:`repro.harness.jobs.execute_job`; comes back as a normal
+  ``failed`` record.  Other jobs are untouched.
+* **Timeout** — ``concurrent.futures`` cannot interrupt a running
+  worker, so the expired job is recorded (or requeued, if it has retry
+  budget), the pool's processes are terminated, and a fresh pool is
+  built; in-flight innocents are requeued without consuming an attempt.
+* **Worker death** (hard crash / OOM-kill) — surfaces as
+  ``BrokenProcessPool``; handled like a timeout except the dead job's
+  attempt is consumed.
+
+``max_workers=0`` (or ``None``) runs everything inline in the calling
+process — same records, deterministic roster order, no pool; timeouts
+are not enforceable inline and are ignored there.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.harness.jobs import STATUS_FAILED, STATUS_OK, STATUS_TIMEOUT, execute_job
+
+__all__ = ["run_jobs"]
+
+#: Minimum poll interval while waiting on deadlines/backoff (seconds).
+_MIN_WAIT = 0.05
+
+
+@dataclasses.dataclass
+class _Pending:
+    payload: dict[str, Any]
+    attempts: int = 0
+    not_before: float = 0.0
+
+
+def _error_record(payload: Mapping[str, Any], status: str, message: str) -> dict[str, Any]:
+    """A scheduler-side record for a job that never returned one."""
+    return {
+        "job_id": payload["job_id"],
+        "experiment_id": payload["experiment_id"],
+        "module": payload["module"],
+        "func": payload["func"],
+        "params": dict(payload.get("params") or {}),
+        "cache_key": payload.get("cache_key"),
+        "status": status,
+        "result": None,
+        "all_passed": None,
+        "traceback": message,
+        "stdout": "",
+        "wall_seconds": 0.0,
+        "cpu_seconds": 0.0,
+    }
+
+
+def _backoff_delay(backoff: float, attempts: int) -> float:
+    return backoff * (2.0 ** max(0, attempts - 1))
+
+
+def _run_inline(
+    payloads: Sequence[Mapping[str, Any]],
+    *,
+    retries: int,
+    backoff: float,
+    execute: Callable[[Mapping[str, Any]], dict[str, Any]],
+    on_record: Callable[[dict[str, Any]], None] | None,
+) -> dict[str, dict[str, Any]]:
+    records: dict[str, dict[str, Any]] = {}
+    for payload in payloads:
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                record = execute(payload)
+            except Exception as exc:  # execute_job shouldn't raise; belt & braces
+                record = _error_record(
+                    payload, STATUS_FAILED, f"scheduler-level error: {exc!r}"
+                )
+            record["attempts"] = attempts
+            if record["status"] == STATUS_OK or attempts > retries:
+                break
+            time.sleep(_backoff_delay(backoff, attempts))
+        records[payload["job_id"]] = record
+        if on_record is not None:
+            on_record(record)
+    return records
+
+
+class _Pool:
+    """A replaceable ProcessPoolExecutor wrapper.
+
+    Timeout enforcement needs to *kill* a running worker, which the
+    executor API does not expose — so on timeout/crash the whole pool
+    is torn down (terminating its processes) and rebuilt.  Timeouts are
+    the rare path; losing in-flight sibling work is an accepted cost,
+    and those siblings are requeued without consuming an attempt.
+    """
+
+    def __init__(self, max_workers: int):
+        self.max_workers = max_workers
+        self._executor = ProcessPoolExecutor(max_workers=max_workers)
+
+    def submit(self, fn: Callable, payload: Mapping[str, Any]) -> Future:
+        return self._executor.submit(fn, payload)
+
+    def rebuild(self) -> None:
+        self.terminate()
+        self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
+
+    def terminate(self) -> None:
+        processes = getattr(self._executor, "_processes", None) or {}
+        for proc in list(processes.values()):
+            try:
+                proc.terminate()
+            except Exception:
+                pass
+        try:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+
+
+def run_jobs(
+    payloads: Sequence[Mapping[str, Any]],
+    *,
+    max_workers: int | None = None,
+    timeout: float | None = None,
+    retries: int = 0,
+    backoff: float = 0.25,
+    execute: Callable[[Mapping[str, Any]], dict[str, Any]] = execute_job,
+    on_record: Callable[[dict[str, Any]], None] | None = None,
+) -> dict[str, dict[str, Any]]:
+    """Run every payload; return ``{job_id: record}``.
+
+    ``retries`` is the number of *extra* attempts granted after a
+    failed/timed-out one (so a job runs at most ``retries + 1`` times),
+    with ``backoff * 2**(attempt-1)`` seconds between attempts.
+    ``on_record`` fires once per job with its final record, in
+    completion order.
+    """
+    if not payloads:
+        return {}
+    if not max_workers:
+        return _run_inline(
+            payloads,
+            retries=retries,
+            backoff=backoff,
+            execute=execute,
+            on_record=on_record,
+        )
+
+    records: dict[str, dict[str, Any]] = {}
+    pending: deque[_Pending] = deque(_Pending(dict(p)) for p in payloads)
+    running: dict[Future, tuple[_Pending, float | None]] = {}
+    pool = _Pool(max_workers)
+
+    def finish(item: _Pending, record: dict[str, Any]) -> None:
+        record["attempts"] = item.attempts
+        records[item.payload["job_id"]] = record
+        if on_record is not None:
+            on_record(record)
+
+    def finish_or_retry(item: _Pending, record: dict[str, Any]) -> None:
+        if record["status"] != STATUS_OK and item.attempts <= retries:
+            item.not_before = time.monotonic() + _backoff_delay(backoff, item.attempts)
+            pending.append(item)
+        else:
+            finish(item, record)
+
+    def drain_running_into_pending() -> None:
+        """Requeue every in-flight job (pool is about to be rebuilt).
+
+        Completed futures are harvested first; the rest go back on the
+        queue without consuming an attempt — they were innocent
+        bystanders of another job's timeout or crash.
+        """
+        for fut in list(running):
+            item, _deadline = running.pop(fut)
+            if fut.done():
+                try:
+                    record = fut.result(timeout=0)
+                except Exception:
+                    pending.appendleft(item)
+                else:
+                    item.attempts += 1
+                    finish_or_retry(item, record)
+            else:
+                pending.appendleft(item)
+
+    try:
+        while pending or running:
+            now = time.monotonic()
+            # Fill free slots with eligible (backoff-expired) jobs.
+            for _ in range(len(pending)):
+                if len(running) >= max_workers:
+                    break
+                item = pending.popleft()
+                if item.not_before > now:
+                    pending.append(item)
+                    continue
+                deadline = now + timeout if timeout else None
+                running[pool.submit(execute, item.payload)] = (item, deadline)
+
+            if not running:
+                # Everything queued is backing off; sleep to the nearest.
+                wake = min(item.not_before for item in pending)
+                time.sleep(max(_MIN_WAIT, wake - time.monotonic()))
+                continue
+
+            horizons = [d for _item, d in running.values() if d is not None]
+            if pending:
+                horizons.extend(
+                    item.not_before for item in pending if item.not_before > now
+                )
+            wait_for = (
+                max(_MIN_WAIT, min(horizons) - now) if horizons else None
+            )
+            done, _not_done = wait(
+                set(running), timeout=wait_for, return_when=FIRST_COMPLETED
+            )
+
+            pool_broken = False
+            for fut in done:
+                item, _deadline = running.pop(fut)
+                item.attempts += 1
+                try:
+                    record = fut.result()
+                except BrokenProcessPool:
+                    pool_broken = True
+                    record = _error_record(
+                        item.payload,
+                        STATUS_FAILED,
+                        "worker process died before returning a record "
+                        "(hard crash or kill); pool rebuilt",
+                    )
+                except Exception as exc:
+                    record = _error_record(
+                        item.payload, STATUS_FAILED, f"scheduler-level error: {exc!r}"
+                    )
+                finish_or_retry(item, record)
+            if pool_broken:
+                drain_running_into_pending()
+                pool.rebuild()
+                continue
+
+            # Enforce per-job deadlines.
+            now = time.monotonic()
+            expired = [
+                fut
+                for fut, (_item, deadline) in running.items()
+                if deadline is not None and deadline <= now and not fut.done()
+            ]
+            if expired:
+                for fut in expired:
+                    item, _deadline = running.pop(fut)
+                    item.attempts += 1
+                    record = _error_record(
+                        item.payload,
+                        STATUS_TIMEOUT,
+                        f"job exceeded its {timeout:g}s timeout "
+                        f"(attempt {item.attempts}); worker terminated",
+                    )
+                    finish_or_retry(item, record)
+                drain_running_into_pending()
+                pool.rebuild()
+    finally:
+        pool.terminate()
+    return records

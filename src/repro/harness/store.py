@@ -1,0 +1,144 @@
+"""The on-disk run store: ``runs/<run_id>/`` plus a shared result cache.
+
+Layout::
+
+    runs/
+      cache/<cache_key>.json     # content-addressed successful records
+      <run_id>/
+        manifest.json            # run metadata + per-job summary rows
+        jobs/<job_id>.json       # full per-job records (incl. cached replays)
+
+Run ids sort chronologically (``YYYYmmdd-HHMMSS-xxxxxx``).  Every run
+directory is self-contained: replayed jobs get their full record copied
+into the run, so ``show``/``diff`` never chase cache files that may
+have been invalidated since.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import uuid
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+__all__ = ["RunStore", "DEFAULT_RUNS_DIR"]
+
+DEFAULT_RUNS_DIR = "runs"
+
+_CACHE_DIR = "cache"
+_JOBS_DIR = "jobs"
+_MANIFEST = "manifest.json"
+
+
+def _dump(path: Path, data: Mapping[str, Any]) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    tmp.replace(path)
+
+
+def _load(path: Path) -> dict[str, Any]:
+    return json.loads(path.read_text())
+
+
+class RunStore:
+    """Filesystem-backed store for harness runs and cached job records."""
+
+    def __init__(self, root: Path | str = DEFAULT_RUNS_DIR):
+        self.root = Path(root)
+
+    # -- run ids -------------------------------------------------------
+
+    def new_run_id(self) -> str:
+        now = time.time()
+        stamp = time.strftime("%Y%m%d-%H%M%S", time.gmtime(now))
+        # microseconds keep same-second runs (e.g. a cached replay right
+        # after a fresh run) sorting in true chronological order
+        micros = int((now % 1.0) * 1_000_000)
+        return f"{stamp}{micros:06d}-{uuid.uuid4().hex[:6]}"
+
+    def run_dir(self, run_id: str) -> Path:
+        return self.root / run_id
+
+    def list_runs(self) -> list[str]:
+        """Run ids, oldest first (ids sort chronologically)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            p.name
+            for p in self.root.iterdir()
+            if p.is_dir() and p.name != _CACHE_DIR and (p / _MANIFEST).exists()
+        )
+
+    # -- manifests and job records ------------------------------------
+
+    def write_manifest(self, run_id: str, manifest: Mapping[str, Any]) -> Path:
+        path = self.run_dir(run_id) / _MANIFEST
+        _dump(path, manifest)
+        return path
+
+    def read_manifest(self, run_id: str) -> dict[str, Any]:
+        path = self.run_dir(run_id) / _MANIFEST
+        if not path.exists():
+            raise FileNotFoundError(
+                f"no manifest for run {run_id!r} under {self.root}"
+            )
+        return _load(path)
+
+    def write_job_record(self, run_id: str, record: Mapping[str, Any]) -> Path:
+        path = self.run_dir(run_id) / _JOBS_DIR / f"{record['job_id']}.json"
+        _dump(path, record)
+        return path
+
+    def read_job_record(self, run_id: str, job_id: str) -> dict[str, Any]:
+        return _load(self.run_dir(run_id) / _JOBS_DIR / f"{job_id}.json")
+
+    def iter_job_records(self, run_id: str) -> Iterator[dict[str, Any]]:
+        """Records in the manifest's roster order."""
+        manifest = self.read_manifest(run_id)
+        for entry in manifest.get("jobs", []):
+            yield self.read_job_record(run_id, entry["job_id"])
+
+    # -- result cache --------------------------------------------------
+
+    def _cache_path(self, cache_key: str) -> Path:
+        return self.root / _CACHE_DIR / f"{cache_key}.json"
+
+    def cache_get(self, cache_key: str) -> dict[str, Any] | None:
+        path = self._cache_path(cache_key)
+        if not path.exists():
+            return None
+        try:
+            return _load(path)
+        except (OSError, json.JSONDecodeError):
+            return None  # a torn cache entry is a miss, not an error
+
+    def cache_put(self, cache_key: str, record: Mapping[str, Any]) -> None:
+        _dump(self._cache_path(cache_key), record)
+
+    def invalidate(self, experiment_id: str) -> int:
+        """Drop every cached record for one experiment id; return count."""
+        cache_dir = self.root / _CACHE_DIR
+        if not cache_dir.is_dir():
+            return 0
+        dropped = 0
+        for path in cache_dir.glob("*.json"):
+            try:
+                record = _load(path)
+            except (OSError, json.JSONDecodeError):
+                continue
+            if record.get("experiment_id") == experiment_id:
+                path.unlink(missing_ok=True)
+                dropped += 1
+        return dropped
+
+    def invalidate_all(self) -> int:
+        cache_dir = self.root / _CACHE_DIR
+        if not cache_dir.is_dir():
+            return 0
+        dropped = 0
+        for path in cache_dir.glob("*.json"):
+            path.unlink(missing_ok=True)
+            dropped += 1
+        return dropped

@@ -32,3 +32,41 @@ class TestCli:
     def test_bad_flag_rejected(self):
         with pytest.raises(SystemExit):
             runner.main(["--bogus"])
+
+    def test_unknown_only_id_rejected(self):
+        with pytest.raises(SystemExit):
+            runner.main(["--only", "fig99"])
+
+    def test_list_prints_roster_without_running(self, capsys):
+        exit_code = runner.main(["--list"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        for eid in ("fig5", "table1", "abl-precision"):
+            assert eid in out
+        assert "SIMD optimization ladder" in out
+        assert "PASS" not in out  # listing must not execute experiments
+
+
+class TestCrashIsolation:
+    def test_one_raising_experiment_does_not_abort_the_roster(
+        self, capsys, monkeypatch
+    ):
+        from repro.experiments import ablations
+        from repro.experiments.registry import experiment_ids
+
+        def explode(**_kwargs):
+            raise RuntimeError("injected crash")
+
+        monkeypatch.setattr(ablations, "run_precision", explode)
+        keep = {"abl-precision", "abl-reduce"}
+        argv = ["--quick"]
+        for eid in experiment_ids():
+            if eid not in keep:
+                argv += ["--skip", eid]
+        exit_code = runner.main(argv)
+        out = capsys.readouterr().out
+        assert exit_code == 1
+        assert "[ERROR] abl-precision" in out
+        assert "injected crash" in out  # traceback lands in the report
+        assert "abl-reduce" in out  # the survivor still rendered
+        assert "raised instead of completing" in out

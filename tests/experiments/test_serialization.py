@@ -1,0 +1,72 @@
+"""JSON round-trip of the experiment result containers."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.experiments.common import ExperimentResult, ShapeCheck
+
+
+def _result() -> ExperimentResult:
+    checks = (
+        ShapeCheck("band_a", 1.2, 1.0, 2.0, 1.5, "a band"),
+        ShapeCheck("band_b", 9.0, 1.0, 2.0, 1.5, "a failing band"),
+    )
+    return ExperimentResult(
+        experiment_id="figX",
+        title="round-trip fixture",
+        headers=("n", "seconds", "ratio"),
+        rows=((256, 0.5, 1.0), (512, 2.0, 4.0)),
+        checks=checks,
+        notes=("note one", "note two"),
+        plot="ascii art\nline two",
+    )
+
+
+class TestShapeCheckRoundTrip:
+    def test_dict_roundtrip_preserves_equality(self):
+        check = ShapeCheck("k", 1.5, 1.0, 2.0, 1.4, "d")
+        again = ShapeCheck.from_dict(check.to_dict())
+        assert again == check
+        assert again.passed == check.passed
+
+    def test_to_dict_records_outcome(self):
+        assert ShapeCheck("k", 9.0, 1.0, 2.0, 1.4, "d").to_dict()["passed"] is False
+
+
+class TestExperimentResultRoundTrip:
+    def test_json_roundtrip_preserves_equality(self):
+        result = _result()
+        payload = json.dumps(result.to_dict())  # must be JSON-native already
+        again = ExperimentResult.from_dict(json.loads(payload))
+        assert again == result
+        assert again.all_passed == result.all_passed
+        assert again.render() == result.render()
+
+    def test_numpy_scalars_collapse_to_json_types(self):
+        result = ExperimentResult(
+            experiment_id="np",
+            title="numpy cells",
+            headers=("n", "t"),
+            rows=((np.int64(256), np.float64(1.25)),),
+            checks=(ShapeCheck("k", np.float64(1.0), 0.5, 1.5, 1.0, "d"),),
+        )
+        data = result.to_dict()
+        json.dumps(data)  # would raise on np.int64 leakage
+        assert data["rows"] == [[256, 1.25]]
+        assert isinstance(data["checks"][0]["measured"], float)
+
+    def test_missing_optional_fields_default(self):
+        minimal = {
+            "experiment_id": "m",
+            "title": "t",
+            "headers": ["h"],
+            "rows": [],
+            "checks": [],
+        }
+        result = ExperimentResult.from_dict(minimal)
+        assert result.notes == ()
+        assert result.plot is None
+        assert result.all_passed

@@ -1,0 +1,78 @@
+"""Module-level stub experiments for harness tests.
+
+These must live at module scope with an importable dotted path —
+worker processes resolve them by ``(module, func)`` name, exactly like
+the real experiment registry entries.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.experiments.common import ExperimentResult, ShapeCheck
+from repro.harness.jobs import Job
+
+
+def make_result(
+    experiment_id: str = "stub", measured: float = 1.0, value: float = 42.0
+) -> ExperimentResult:
+    """A tiny deterministic result; band 0.5..1.5 around ``measured``."""
+    check = ShapeCheck(
+        key="stub_band",
+        measured=measured,
+        low=0.5,
+        high=1.5,
+        paper_value=1.0,
+        description="stub shape check",
+    )
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title="stub experiment",
+        headers=("quantity", "value"),
+        rows=(("x", value),),
+        checks=(check,),
+        notes=("stub note",),
+    )
+
+
+def ok_job(measured: float = 1.0, value: float = 42.0) -> ExperimentResult:
+    print("stub stdout line")
+    return make_result(measured=measured, value=value)
+
+
+def napping_job(seconds: float = 0.2, value: float = 0.0) -> ExperimentResult:
+    time.sleep(seconds)
+    return make_result(value=value)
+
+
+def boom_job(message: str = "kaboom") -> ExperimentResult:
+    raise RuntimeError(message)
+
+
+def flaky_job(counter_path: str = "", fail_times: int = 0) -> ExperimentResult:
+    """Fails its first ``fail_times`` invocations, then succeeds.
+
+    Cross-process attempt counting goes through a file so retries in
+    pool workers see earlier attempts.
+    """
+    path = Path(counter_path)
+    seen = int(path.read_text()) if path.exists() else 0
+    path.write_text(str(seen + 1))
+    if seen < fail_times:
+        raise RuntimeError(f"transient failure #{seen + 1}")
+    return make_result()
+
+
+def stub_job(
+    job_id: str,
+    func: str = "ok_job",
+    **params: object,
+) -> Job:
+    return Job(
+        job_id=job_id,
+        experiment_id=job_id,
+        module=__name__,
+        func=func,
+        params=params,
+    )

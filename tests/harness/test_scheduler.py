@@ -1,0 +1,141 @@
+"""Scheduler behavior: fan-out, crash isolation, retry, timeout."""
+
+from __future__ import annotations
+
+import time
+
+from repro.harness.jobs import STATUS_FAILED, STATUS_OK, STATUS_TIMEOUT
+from repro.harness.scheduler import run_jobs
+from tests.harness.stub_jobs import stub_job
+
+
+def _payloads(jobs):
+    return [job.payload(cache_key=f"key-{job.job_id}") for job in jobs]
+
+
+class TestInline:
+    def test_records_in_roster_order(self):
+        jobs = [stub_job(f"s{i}", value=float(i)) for i in range(3)]
+        seen = []
+        records = run_jobs(
+            _payloads(jobs), max_workers=0, on_record=lambda r: seen.append(r["job_id"])
+        )
+        assert seen == ["s0", "s1", "s2"]
+        assert all(records[j.job_id]["status"] == STATUS_OK for j in jobs)
+        assert records["s2"]["result"]["rows"] == [["x", 2.0]]
+
+    def test_exception_contained_with_traceback(self):
+        jobs = [stub_job("good"), stub_job("bad", func="boom_job", message="pow")]
+        records = run_jobs(_payloads(jobs), max_workers=0)
+        assert records["good"]["status"] == STATUS_OK
+        assert records["bad"]["status"] == STATUS_FAILED
+        assert "pow" in records["bad"]["traceback"]
+        assert "RuntimeError" in records["bad"]["traceback"]
+
+    def test_retry_until_success(self, tmp_path):
+        counter = tmp_path / "attempts"
+        job = stub_job(
+            "flaky", func="flaky_job", counter_path=str(counter), fail_times=2
+        )
+        records = run_jobs(
+            [job.payload()], max_workers=0, retries=3, backoff=0.01
+        )
+        assert records["flaky"]["status"] == STATUS_OK
+        assert records["flaky"]["attempts"] == 3
+        assert counter.read_text() == "3"
+
+    def test_retry_budget_exhausted(self, tmp_path):
+        counter = tmp_path / "attempts"
+        job = stub_job(
+            "flaky", func="flaky_job", counter_path=str(counter), fail_times=10
+        )
+        records = run_jobs([job.payload()], max_workers=0, retries=1, backoff=0.01)
+        assert records["flaky"]["status"] == STATUS_FAILED
+        assert records["flaky"]["attempts"] == 2
+
+    def test_stdout_captured_into_record(self, capsys):
+        records = run_jobs([stub_job("s").payload()], max_workers=0)
+        assert "stub stdout line" in records["s"]["stdout"]
+        assert "stub stdout line" not in capsys.readouterr().out
+
+
+class TestPool:
+    def test_parallel_sleeps_overlap(self):
+        """Four 0.4s naps fan out: the pool beats the serial wall-clock.
+
+        This is the ISSUE's ``--jobs 4`` vs ``--jobs 1`` acceptance
+        criterion in miniature, made CPU-count-independent by using
+        sleeps (which overlap even on one core).
+        """
+        jobs = [
+            stub_job(f"nap{i}", func="napping_job", seconds=0.4) for i in range(4)
+        ]
+        start = time.perf_counter()
+        serial = run_jobs(_payloads(jobs), max_workers=0)
+        serial_wall = time.perf_counter() - start
+
+        start = time.perf_counter()
+        parallel = run_jobs(_payloads(jobs), max_workers=4)
+        parallel_wall = time.perf_counter() - start
+
+        assert all(r["status"] == STATUS_OK for r in serial.values())
+        assert all(r["status"] == STATUS_OK for r in parallel.values())
+        assert serial_wall >= 1.6
+        assert parallel_wall < serial_wall * 0.75
+
+    def test_crash_isolation_in_pool(self):
+        jobs = [
+            stub_job("a"),
+            stub_job("bad", func="boom_job"),
+            stub_job("b"),
+        ]
+        records = run_jobs(_payloads(jobs), max_workers=2)
+        assert records["a"]["status"] == STATUS_OK
+        assert records["b"]["status"] == STATUS_OK
+        assert records["bad"]["status"] == STATUS_FAILED
+        assert "kaboom" in records["bad"]["traceback"]
+
+    def test_retry_across_processes(self, tmp_path):
+        counter = tmp_path / "attempts"
+        jobs = [
+            stub_job("ok1"),
+            stub_job("flaky", func="flaky_job", counter_path=str(counter), fail_times=1),
+        ]
+        records = run_jobs(_payloads(jobs), max_workers=2, retries=2, backoff=0.01)
+        assert records["flaky"]["status"] == STATUS_OK
+        assert records["flaky"]["attempts"] == 2
+        assert records["ok1"]["attempts"] == 1
+
+    def test_timeout_terminates_runaway_job(self):
+        jobs = [
+            stub_job("runaway", func="napping_job", seconds=60.0),
+            stub_job("quick", func="napping_job", seconds=0.1),
+        ]
+        start = time.perf_counter()
+        records = run_jobs(_payloads(jobs), max_workers=2, timeout=1.0)
+        wall = time.perf_counter() - start
+        assert records["runaway"]["status"] == STATUS_TIMEOUT
+        assert "timeout" in records["runaway"]["traceback"]
+        assert records["quick"]["status"] == STATUS_OK
+        assert wall < 20.0  # nowhere near the 60s nap
+
+    def test_timeout_consumes_retry_budget(self):
+        job = stub_job("runaway", func="napping_job", seconds=60.0)
+        records = run_jobs([job.payload()], max_workers=1, timeout=0.4, retries=1, backoff=0.01)
+        assert records["runaway"]["status"] == STATUS_TIMEOUT
+        assert records["runaway"]["attempts"] == 2
+
+    def test_innocent_bystander_requeued_without_attempt(self):
+        """A sibling killed by another job's timeout reruns for free."""
+        jobs = [
+            stub_job("runaway", func="napping_job", seconds=60.0),
+            stub_job("short", func="napping_job", seconds=0.2),
+            stub_job("late", func="napping_job", seconds=0.9),
+        ]
+        records = run_jobs(_payloads(jobs), max_workers=2, timeout=1.2)
+        assert records["runaway"]["status"] == STATUS_TIMEOUT
+        assert records["short"]["status"] == STATUS_OK
+        # "late" started ~0.2s in; the runaway's expiry at 1.2s tears the
+        # pool down mid-nap, and it must still complete with attempts=1.
+        assert records["late"]["status"] == STATUS_OK
+        assert records["late"]["attempts"] == 1

@@ -1,0 +1,152 @@
+"""Run store, cache-key, and run_roster orchestration tests."""
+
+from __future__ import annotations
+
+import json
+
+from repro.harness import api
+from repro.harness.jobs import job_cache_key
+from repro.harness.store import RunStore
+from tests.harness.stub_jobs import stub_job
+
+FP = "deadbeef" * 8  # fixed code fingerprint: keys must not depend on the run
+
+
+def _roster():
+    return [
+        stub_job("stub-1", value=1.0),
+        stub_job("stub-2", value=2.0),
+        stub_job("stub-3", func="napping_job", seconds=0.01),
+    ]
+
+
+def _run(store, *, workers=0, use_cache=True, jobs=None, **kwargs):
+    return api.run_roster(
+        jobs if jobs is not None else _roster(),
+        store=store,
+        max_workers=workers,
+        use_cache=use_cache,
+        fingerprint=FP,
+        **kwargs,
+    )
+
+
+class TestCacheKey:
+    def test_stable_and_param_sensitive(self):
+        a = job_cache_key(stub_job("s", value=1.0), FP)
+        b = job_cache_key(stub_job("s", value=1.0), FP)
+        c = job_cache_key(stub_job("s", value=2.0), FP)
+        d = job_cache_key(stub_job("s", value=1.0), "f" * 64)
+        assert a == b
+        assert len({a, c, d}) == 3
+
+    def test_tuple_and_list_params_hash_identically(self):
+        t = stub_job("s", counts=(1, 2, 3))
+        lst = stub_job("s", counts=[1, 2, 3])
+        assert job_cache_key(t, FP) == job_cache_key(lst, FP)
+
+
+class TestRunStore:
+    def test_layout_and_roundtrip(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        outcome = _run(store)
+        run_dir = tmp_path / "runs" / outcome.run_id
+        assert (run_dir / "manifest.json").exists()
+        assert (run_dir / "jobs" / "stub-1.json").exists()
+        manifest = json.loads((run_dir / "manifest.json").read_text())
+        assert manifest["job_count"] == 3
+        assert manifest["failures"] == 0
+        record = store.read_job_record(outcome.run_id, "stub-1")
+        assert record["status"] == "ok"
+        assert record["result"]["checks"][0]["passed"] is True
+        assert record["wall_seconds"] >= 0.0
+        assert record["cpu_seconds"] >= 0.0
+        assert "stub stdout line" in record["stdout"]
+
+    def test_list_runs_ordered(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        first = _run(store)
+        second = _run(store)
+        assert store.list_runs() == sorted([first.run_id, second.run_id])
+
+    def test_records_iterate_in_roster_order(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        outcome = _run(store)
+        ids = [r["job_id"] for r in store.iter_job_records(outcome.run_id)]
+        assert ids == ["stub-1", "stub-2", "stub-3"]
+
+
+class TestCache:
+    def test_second_run_replays_from_cache(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        fresh = _run(store)
+        assert fresh.manifest["cached_count"] == 0
+        replay = _run(store)
+        assert replay.manifest["cached_count"] == 3
+        assert all(r["cached"] for r in replay.records)
+        # replayed records carry the full payload, not a stub
+        assert replay.records[0]["result"]["rows"] == [["x", 1.0]]
+
+    def test_no_cache_forces_recompute(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        _run(store)
+        recompute = _run(store, use_cache=False)
+        assert recompute.manifest["cached_count"] == 0
+
+    def test_invalidate_one_experiment(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        _run(store)
+        partial = _run(store, invalidate=["stub-2"])
+        by_id = {r["job_id"]: r for r in partial.records}
+        assert by_id["stub-1"]["cached"] is True
+        assert by_id["stub-2"]["cached"] is False
+        assert by_id["stub-3"]["cached"] is True
+
+    def test_failed_jobs_are_not_cached(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        jobs = [stub_job("bad", func="boom_job")]
+        first = _run(store, jobs=jobs)
+        assert first.exit_code == 1
+        second = _run(store, jobs=jobs)
+        assert second.manifest["cached_count"] == 0  # failures always rerun
+
+    def test_code_fingerprint_change_misses(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        _run(store)
+        bumped = api.run_roster(
+            _roster(), store=store, max_workers=0, fingerprint="0" * 64
+        )
+        assert bumped.manifest["cached_count"] == 0
+
+
+class TestParallelEqualsSerial:
+    def test_identical_manifest_essence(self, tmp_path):
+        serial = _run(RunStore(tmp_path / "a"), workers=0)
+        parallel = _run(RunStore(tmp_path / "b"), workers=2)
+        assert api.manifest_essence(serial.manifest) == api.manifest_essence(
+            parallel.manifest
+        )
+        # the stored results themselves are identical too
+        for left, right in zip(serial.records, parallel.records):
+            assert left["result"] == right["result"]
+
+
+class TestFailureAccounting:
+    def test_crash_recorded_rest_proceed(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        jobs = [stub_job("a"), stub_job("bad", func="boom_job"), stub_job("b")]
+        outcome = _run(store, jobs=jobs, workers=2)
+        assert outcome.exit_code == 1
+        assert outcome.manifest["not_ok_count"] == 1
+        by_id = {r["job_id"]: r for r in outcome.records}
+        assert by_id["a"]["status"] == "ok"
+        assert by_id["b"]["status"] == "ok"
+        assert "kaboom" in by_id["bad"]["traceback"]
+
+    def test_band_failure_counts_as_failure(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        jobs = [stub_job("off-band", measured=3.0)]  # band is 0.5..1.5
+        outcome = _run(store, jobs=jobs)
+        assert outcome.manifest["not_ok_count"] == 0
+        assert outcome.manifest["band_failure_count"] == 1
+        assert outcome.exit_code == 1
