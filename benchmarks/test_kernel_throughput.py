@@ -8,11 +8,14 @@ reproduction's substrate are caught by pytest-benchmark's statistics.
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
 from repro.cell import SpePairSweep, build_spe_kernel, kernel_constants
+from repro.cell.kernels import OPT_LEVELS
 from repro.md import MDConfig, compute_forces, compute_forces_27image
 from repro.md.lattice import cubic_lattice
 from repro.md.neighborlist import NeighborList, compute_forces_neighborlist
+from repro.vm.bench import bench_kernels, speedups
 
 CONFIG = MDConfig(n_atoms=1024)
 BOX = CONFIG.make_box()
@@ -49,10 +52,11 @@ def test_bench_neighborlist(benchmark):
     assert result.interacting_pairs > 0
 
 
-def test_bench_vm_spe_kernel(benchmark):
-    """Batched VM execution of the fully-SIMDized SPE kernel."""
+@pytest.mark.parametrize("backend", ["interp", "compiled"])
+def test_bench_vm_spe_kernel(benchmark, backend):
+    """Batched VM execution of the fully-SIMDized SPE kernel, per backend."""
     program = build_spe_kernel("simd_acceleration", BOX.length)
-    sweep = SpePairSweep(program)
+    sweep = SpePairSweep(program, exec_backend=backend)
     constants = kernel_constants(POTENTIAL)
     positions = POSITIONS[:256]
     rows = np.arange(64)
@@ -62,3 +66,35 @@ def test_bench_vm_spe_kernel(benchmark):
 
     acc, _pe = benchmark(run)
     assert np.isfinite(acc).all()
+
+
+@pytest.mark.parametrize("backend", ["interp", "compiled"])
+def test_bench_vm_original_kernel(benchmark, backend):
+    """The scalar fig5 'original' kernel: the interpreter's worst case."""
+    program = build_spe_kernel("original", BOX.length)
+    sweep = SpePairSweep(program, exec_backend=backend)
+    constants = kernel_constants(POTENTIAL)
+    positions = POSITIONS[:256]
+    rows = np.arange(64)
+
+    def run():
+        return sweep.run(positions, rows, constants)
+
+    acc, _pe = benchmark(run)
+    assert np.isfinite(acc).all()
+
+
+def test_compiled_backend_speedup_on_fig5_ladder():
+    """Acceptance gate: >= 2x pairs/sec for compiled on every fig5 kernel.
+
+    Uses the same measurement that writes BENCH_vm.json
+    (scripts/record_bench.py), best-of-3 on identical inputs.
+    """
+    results = bench_kernels(
+        kernels=[f"spe:{level}" for level in OPT_LEVELS],
+        batch=1024, repeats=5,
+    )
+    ratios = speedups(results)
+    assert set(ratios) == {f"spe:{level}" for level in OPT_LEVELS}
+    slow = {k: round(v, 2) for k, v in ratios.items() if v < 2.0}
+    assert not slow, f"compiled backend below 2x on: {slow}"

@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Record VM kernel throughput per backend into BENCH_vm.json.
+
+Usage::
+
+    python scripts/record_bench.py [--quick] [--out BENCH_vm.json]
+    python scripts/record_bench.py --quick --check
+
+Measures pairs/sec for every shipped pair kernel (the fig5 SPE ladder
+plus the GPU MD shader) under both VM execution backends and writes a
+machine-readable record, so the repo's perf history is diffable from
+this commit onward.  ``--check`` is the CI gate: it exits nonzero if
+the compiled backend is slower than the interpreter on the fig5 SIMD
+kernel (``--gate-kernel``/``--min-speedup`` to adjust).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.vm.bench import bench_kernels, speedups  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=Path, default=REPO_ROOT / "BENCH_vm.json",
+                        help="output path (default: repo-root BENCH_vm.json)")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller batches and fewer repeats (CI-sized)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 unless compiled meets --min-speedup on "
+                        "--gate-kernel")
+    parser.add_argument("--gate-kernel", default="spe:simd_acceleration",
+                        help="kernel the --check gate applies to")
+    parser.add_argument("--min-speedup", type=float, default=1.0,
+                        help="minimum compiled/interp ratio for --check")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        sizing = {"batch": 1024, "repeats": 3}
+    else:
+        sizing = {"batch": 1024, "repeats": 7}
+
+    results = bench_kernels(**sizing)
+    ratios = speedups(results)
+    record = {
+        "schema": "repro.bench_vm/1",
+        "recorded_unix": time.time(),
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "config": {**sizing, "quick": args.quick},
+        "results": [r.to_dict() for r in results],
+        "speedup_compiled_over_interp": ratios,
+    }
+    args.out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+
+    width = max(len(r.kernel) for r in results)
+    for r in results:
+        print(f"{r.kernel:<{width}}  {r.backend:<8}  "
+              f"{r.pairs_per_second / 1e6:8.3f} Mpairs/s")
+    for kernel, ratio in sorted(ratios.items()):
+        print(f"{kernel:<{width}}  speedup   {ratio:8.2f}x")
+    print(f"wrote {args.out}")
+
+    if args.check:
+        ratio = ratios.get(args.gate_kernel)
+        if ratio is None:
+            print(f"error: gate kernel {args.gate_kernel!r} not measured",
+                  file=sys.stderr)
+            return 2
+        if ratio < args.min_speedup:
+            print(
+                f"FAIL: compiled backend is {ratio:.2f}x the interpreter on "
+                f"{args.gate_kernel} (required >= {args.min_speedup:.2f}x)",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"gate ok: {args.gate_kernel} compiled/interp = {ratio:.2f}x "
+              f">= {args.min_speedup:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

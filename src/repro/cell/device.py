@@ -115,12 +115,13 @@ class CellDevice(Device):
 
         def vm_backend(positions: np.ndarray) -> ForceResult:
             n = positions.shape[0]
-            before = len(sweep.machine.branch_stats.get("interacting_fraction", []))
+            total0, count0 = sweep.machine.branch_snapshot("interacting_fraction")
             acc, pe_rows = sweep.run(
                 positions, rows=np.arange(n), constants=constants
             )
-            samples = sweep.machine.branch_stats["interacting_fraction"][before:]
-            fraction = float(np.mean(samples)) if samples else 0.0
+            total1, count1 = sweep.machine.branch_snapshot("interacting_fraction")
+            new_samples = count1 - count0
+            fraction = (total1 - total0) / new_samples if new_samples else 0.0
             interacting = int(round(fraction * n * (n - 1) / 2.0))
             return ForceResult(
                 accelerations=acc.astype(np.float64),

@@ -19,7 +19,7 @@ from repro.arch import calibration as cal
 from repro.arch.clock import Clock
 from repro.arch.memory import LocalStore
 from repro.vm.isa import EVEN, ODD, CostTable, OpCost
-from repro.vm.machine import Machine
+from repro.vm.machine import Machine, resolve_exec_backend
 from repro.vm.program import Program
 from repro.vm.schedule import estimate_cycles
 
@@ -94,11 +94,55 @@ class SpePairSweep:
     *all* atoms ``j != i`` (the paper's kernel checks all N-1 partners),
     accumulating the acceleration of atom ``i`` and the per-atom PE
     contribution.  Arithmetic is float32 throughout, as on hardware.
+
+    Defaults to the ``compiled`` VM backend (the sweep only reads the
+    kernel's declared outputs, so the interpreter's full-env
+    side-effects buy nothing here); pass ``exec_backend="interp"`` or
+    set ``REPRO_VM_EXEC`` to override.  Constant registers, ``zero``,
+    and the ``self_flag`` buffer are built once per batch size and
+    reused across row blocks instead of being re-materialized as fresh
+    ``(batch, width)`` arrays for every block.
     """
 
-    def __init__(self, program: Program, width: int = 4) -> None:
+    def __init__(
+        self,
+        program: Program,
+        width: int = 4,
+        exec_backend: str | None = None,
+    ) -> None:
         self.program = program
-        self.machine = Machine(width=width, dtype=np.float32)
+        self.machine = Machine(
+            width=width,
+            dtype=np.float32,
+            exec_backend=resolve_exec_backend(exec_backend, default="compiled"),
+        )
+        self._env_cache: dict[int, dict[str, np.ndarray]] = {}
+        self._env_constants: tuple | None = None
+
+    def _block_env(self, batch: int, constants: dict[str, float]) -> dict[str, np.ndarray]:
+        """Constant/zero/self_flag registers for ``batch``, cached.
+
+        The returned dict is the cache entry itself — callers copy it
+        into a fresh env (cheap; the arrays are shared) and may mutate
+        only ``self_flag``, which is re-zeroed on every block.
+        """
+        key = tuple(sorted(constants.items()))
+        if key != self._env_constants:
+            self._env_cache.clear()
+            self._env_constants = key
+        cached = self._env_cache.get(batch)
+        if cached is None:
+            machine = self.machine
+            cached = {
+                name: machine.make_register(batch, float(value))
+                for name, value in constants.items()
+            }
+            cached["zero"] = machine.make_register(batch, 0.0)
+            cached["self_flag"] = machine.make_register(batch, 0.0)
+            if len(self._env_cache) > 8:
+                self._env_cache.clear()
+            self._env_cache[batch] = cached
+        return cached
 
     def run(
         self,
@@ -132,12 +176,10 @@ class SpePairSweep:
                 "xj": machine.load_vec3(xj),
             }
             batch = env["xi"].shape[0]
-            for name, value in constants.items():
-                reg = machine.make_register(batch, float(value))
-                env[name] = reg
-            env["zero"] = machine.make_register(batch, 0.0)
-            env["self_flag"] = machine.make_register(batch, 0.0)
-            env["self_flag"][self_rows] = 1.0
+            env.update(self._block_env(batch, constants))
+            self_flag = env["self_flag"]
+            self_flag.fill(0.0)
+            self_flag[self_rows] = 1.0
 
             machine.run_segment(self.program, "pair", env)
 

@@ -86,7 +86,21 @@ def main(argv: list[str] | None = None) -> int:
         choices=available_backends(),
         help="functional force engine for the fig9 sweep",
     )
+    from repro.vm.machine import EXEC_BACKENDS, EXEC_ENV_VAR
+
+    parser.add_argument(
+        "--vm-exec",
+        default=None,
+        choices=EXEC_BACKENDS,
+        help="VM execution backend for every device model (sets "
+        f"{EXEC_ENV_VAR}; default: drivers pick 'compiled')",
+    )
     args = parser.parse_args(argv)
+
+    if args.vm_exec:
+        import os
+
+        os.environ[EXEC_ENV_VAR] = args.vm_exec
 
     if args.list:
         from repro.harness.cli import print_roster

@@ -23,7 +23,7 @@ from repro.md.box import PeriodicBox
 from repro.md.forces import ForceResult, compute_forces
 from repro.md.lj import LennardJones
 from repro.md.simulation import MDConfig
-from repro.vm.machine import Machine
+from repro.vm.machine import Machine, resolve_exec_backend
 
 __all__ = ["GpuDevice", "GpuPairSweep", "make_pcie_bus"]
 
@@ -49,9 +49,41 @@ class GpuPairSweep:
     the shader's single-output loop performs across its inner scan.
     """
 
-    def __init__(self, shader, width: int = 4) -> None:
+    def __init__(
+        self, shader, width: int = 4, exec_backend: str | None = None
+    ) -> None:
         self.shader = shader
-        self.machine = Machine(width=width, dtype=np.float32)
+        # Shaders only expose declared outputs, so the compiled VM
+        # backend is the default; REPRO_VM_EXEC or exec_backend override.
+        self.machine = Machine(
+            width=width,
+            dtype=np.float32,
+            exec_backend=resolve_exec_backend(exec_backend, default="compiled"),
+        )
+        self._env_cache: dict[int, dict[str, np.ndarray]] = {}
+        self._env_constants: tuple | None = None
+
+    def _block_env(self, batch: int, constants: dict[str, float]) -> dict[str, np.ndarray]:
+        """Constant/zero/tiny/self_flag registers per batch size, reused
+        across row blocks (only ``self_flag`` is mutated, re-zeroed here)."""
+        key = tuple(sorted(constants.items()))
+        if key != self._env_constants:
+            self._env_cache.clear()
+            self._env_constants = key
+        cached = self._env_cache.get(batch)
+        if cached is None:
+            machine = self.machine
+            cached = {
+                name: machine.make_register(batch, float(value))
+                for name, value in constants.items()
+            }
+            cached["zero"] = machine.make_register(batch, 0.0)
+            cached["tiny"] = machine.make_register(batch, 1.0e-12)
+            cached["self_flag"] = machine.make_register(batch, 0.0)
+            if len(self._env_cache) > 8:
+                self._env_cache.clear()
+            self._env_cache[batch] = cached
+        return cached
 
     def run(
         self,
@@ -78,12 +110,10 @@ class GpuPairSweep:
                 "xj": machine.load_vec3(xj),
             }
             batch = env["xi"].shape[0]
-            for name, value in constants.items():
-                env[name] = machine.make_register(batch, float(value))
-            env["zero"] = machine.make_register(batch, 0.0)
-            env["tiny"] = machine.make_register(batch, 1.0e-12)
-            env["self_flag"] = machine.make_register(batch, 0.0)
-            env["self_flag"][self_rows] = 1.0
+            env.update(self._block_env(batch, constants))
+            self_flag = env["self_flag"]
+            self_flag.fill(0.0)
+            self_flag[self_rows] = 1.0
             machine.run_segment(self.shader.program, "pair", env)
             out = env["acc_out"].reshape(rows.size, n, machine.width)
             acc[rows] = out[:, :, :3].sum(axis=1, dtype=np.float32)

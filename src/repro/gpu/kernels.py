@@ -156,23 +156,30 @@ def build_reduction_shader(fanin: int = 4) -> ShaderProgram:
     )
 
 
-def gpu_reduce(values, fanin: int = 4) -> tuple[float, int]:
+def gpu_reduce(
+    values, fanin: int = 4, exec_backend: str | None = None
+) -> tuple[float, int]:
     """Sum ``values`` through actual multi-pass gather shader executions.
 
     Returns (total, n_passes).  Functional counterpart of
     :func:`reduction_pass_count`: each pass runs the reduction shader on
     the batched VM over strided views of the previous pass's output,
-    exactly as the ping-pong render-target scheme would.
+    exactly as the ping-pong render-target scheme would.  Runs on the
+    compiled VM backend unless overridden.
     """
     import numpy as np
 
-    from repro.vm.machine import Machine
+    from repro.vm.machine import Machine, resolve_exec_backend
 
     values = np.asarray(values, dtype=np.float32).ravel()
     if values.size == 0:
         raise ValueError("cannot reduce an empty array")
     shader = build_reduction_shader(fanin)
-    machine = Machine(width=4, dtype=np.float32)
+    machine = Machine(
+        width=4,
+        dtype=np.float32,
+        exec_backend=resolve_exec_backend(exec_backend, default="compiled"),
+    )
     passes = 0
     current = values
     while current.size > 1:

@@ -68,6 +68,12 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--force-path", default="all-pairs",
                      choices=available_backends(),
                      help="functional force engine for the fig9 sweep")
+    from repro.vm.machine import EXEC_BACKENDS, EXEC_ENV_VAR
+
+    run.add_argument("--vm-exec", default=None, choices=EXEC_BACKENDS,
+                     help="VM execution backend for every device model (sets "
+                     f"{EXEC_ENV_VAR} so worker processes inherit it; not "
+                     "part of job cache keys — results are bit-identical)")
     _add_runs_dir(run)
 
     lst = sub.add_parser("list", help="list stored runs")
@@ -113,6 +119,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.list:
         print_roster()
         return 0
+    if args.vm_exec:
+        # Env var (not a job param): worker processes inherit os.environ,
+        # and cache keys stay byte-for-byte identical across backends —
+        # the backends produce bit-identical results, so a cached record
+        # computed under either one is valid for both.
+        import os
+
+        from repro.vm.machine import EXEC_ENV_VAR
+
+        os.environ[EXEC_ENV_VAR] = args.vm_exec
     try:
         jobs = api.jobs_from_registry(
             quick=args.quick,
@@ -137,6 +153,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "quick": args.quick,
             "jobs": args.jobs,
             "force_path": args.force_path,
+            "vm_exec": args.vm_exec,
             "only": args.only,
             "skip": args.skip,
         },

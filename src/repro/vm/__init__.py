@@ -1,8 +1,20 @@
-"""The batched SIMD virtual machine: ISA, programs, scheduler, interpreter."""
+"""The batched SIMD virtual machine: ISA, programs, scheduler, executors.
+
+Execution comes in two interchangeable backends — the reference
+interpreter and the codegen backend in :mod:`repro.vm.compile` — chosen
+per :class:`Machine` (see :func:`resolve_exec_backend`).
+"""
 
 from repro.vm.builder import Asm
+from repro.vm.compile import CompiledSegment, VMCompileError, compiled_segment
 from repro.vm.isa import EVEN, ODD, OPS, CostTable, OpCost, OpSpec
-from repro.vm.machine import Machine, MachineError
+from repro.vm.machine import (
+    EXEC_BACKENDS,
+    BranchStat,
+    Machine,
+    MachineError,
+    resolve_exec_backend,
+)
 from repro.vm.program import IfBlock, Instr, Loop, Program, Segment
 from repro.vm.schedule import (
     CycleReport,
@@ -13,9 +25,12 @@ from repro.vm.schedule import (
 
 __all__ = [
     "Asm",
+    "BranchStat",
+    "CompiledSegment",
     "CostTable",
     "CycleReport",
     "EVEN",
+    "EXEC_BACKENDS",
     "IfBlock",
     "Instr",
     "Loop",
@@ -28,6 +43,9 @@ __all__ = [
     "Program",
     "Segment",
     "SegmentCycles",
+    "VMCompileError",
+    "compiled_segment",
     "estimate_cycles",
+    "resolve_exec_backend",
     "straightline_cycles",
 ]

@@ -1,0 +1,154 @@
+"""Kernel-throughput measurement for the VM execution backends.
+
+One shared implementation feeds both the pytest microbenchmarks
+(``benchmarks/test_kernel_throughput.py``) and the machine-readable
+perf trajectory (``scripts/record_bench.py`` -> ``BENCH_vm.json``), so
+the numbers in CI artifacts and local runs come from the same code.
+
+The measured quantity is *pairs per second through the VM executor*:
+``Machine.run_segment`` on a prepared pair batch, which isolates the
+execution backend from the driver-side batch materialization (building
+``xi``/``xj`` is identical work under either backend).  The batch is
+sized like an SPE-resident tile (1024 pairs) — the regime the paper's
+kernels actually run in — rather than a whole-sweep mega-batch, where
+any executor is memory-bandwidth-bound.  Every kernel is measured
+under both backends on identical inputs; since the backends are
+bit-identical (see ``tests/vm/test_compile.py``), any throughput
+difference is pure executor speed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Iterable
+
+import numpy as np
+
+from repro.cell.kernels import OPT_LEVELS, build_spe_kernel, kernel_constants
+from repro.gpu.kernels import build_md_shader, shader_constants
+from repro.md.lj import LennardJones
+from repro.vm.machine import Machine
+
+__all__ = ["KernelBench", "bench_kernels", "default_kernels", "speedups"]
+
+BOX_LENGTH = 8.0
+
+#: Kernel ids: the fig5 optimization ladder plus the GPU pair shader.
+SPE_KERNELS = tuple(f"spe:{level}" for level in OPT_LEVELS)
+GPU_KERNELS = ("gpu:md_shader",)
+
+
+def default_kernels() -> tuple[str, ...]:
+    return SPE_KERNELS + GPU_KERNELS
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelBench:
+    """One (kernel, backend) measurement."""
+
+    kernel: str
+    backend: str
+    pairs: int
+    repeats: int
+    best_seconds: float
+
+    @property
+    def pairs_per_second(self) -> float:
+        return self.pairs / self.best_seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "kernel": self.kernel,
+            "backend": self.backend,
+            "pairs": self.pairs,
+            "repeats": self.repeats,
+            "best_seconds": self.best_seconds,
+            "pairs_per_second": self.pairs_per_second,
+        }
+
+
+def _pair_env(machine: Machine, batch: int, constants: dict[str, float],
+              extra: dict[str, float]) -> dict[str, np.ndarray]:
+    rng = np.random.default_rng(0)
+    xi = rng.uniform(0.0, BOX_LENGTH, size=(batch, 3)).astype(np.float32)
+    xj = rng.uniform(0.0, BOX_LENGTH, size=(batch, 3)).astype(np.float32)
+    env = {"xi": machine.load_vec3(xi), "xj": machine.load_vec3(xj)}
+    for name, value in constants.items():
+        env[name] = machine.make_register(batch, float(value))
+    for name, value in extra.items():
+        env[name] = machine.make_register(batch, float(value))
+    env["self_flag"] = machine.make_register(batch, 0.0)
+    return env
+
+
+def _make_runner(kernel: str, backend: str, batch: int):
+    """A zero-argument callable executing one pair segment of ``batch`` pairs."""
+    potential = LennardJones()
+    machine = Machine(width=4, dtype=np.float32, exec_backend=backend)
+    if kernel.startswith("spe:"):
+        level = kernel.split(":", 1)[1]
+        program = build_spe_kernel(level, box_length=BOX_LENGTH)
+        env = _pair_env(machine, batch, kernel_constants(potential),
+                        extra={"zero": 0.0})
+    elif kernel == "gpu:md_shader":
+        program = build_md_shader(box_length=BOX_LENGTH).program
+        env = _pair_env(machine, batch,
+                        shader_constants(potential, BOX_LENGTH),
+                        extra={"zero": 0.0, "tiny": 1.0e-12})
+    else:
+        raise ValueError(f"unknown benchmark kernel {kernel!r}")
+
+    def run():
+        # Fresh dict per call (interp writes every register into it);
+        # the arrays themselves are shared — neither backend mutates
+        # its inputs in place.
+        return machine.run_segment(program, "pair", dict(env))
+
+    return run
+
+
+def bench_kernels(
+    kernels: Iterable[str] | None = None,
+    backends: Iterable[str] = ("interp", "compiled"),
+    batch: int = 1024,
+    repeats: int = 3,
+) -> list[KernelBench]:
+    """Best-of-``repeats`` wall time per (kernel, backend), same inputs.
+
+    The first (untimed) call absorbs one-time costs — segment
+    compilation, buffer-pool population — so the steady state is what
+    gets measured, mirroring how the drivers amortize those costs over
+    a sweep.
+    """
+    results = []
+    for kernel in kernels if kernels is not None else default_kernels():
+        for backend in backends:
+            run = _make_runner(kernel, backend, batch)
+            run()  # warm-up: compile + allocate outside the timed region
+            best = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                run()
+                best = min(best, time.perf_counter() - start)
+            results.append(KernelBench(
+                kernel=kernel,
+                backend=backend,
+                pairs=batch,
+                repeats=repeats,
+                best_seconds=best,
+            ))
+    return results
+
+
+def speedups(results: Iterable[KernelBench]) -> dict[str, float]:
+    """compiled/interp throughput ratio per kernel (where both ran)."""
+    by_key = {(r.kernel, r.backend): r for r in results}
+    ratios = {}
+    for (kernel, backend), result in by_key.items():
+        if backend != "compiled":
+            continue
+        interp = by_key.get((kernel, "interp"))
+        if interp is not None:
+            ratios[kernel] = result.pairs_per_second / interp.pairs_per_second
+    return ratios

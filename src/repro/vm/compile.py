@@ -1,0 +1,718 @@
+"""Codegen execution backend: lower a VM segment to one fused NumPy closure.
+
+The interpreter in :mod:`repro.vm.machine` pays per-instruction costs
+that have nothing to do with the arithmetic: a dict dispatch per
+opcode, a fresh ``(batch, width)`` allocation per result, and full
+register copies around every :class:`~repro.vm.program.IfBlock`.  This
+module removes all of it by *compiling* a segment once:
+
+1. **Flatten** the node tree to SSA straight-line form — loops are
+   unrolled with their ``il``/``ilv`` per-iteration immediates resolved
+   at compile time, and value-identity opcodes (``mov``, ``lqd``,
+   ``stqd``, ``texfetch``, ``fi``) become pure renames that emit no
+   code at all.
+2. **Hoist constants** — ``il``/``ilv`` results (and anything computed
+   only from them) fold to ``(width,)`` broadcast constants instead of
+   per-call ``np.full`` materializations.
+3. **Lower predication** — an ``IfBlock`` becomes one boolean mask, a
+   branch-probability probe feeding ``Machine.branch_stats`` exactly as
+   the interpreter does, and per-register masked selects over only the
+   registers the body actually redefines (the SSA form *is* the saved
+   copy, so nothing is copied up front).
+4. **Eliminate dead code** — values that never reach a declared output
+   or a probe are dropped (the scalar Figure-5 kernels' local-store
+   spill traffic exists purely for the cycle model, so it vanishes
+   here while still being charged by :mod:`repro.vm.schedule`).
+5. **Assign buffer slots by liveness** — a linear scan reuses a small
+   pool of ``(batch, width)`` scratch buffers via in-place ``out=``
+   ufunc kernels; steady-state execution allocates nothing.
+6. **Emit Python source** for the whole segment body and ``exec`` it
+   once; the closure is cached per ``(program, segment, width, dtype)``.
+
+The compiled closure is bit-identical to the interpreter on every
+declared output and records the same branch-probability samples in the
+same order (the differential suite in ``tests/vm/test_compile.py``
+enforces both).  Contract difference: only the program's *declared
+outputs* are written back to ``env``; interpreter intermediates stay in
+reused slots.  The cycle model is untouched — it reads the instruction
+stream, not the executor.
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+import weakref
+
+import numpy as np
+
+from repro.vm.isa import OPS
+from repro.vm.machine import Machine, MachineError
+from repro.vm.program import IfBlock, Instr, Loop, Node, Program
+
+__all__ = ["VMCompileError", "CompiledSegment", "compiled_segment", "compile_segment"]
+
+
+class VMCompileError(MachineError):
+    """Raised when a program cannot be lowered to straight-line NumPy."""
+
+
+#: Opcodes whose result is value-identical to one source: compiled away
+#: to SSA renames.  The index is the source that carries the value.
+_RENAME_OPS = {"mov": 0, "lqd": 0, "stqd": 0, "texfetch": 0, "fi": 1}
+
+#: Binary elementwise opcodes -> ufunc (dest may alias either source).
+_BINARY_UFUNCS = {
+    "fa": "np.add",
+    "fs": "np.subtract",
+    "fm": "np.multiply",
+    "fdiv": "np.divide",
+    "fmin": "np.minimum",
+    "fmax": "np.maximum",
+    "cpsgn": "np.copysign",
+    "and_": "np.multiply",  # mask conjunction, as in the ISA
+    "or_": "np.maximum",  # mask disjunction
+    "fcgt": "np.greater",  # bool result cast into the float out= buffer
+    "fclt": "np.less",
+    "fceq": "np.equal",
+}
+
+#: Unary elementwise opcodes -> ufunc (dest may alias the source).
+_UNARY_UFUNCS = {"fsqrt": "np.sqrt", "fabs": "np.abs", "fneg": "np.negative"}
+
+_ELEMENTWISE_MULTI = {"fma", "fms", "fnms", "frest", "frsqest", "fround"}
+
+#: src positions the dest buffer may alias, per opcode.
+_ALIAS_SAFE = {
+    **{op: (0, 1) for op in _BINARY_UFUNCS},
+    **{op: (0,) for op in _UNARY_UFUNCS},
+    "fma": (0, 1),
+    "fms": (0, 1),
+    "fnms": (0, 1),
+    "frest": (0,),
+    "frsqest": (0,),
+    "fround": (0,),
+    "splat": (),
+    "shufb": (),
+    "rotqbyi": (),
+}
+
+_uid = itertools.count()
+
+
+class _Val:
+    """One SSA value: an env input, a hoisted constant, or a slot temp."""
+
+    __slots__ = ("kind", "name", "const", "uid")
+
+    def __init__(self, kind: str, name: str | None = None, const=None) -> None:
+        self.kind = kind  # "input" | "const" | "temp" | "mask"
+        self.name = name
+        self.const = const
+        self.uid = next(_uid)
+
+    @property
+    def pool(self) -> str:
+        return "b" if self.kind == "mask" else "f"
+
+    @property
+    def slotted(self) -> bool:
+        return self.kind in ("temp", "mask")
+
+
+class _Op:
+    """One lowered operation in the straight-line stream."""
+
+    __slots__ = ("kind", "opname", "dest", "srcs", "imm", "prob_key", "sample", "alias_pos")
+
+    def __init__(self, kind, dest=None, srcs=(), opname=None, imm=None,
+                 prob_key=None, sample=None):
+        self.kind = kind  # "compute" | "mask" | "select" | "probe"
+        self.opname = opname
+        self.dest = dest
+        self.srcs = tuple(srcs)
+        self.imm = imm
+        self.prob_key = prob_key
+        self.sample = sample
+        self.alias_pos = None
+
+    def alias_safe(self) -> tuple[int, ...]:
+        if self.kind == "compute":
+            return _ALIAS_SAFE.get(self.opname, ())
+        if self.kind == "select":  # srcs = (mask, taken, untaken)
+            return (2,)
+        return ()
+
+
+class _Flattener:
+    """Unroll, rename, fold, and predicate a segment body into _Ops."""
+
+    def __init__(self, width: int, dtype: np.dtype) -> None:
+        self.width = width
+        self.dtype = dtype
+        self.ops: list[_Op] = []
+        self.env_vals: dict[str, _Val] = {}
+        self.inputs: dict[str, _Val] = {}
+        self._mask_memo: dict[int, _Val] = {}
+        self._maybe_memo: dict[str, _Val] = {}
+
+    # -- value helpers ---------------------------------------------------
+
+    def read(self, name: str) -> _Val:
+        val = self.env_vals.get(name)
+        if val is None:
+            val = self.inputs.get(name)
+            if val is None:
+                val = _Val("input", name=name)
+                self.inputs[name] = val
+            self.env_vals[name] = val
+        return val
+
+    def const(self, array: np.ndarray) -> _Val:
+        return _Val("const", const=array)
+
+    def maybe_input(self, name: str) -> _Val:
+        """A register whose presence in ``env`` is only known at run time.
+
+        Interpreter rule for a register first written inside an IfBlock:
+        untaken lanes restore the caller-provided value when ``env``
+        holds one, else the additive identity.  ``env.get(name, zeros)``
+        in the prologue reproduces that exactly.
+        """
+        memo = self._maybe_memo.get(name)
+        if memo is None:
+            memo = self._maybe_memo[name] = _Val("maybe", name=name)
+        return memo
+
+    def mask_of(self, cond: _Val) -> _Val:
+        """The boolean ``cond != 0`` mask, memoized per source value."""
+        memo = self._mask_memo.get(cond.uid)
+        if memo is not None:
+            return memo
+        if cond.kind == "const":
+            mask = self.const(cond.const != 0)
+        else:
+            mask = _Val("mask")
+            self.ops.append(_Op("mask", dest=mask, srcs=(cond,)))
+        self._mask_memo[cond.uid] = mask
+        return mask
+
+    # -- node lowering ---------------------------------------------------
+
+    def flatten(self, nodes: tuple[Node, ...], loop_indices: list[int]) -> None:
+        for node in nodes:
+            if isinstance(node, Instr):
+                self._flatten_instr(node, loop_indices)
+            elif isinstance(node, Loop):
+                for index in range(node.count):
+                    self.flatten(node.body, loop_indices + [index])
+            elif isinstance(node, IfBlock):
+                self._flatten_if(node, loop_indices)
+            else:  # pragma: no cover - defensive
+                raise VMCompileError(f"unknown node type {type(node)!r}")
+
+    def _flatten_instr(self, instr: Instr, loop_indices: list[int]) -> None:
+        spec = OPS[instr.op]
+        if spec.func is None:  # nop
+            return
+        srcs = [self.read(name) for name in instr.srcs]
+        imm = Machine._resolve_imm(instr, loop_indices)
+
+        rename = _RENAME_OPS.get(instr.op)
+        if rename is not None:
+            if instr.dest is not None:
+                self.env_vals[instr.dest] = srcs[rename]
+            return
+
+        if instr.op in ("il", "ilv"):
+            self.env_vals[instr.dest] = self.const(self._immediate_const(instr.op, imm))
+            return
+
+        if instr.op == "selb":
+            self._lower_select(instr.dest, srcs[2], srcs[1], srcs[0])
+            return
+
+        self._validate_lane_imm(instr.op, imm)
+        if all(s.kind == "const" for s in srcs):
+            self.env_vals[instr.dest] = self.const(
+                self._fold(spec, [s.const for s in srcs], imm)
+            )
+            return
+        dest = _Val("temp")
+        self.ops.append(_Op("compute", dest=dest, srcs=srcs, opname=instr.op, imm=imm))
+        if instr.dest is not None:
+            self.env_vals[instr.dest] = dest
+
+    def _lower_select(self, dest_name: str, cond: _Val, taken: _Val, untaken: _Val) -> _Val:
+        """``where(cond != 0, taken, untaken)`` as mask + masked copies."""
+        mask = self.mask_of(cond)
+        if mask.kind == "const" and taken.kind == "const" and untaken.kind == "const":
+            dest = self.const(
+                np.where(mask.const, taken.const, untaken.const).astype(
+                    self.dtype, copy=False
+                )
+            )
+        else:
+            dest = _Val("temp")
+            self.ops.append(_Op("select", dest=dest, srcs=(mask, taken, untaken)))
+        if dest_name is not None:
+            self.env_vals[dest_name] = dest
+        return dest
+
+    def _flatten_if(self, node: IfBlock, loop_indices: list[int]) -> None:
+        cond = self.read(node.cond)
+        mask = self.mask_of(cond)
+        sample = None
+        if mask.kind == "const":
+            sample = 1.0 if bool(np.any(mask.const)) else 0.0
+        self.ops.append(_Op("probe", srcs=(mask,), prob_key=node.prob_key, sample=sample))
+        before = dict(self.env_vals)
+        self.flatten(node.body, loop_indices)
+        # Registers the body redefined get lane-selected against their
+        # pre-branch value — the interpreter's save/restore without the
+        # copies.  A register first touched inside the body falls back
+        # to its env input (created by a read in the body) or, when the
+        # segment never reads it at all, to a runtime env.get lookup.
+        for name in list(self.env_vals):
+            new = self.env_vals[name]
+            old = before.get(name)
+            if old is new:
+                continue
+            if old is None:
+                old = self.inputs.get(name) or self.maybe_input(name)
+                if old is new:
+                    continue
+            merged = self._lower_if_merge(mask, new, old)
+            self.env_vals[name] = merged
+
+    def _lower_if_merge(self, mask: _Val, taken: _Val, untaken: _Val) -> _Val:
+        if mask.kind == "const" and taken.kind == "const" and untaken.kind == "const":
+            return self.const(
+                np.where(mask.const, taken.const, untaken.const).astype(
+                    self.dtype, copy=False
+                )
+            )
+        dest = _Val("temp")
+        self.ops.append(_Op("select", dest=dest, srcs=(mask, taken, untaken)))
+        return dest
+
+    # -- immediates and folding ------------------------------------------
+
+    def _immediate_const(self, op: str, imm) -> np.ndarray:
+        """Evaluate il/ilv to a (width,) broadcast constant."""
+        try:
+            if op == "il":
+                return np.full((self.width,), imm, dtype=self.dtype)
+            lanes = np.zeros((self.width,), dtype=self.dtype)
+            values = tuple(imm)
+            if len(values) > self.width:
+                raise ValueError(
+                    f"{len(values)} lanes exceed width {self.width}"
+                )
+            for lane, value in enumerate(values):
+                lanes[lane] = value
+            return lanes
+        except (TypeError, ValueError) as exc:
+            raise VMCompileError(f"bad {op} immediate {imm!r}: {exc}") from exc
+
+    def _validate_lane_imm(self, op: str, imm) -> None:
+        width = self.width
+        if op == "splat":
+            if not isinstance(imm, (int, np.integer)) or not 0 <= imm < width:
+                raise VMCompileError(f"splat lane {imm!r} outside [0, {width})")
+        elif op == "shufb":
+            pattern = tuple(imm) if isinstance(imm, (tuple, list)) else None
+            if pattern is None or len(pattern) != width or not all(
+                isinstance(i, (int, np.integer)) and 0 <= i < 2 * width
+                for i in pattern
+            ):
+                raise VMCompileError(
+                    f"shufb pattern {imm!r} must hold {width} lane indices "
+                    f"in [0, {2 * width})"
+                )
+        elif op == "rotqbyi":
+            if not isinstance(imm, (int, np.integer)):
+                raise VMCompileError(f"rotqbyi amount {imm!r} is not an integer")
+
+    def _fold(self, spec, consts: list[np.ndarray], imm) -> np.ndarray:
+        """Apply an opcode to (width,) constants — identical per-lane
+        arithmetic to applying it to every row of a (batch, width) batch."""
+        with np.errstate(all="ignore"):
+            result = spec.func(*consts, imm) if spec.uses_imm else spec.func(*consts)
+        result = np.asarray(result, dtype=self.dtype)
+        if result.shape != (self.width,):
+            raise VMCompileError(
+                f"{spec.name} folded to shape {result.shape}, "
+                f"expected ({self.width},)"
+            )
+        return result
+
+
+# ---------------------------------------------------------------------------
+# dead-code elimination, liveness, slot assignment
+# ---------------------------------------------------------------------------
+
+
+def _eliminate_dead(ops: list[_Op], live_out: set[int]) -> list[_Op]:
+    """Keep probes (side effects) and everything a live value depends on."""
+    needed = set(live_out)
+    keep = [False] * len(ops)
+    for i in range(len(ops) - 1, -1, -1):
+        op = ops[i]
+        if op.kind == "probe" or (op.dest is not None and op.dest.uid in needed):
+            keep[i] = True
+            for src in op.srcs:
+                needed.add(src.uid)
+    return [op for i, op in enumerate(ops) if keep[i]]
+
+
+def _assign_slots(ops: list[_Op], writeback_vals: list[_Val]) -> tuple[dict[int, tuple[str, int]], dict[str, int]]:
+    """Linear-scan slot allocation with alias-aware ``out=`` reuse."""
+    last_use: dict[int, int] = {}
+    for i, op in enumerate(ops):
+        for src in op.srcs:
+            if src.slotted:
+                last_use[src.uid] = i
+    for val in writeback_vals:
+        if val.slotted:
+            last_use[val.uid] = len(ops)
+
+    slots: dict[int, tuple[str, int]] = {}
+    free: dict[str, list[int]] = {"f": [], "b": []}
+    counts: dict[str, int] = {"f": 0, "b": 0}
+
+    for i, op in enumerate(ops):
+        aliased_src = None
+        if op.dest is not None:
+            pool = op.dest.pool
+            safe = op.alias_safe()
+            for pos in safe:
+                src = op.srcs[pos]
+                if (
+                    src.slotted
+                    and src.pool == pool
+                    and last_use.get(src.uid) == i
+                    and not any(
+                        op.srcs[q] is src
+                        for q in range(len(op.srcs))
+                        if q not in safe
+                    )
+                ):
+                    slots[op.dest.uid] = slots[src.uid]
+                    op.alias_pos = pos
+                    aliased_src = src
+                    break
+            if aliased_src is None:
+                if free[pool]:
+                    slots[op.dest.uid] = (pool, free[pool].pop())
+                else:
+                    slots[op.dest.uid] = (pool, counts[pool])
+                    counts[pool] += 1
+        freed = set()
+        for src in op.srcs:
+            if (
+                src.slotted
+                and src is not aliased_src
+                and src.uid not in freed
+                and last_use.get(src.uid) == i
+            ):
+                pool, index = slots[src.uid]
+                free[pool].append(index)
+                freed.add(src.uid)
+    return slots, counts
+
+
+# ---------------------------------------------------------------------------
+# code emission
+# ---------------------------------------------------------------------------
+
+
+def _emit_compute(op: _Op, expr, width: int) -> list[str]:
+    d = expr(op.dest)
+    s = [expr(v) for v in op.srcs]
+    name = op.opname
+    if name in _BINARY_UFUNCS:
+        return [f"{_BINARY_UFUNCS[name]}({s[0]}, {s[1]}, out={d})"]
+    if name in _UNARY_UFUNCS:
+        return [f"{_UNARY_UFUNCS[name]}({s[0]}, out={d})"]
+    if name == "fma":
+        return [f"np.multiply({s[0]}, {s[1]}, out={d})",
+                f"np.add({d}, {s[2]}, out={d})"]
+    if name == "fms":
+        return [f"np.multiply({s[0]}, {s[1]}, out={d})",
+                f"np.subtract({d}, {s[2]}, out={d})"]
+    if name == "fnms":  # c - a*b
+        return [f"np.multiply({s[0]}, {s[1]}, out={d})",
+                f"np.subtract({s[2]}, {d}, out={d})"]
+    if name == "frest":
+        return [f"np.divide(_one, {s[0]}, out={d})"]
+    if name == "frsqest":
+        return [f"np.sqrt({s[0]}, out={d})",
+                f"np.divide(_one, {d}, out={d})"]
+    if name == "fround":
+        return [f"np.round({s[0]}, 0, {d})"]
+    if name == "splat":
+        lane = int(op.imm)
+        return [f"{d}[...] = {s[0]}[..., {lane}:{lane + 1}]"]
+    if name == "shufb":
+        lines = []
+        for k, index in enumerate(op.imm):
+            src = s[0] if index < width else s[1]
+            lane = index if index < width else index - width
+            lines.append(f"{d}[..., {k}] = {src}[..., {lane}]")
+        return lines
+    if name == "rotqbyi":
+        shift = int(op.imm)
+        return [
+            f"{d}[..., {k}] = {s[0]}[..., {(k + shift) % width}]"
+            for k in range(width)
+        ]
+    raise VMCompileError(f"no codegen for opcode {name!r}")  # pragma: no cover
+
+
+def _emit_op(op: _Op, expr, width: int) -> list[str]:
+    if op.kind == "compute":
+        return _emit_compute(op, expr, width)
+    if op.kind == "mask":
+        return [f"np.not_equal({expr(op.srcs[0])}, 0, out={expr(op.dest)})"]
+    if op.kind == "select":
+        mask, taken, untaken = (expr(v) for v in op.srcs)
+        d = expr(op.dest)
+        lines = [] if op.alias_pos == 2 else [f"np.copyto({d}, {untaken})"]
+        lines.append(f"np.copyto({d}, {taken}, where={mask})")
+        return lines
+    if op.kind == "probe":
+        if op.sample is not None:  # constant condition, batch-independent
+            return [
+                f"machine._record_branch({op.prob_key!r}, "
+                f"{op.sample!r} if batch else 0.0)"
+            ]
+        return [
+            f"_t = {expr(op.srcs[0])}.any(axis=-1)",
+            f"machine._record_branch({op.prob_key!r}, "
+            f"float(_t.mean()) if _t.size else 0.0)",
+        ]
+    raise VMCompileError(f"no codegen for op kind {op.kind!r}")  # pragma: no cover
+
+
+def _load(env: dict, name: str) -> np.ndarray:
+    try:
+        return env[name]
+    except KeyError:
+        raise MachineError(
+            f"compiled segment reads undefined register {name!r}"
+        ) from None
+
+
+class CompiledSegment:
+    """One segment lowered to a fused closure plus its reusable buffers."""
+
+    def __init__(
+        self,
+        program_name: str,
+        segment_name: str,
+        width: int,
+        dtype: np.dtype,
+        fn,
+        source: str,
+        n_float_slots: int,
+        n_bool_slots: int,
+        input_names: tuple[str, ...],
+        n_kernel_calls: int,
+    ) -> None:
+        self.program_name = program_name
+        self.segment_name = segment_name
+        self.width = width
+        self.dtype = dtype
+        self.source = source
+        self.n_float_slots = n_float_slots
+        self.n_bool_slots = n_bool_slots
+        self.input_names = input_names
+        self.n_kernel_calls = n_kernel_calls
+        self._fn = fn
+        self._pools: dict[int, tuple[tuple[np.ndarray, ...], tuple[np.ndarray, ...]]] = {}
+
+    def _pool(self, batch: int):
+        pool = self._pools.get(batch)
+        if pool is None:
+            if len(self._pools) > 8:  # drivers cycle over at most two sizes
+                self._pools.clear()
+            pool = (
+                tuple(
+                    np.empty((batch, self.width), dtype=self.dtype)
+                    for _ in range(self.n_float_slots)
+                ),
+                tuple(
+                    np.empty((batch, self.width), dtype=bool)
+                    for _ in range(self.n_bool_slots)
+                ),
+            )
+            self._pools[batch] = pool
+        return pool
+
+    def __call__(self, env: dict[str, np.ndarray], machine) -> dict[str, np.ndarray]:
+        batch = next(iter(env.values())).shape[0] if env else 0
+        fpool, bpool = self._pool(batch)
+        self._fn(env, machine, fpool, bpool, batch)
+        return env
+
+
+def compile_segment(
+    program: Program,
+    segment_name: str,
+    width: int,
+    dtype: np.dtype | type = np.float32,
+) -> CompiledSegment:
+    """Lower one segment to a :class:`CompiledSegment` (uncached)."""
+    dtype = np.dtype(dtype)
+    segment = program.segment(segment_name)
+    flat = _Flattener(width, dtype)
+    flat.flatten(segment.body, loop_indices=[])
+
+    writebacks: list[tuple[str, _Val]] = []
+    for name in program.outputs:
+        val = flat.env_vals.get(name)
+        if val is None or (val.kind == "input" and val.name == name):
+            continue
+        writebacks.append((name, val))
+
+    ops = _eliminate_dead(flat.ops, {val.uid for _n, val in writebacks})
+    slots, counts = _assign_slots(ops, [val for _n, val in writebacks])
+
+    # -- name every value ------------------------------------------------
+    input_vars: dict[int, str] = {}
+    input_names: list[str] = []
+    used_inputs = {v.uid for op in ops for v in op.srcs if v.kind == "input"}
+    used_inputs |= {v.uid for _n, v in writebacks if v.kind == "input"}
+    for index, (name, val) in enumerate(sorted(flat.inputs.items())):
+        if val.uid in used_inputs:
+            input_vars[val.uid] = f"_in{index}"
+            input_names.append(name)
+
+    maybe_vars: dict[int, tuple[str, str]] = {}
+    for op in ops:
+        for val in op.srcs:
+            if val.kind == "maybe" and val.uid not in maybe_vars:
+                maybe_vars[val.uid] = (f"_m{len(maybe_vars)}", val.name)
+
+    const_vars: dict[int, str] = {}
+    namespace: dict[str, object] = {
+        "np": np,
+        "_load": _load,
+        "_one": dtype.type(1.0),
+        "_zrow": np.zeros((width,), dtype=dtype),
+    }
+
+    def expr(val: _Val) -> str:
+        if val.kind == "input":
+            return input_vars[val.uid]
+        if val.kind == "maybe":
+            return maybe_vars[val.uid][0]
+        if val.kind == "const":
+            var = const_vars.get(val.uid)
+            if var is None:
+                var = f"_c{len(const_vars)}"
+                const_vars[val.uid] = var
+                namespace[var] = val.const
+            return var
+        pool, index = slots[val.uid]
+        return f"_{pool}{index}"
+
+    # -- assemble source -------------------------------------------------
+    lines = ["def _kernel(env, machine, _fpool, _bpool, batch):"]
+    for index in range(counts["f"]):
+        lines.append(f"    _f{index} = _fpool[{index}]")
+    for index in range(counts["b"]):
+        lines.append(f"    _b{index} = _bpool[{index}]")
+    for val_uid, var in input_vars.items():
+        name = next(n for n, v in flat.inputs.items() if v.uid == val_uid)
+        lines.append(f"    {var} = _load(env, {name!r})")
+    for var, name in maybe_vars.values():
+        lines.append(f"    {var} = env.get({name!r}, _zrow)")
+    lines.append("    with np.errstate(all='ignore'):")
+    body: list[str] = []
+    n_kernel_calls = 0
+    for op in ops:
+        emitted = _emit_op(op, expr, width)
+        n_kernel_calls += len(emitted)
+        body.extend(emitted)
+    for name, val in writebacks:
+        if val.kind == "const":
+            body.append(f"env[{name!r}] = np.tile({expr(val)}, (batch, 1))")
+        else:
+            body.append(f"env[{name!r}] = {expr(val)}.copy()")
+    if not body:
+        body.append("pass")
+    lines.extend("        " + line for line in body)
+    source = "\n".join(lines) + "\n"
+
+    filename = f"<vm-compile:{program.name}/{segment_name}>"
+    exec(compile(source, filename, "exec"), namespace)  # noqa: S102 - own codegen
+    return CompiledSegment(
+        program_name=program.name,
+        segment_name=segment_name,
+        width=width,
+        dtype=dtype,
+        fn=namespace["_kernel"],
+        source=source,
+        n_float_slots=counts["f"],
+        n_bool_slots=counts["b"],
+        input_names=tuple(input_names),
+        n_kernel_calls=n_kernel_calls,
+    )
+
+
+@functools.lru_cache(maxsize=256)
+def _compiled_segment_cached(
+    program: Program, fingerprint: str, segment_name: str, width: int,
+    dtype_str: str,
+) -> CompiledSegment:
+    return compile_segment(program, segment_name, width, np.dtype(dtype_str))
+
+
+#: id(program) -> (weakref, repr) — identity-keyed so equal-but-distinct
+#: programs each compute their own fingerprint exactly once.
+_fingerprints: dict[int, tuple] = {}
+
+
+def _program_fingerprint(program: Program) -> str:
+    """A cache key component stricter than dataclass equality.
+
+    Frozen-dataclass ``==`` uses Python value equality, under which
+    ``0.0 == -0.0 == False`` and ``1 == 1.0 == True`` — so two programs
+    whose immediates differ only in zero sign (or int/float type) would
+    share one ``lru_cache`` entry while the interpreter, reading the
+    actual ``imm`` objects, distinguishes them (``np.full_like(t, -0.0)``
+    is not byte-identical to ``np.full_like(t, 0.0)``).  ``repr``
+    preserves those distinctions, and memoizing it per program *object*
+    keeps it off the per-call hot path.
+    """
+    key = id(program)
+    entry = _fingerprints.get(key)
+    if entry is not None and entry[0]() is program:
+        return entry[1]
+    fingerprint = repr(program)
+    ref = weakref.ref(program, lambda _r, _k=key: _fingerprints.pop(_k, None))
+    _fingerprints[key] = (ref, fingerprint)
+    return fingerprint
+
+
+def compiled_segment(
+    program: Program,
+    segment_name: str,
+    width: int,
+    dtype: np.dtype | type = np.float32,
+) -> CompiledSegment:
+    """The cached entry point :class:`~repro.vm.machine.Machine` uses.
+
+    Programs are frozen dataclasses, hence hashable; an exotic
+    unhashable immediate falls back to a one-off compile.
+    """
+    dtype = np.dtype(dtype)
+    try:
+        return _compiled_segment_cached(
+            program, _program_fingerprint(program), segment_name, width,
+            dtype.str,
+        )
+    except TypeError:
+        return compile_segment(program, segment_name, width, dtype)

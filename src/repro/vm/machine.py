@@ -1,11 +1,29 @@
-"""Functional interpreter of the batched SIMD VM.
+"""Functional execution of the batched SIMD VM.
 
 :class:`Machine` executes a program's segment bodies over a *batch*:
 every register is an ``(batch, width)`` array and each instruction is
-applied elementwise, so one interpreted instruction performs the work of
-``batch`` architectural iterations.  This gives real numerics (the
-device tests compare VM force output against the NumPy reference
-kernels) while the instruction stream stays exact for the cycle model.
+applied elementwise, so one architectural instruction performs the work
+of ``batch`` iterations.  This gives real numerics (the device tests
+compare VM force output against the NumPy reference kernels) while the
+instruction stream stays exact for the cycle model.
+
+Two execution backends share the instruction semantics:
+
+* ``interp`` — the per-instruction interpreter below: one dict dispatch
+  and one fresh result array per instruction.  Every register the
+  program writes lands in ``env``, which makes it the debugging and
+  reference backend.
+* ``compiled`` — :mod:`repro.vm.compile` lowers the segment once to a
+  fused straight-line NumPy closure (loops unrolled, constants hoisted,
+  register slots liveness-reused via ``out=`` kernels) and caches it.
+  Bit-identical results and branch statistics, several times faster;
+  only the segment's *declared outputs* are written back to ``env``.
+
+The backend is chosen per :class:`Machine` via ``exec_backend``, with
+the ``REPRO_VM_EXEC`` environment variable filling in when the caller
+passes ``None``.  Cycle estimation (:mod:`repro.vm.schedule`) reads the
+instruction stream, never the executor, so timing results are identical
+under either backend.
 
 Predication: an :class:`IfBlock` executes its body unconditionally,
 then lane-wise selects the new values where the condition register is
@@ -17,28 +35,100 @@ model's branch probabilities come from.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.vm.isa import OPS
 from repro.vm.program import IfBlock, Instr, Loop, Node, Program, Segment
 
-__all__ = ["Machine", "MachineError"]
+__all__ = [
+    "BranchStat",
+    "EXEC_BACKENDS",
+    "Machine",
+    "MachineError",
+    "resolve_exec_backend",
+]
+
+#: Recognized execution backends.
+EXEC_BACKENDS = ("interp", "compiled")
+
+#: Environment variable consulted when ``exec_backend`` is not given.
+EXEC_ENV_VAR = "REPRO_VM_EXEC"
 
 
 class MachineError(RuntimeError):
     """Raised for malformed programs or register-file misuse."""
 
 
-class Machine:
-    """A batched SPMD interpreter with a ``(batch, width)`` register file."""
+def resolve_exec_backend(explicit: str | None = None, default: str = "interp") -> str:
+    """Pick an execution backend: explicit choice > env var > default.
 
-    def __init__(self, width: int = 4, dtype: np.dtype | type = np.float32) -> None:
+    The core :class:`Machine` defaults to ``interp`` (full ``env``
+    side-effects, reference semantics); the device drivers default to
+    ``compiled`` (the fast path).  ``REPRO_VM_EXEC`` overrides either
+    default when the caller did not choose explicitly.
+    """
+    backend = explicit if explicit is not None else (
+        os.environ.get(EXEC_ENV_VAR) or default
+    )
+    if backend not in EXEC_BACKENDS:
+        raise ValueError(
+            f"unknown VM execution backend {backend!r}; "
+            f"expected one of {EXEC_BACKENDS}"
+        )
+    return backend
+
+
+class BranchStat:
+    """Running (weighted_sum, count) accumulator of one branch's P(taken).
+
+    One sample is recorded per :class:`IfBlock` evaluation.  A run of a
+    long simulation evaluates each branch millions of times, so the
+    stats are folded into a running pair instead of an append-only list
+    (the list grew one float per segment execution, without bound).
+    """
+
+    __slots__ = ("total", "count")
+
+    def __init__(self, total: float = 0.0, count: int = 0) -> None:
+        self.total = float(total)
+        self.count = int(count)
+
+    def add(self, sample: float) -> None:
+        self.total += float(sample)
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ZeroDivisionError("no branch samples recorded")
+        return self.total / self.count
+
+    def snapshot(self) -> tuple[float, int]:
+        """An immutable (total, count) view, for before/after deltas."""
+        return (self.total, self.count)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BranchStat(total={self.total!r}, count={self.count!r})"
+
+
+class Machine:
+    """A batched SPMD executor with a ``(batch, width)`` register file."""
+
+    def __init__(
+        self,
+        width: int = 4,
+        dtype: np.dtype | type = np.float32,
+        exec_backend: str | None = None,
+    ) -> None:
         if width < 1:
             raise ValueError(f"width must be >= 1, got {width}")
         self.width = width
         self.dtype = np.dtype(dtype)
+        self.exec_backend = resolve_exec_backend(exec_backend, default="interp")
         #: measured P(taken) per IfBlock prob_key, accumulated over runs
-        self.branch_stats: dict[str, list[float]] = {}
+        self.branch_stats: dict[str, BranchStat] = {}
 
     # -- register helpers ------------------------------------------------
 
@@ -75,18 +165,48 @@ class Machine:
         ``env`` maps register names to (batch, width) arrays; it is
         mutated in place and also returned.  Registers referenced before
         definition raise :class:`MachineError`.
+
+        Backend contract: the ``interp`` backend stores every written
+        register into ``env``; the ``compiled`` backend stores only the
+        program's declared outputs (intermediates live in reused buffer
+        slots).  Declared outputs and branch statistics are bit-identical
+        between the two.
         """
         segment = program.segment(segment_name)
         self._check_env(env)
+        if self.exec_backend == "compiled":
+            from repro.vm.compile import compiled_segment
+
+            compiled_segment(program, segment_name, self.width, self.dtype)(
+                env, self
+            )
+            return env
         self._exec_nodes(segment.body, env, loop_indices=[])
         return env
 
     def measured_probability(self, prob_key: str) -> float:
         """Mean measured P(taken) for a branch key across all runs so far."""
-        samples = self.branch_stats.get(prob_key)
-        if not samples:
+        stat = self.branch_stats.get(prob_key)
+        if stat is None or stat.count == 0:
             raise KeyError(f"no measurements recorded for branch {prob_key!r}")
-        return float(np.mean(samples))
+        return stat.mean
+
+    def branch_snapshot(self, prob_key: str) -> tuple[float, int]:
+        """(total, count) for a branch key right now (zeros if unseen).
+
+        Callers that need the probability over a *window* of executions
+        snapshot before, run, and difference after — the running-pair
+        equivalent of slicing the old per-run sample list.
+        """
+        stat = self.branch_stats.get(prob_key)
+        return stat.snapshot() if stat is not None else (0.0, 0)
+
+    def _record_branch(self, prob_key: str, sample: float) -> None:
+        """Fold one P(taken) sample into the running stats."""
+        stat = self.branch_stats.get(prob_key)
+        if stat is None:
+            stat = self.branch_stats[prob_key] = BranchStat()
+        stat.add(sample)
 
     # -- internals -------------------------------------------------------
 
@@ -175,8 +295,9 @@ class Machine:
             raise MachineError(f"IfBlock condition {node.cond!r} undefined")
         mask = env[node.cond] != 0
         taken_rows = mask.any(axis=-1)
-        self.branch_stats.setdefault(node.prob_key, []).append(
-            float(taken_rows.mean()) if taken_rows.size else 0.0
+        self._record_branch(
+            node.prob_key,
+            float(taken_rows.mean()) if taken_rows.size else 0.0,
         )
         written = self._written_registers(node.body)
         saved = {name: env[name].copy() for name in written if name in env}
