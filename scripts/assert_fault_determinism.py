@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""CI gate: the fault plane is deterministic and fully accounted.
+
+Usage::
+
+    python scripts/assert_fault_determinism.py [--plan storm] [--n-atoms N]
+    [--n-steps N]
+
+Runs every device model twice under the same fault plan and asserts:
+
+* the two runs produce **byte-identical** event logs, simulated step
+  timings, and final positions (determinism — same seed, same chaos),
+* every injected fault is detected and recovered, none aborted (full
+  event-log accounting),
+* the faulted trajectory is **bit-identical** to a clean run of the same
+  workload (recovery restores physics exactly),
+* a zero-rate plan costs exactly nothing (the differential guarantee).
+
+Exit code 0 on success, 1 with a findings list otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--plan", default="storm",
+                        help="'storm', 'none', or a JSON plan file")
+    parser.add_argument("--n-atoms", type=int, default=128)
+    parser.add_argument("--n-steps", type=int, default=6)
+    args = parser.parse_args(argv)
+
+    import numpy as np
+
+    from repro.cell.device import CellDevice
+    from repro.faults import FaultPlan, load_plan_arg
+    from repro.gpu.device import GpuDevice
+    from repro.md.simulation import MDConfig
+    from repro.mta.device import MTADevice
+
+    plan = load_plan_arg(args.plan)
+    config = MDConfig(n_atoms=args.n_atoms)
+    devices = {
+        "cell": lambda: CellDevice(n_spes=8),
+        "gpu": lambda: GpuDevice(),
+        "mta": lambda: MTADevice(),
+    }
+
+    problems: list[str] = []
+    for name, make in sorted(devices.items()):
+        clean = make().run(config, args.n_steps)
+        first = make().run(config, args.n_steps, faults=plan)
+        second = make().run(config, args.n_steps, faults=plan)
+
+        log_a = json.dumps(first.fault_events, sort_keys=True)
+        log_b = json.dumps(second.fault_events, sort_keys=True)
+        if log_a != log_b:
+            problems.append(f"{name}: event logs differ between identical runs")
+        if first.step_seconds != second.step_seconds:
+            problems.append(f"{name}: simulated timings differ between runs")
+        if not np.array_equal(first.final_positions, second.final_positions):
+            problems.append(f"{name}: final positions differ between runs")
+
+        summary = first.fault_summary
+        if not summary.get("fully_accounted", False):
+            problems.append(
+                f"{name}: event log not fully accounted "
+                f"({summary.get('injected')} injected, "
+                f"{summary.get('recovered')} recovered, "
+                f"{summary.get('aborted')} aborted)"
+            )
+        if not np.array_equal(first.final_positions, clean.final_positions):
+            problems.append(f"{name}: faulted trajectory deviates from clean run")
+        if plan.is_zero:
+            if first.total_seconds != clean.total_seconds:
+                problems.append(f"{name}: zero-rate plan changed the timings")
+        elif summary.get("injected", 0) and first.total_seconds <= clean.total_seconds:
+            problems.append(f"{name}: faults injected but nothing charged")
+        tally = {
+            k: summary.get(k, 0)
+            for k in ("injected", "recovered", "restores", "aborted")
+        }
+        print(f"{name}: {tally} — ok")
+
+    if problems:
+        print(f"FAIL: plan {args.plan!r}:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"OK: plan {args.plan!r} deterministic, accounted, and bit-faithful "
+        f"on {len(devices)} device(s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

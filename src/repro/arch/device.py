@@ -12,10 +12,15 @@ from __future__ import annotations
 
 import abc
 import dataclasses
+from typing import Any
 
 import numpy as np
 
 from repro.arch.profilecounts import KernelMetrics, pair_trip_metrics
+from repro.faults.checkpoint import CheckpointManager, RestoreBudgetExceeded
+from repro.faults.detect import EnergyDriftWatchdog
+from repro.faults.plan import FaultPlan
+from repro.faults.session import FaultSession, UnrecoveredFaultError
 from repro.md.forces import ForceResult
 from repro.md.simulation import MDConfig, MDSimulation, StepRecord
 
@@ -45,6 +50,11 @@ class DeviceRunResult:
     records: tuple[StepRecord, ...]
     final_positions: np.ndarray
     final_velocities: np.ndarray
+    #: structured fault audit trail (event dicts) when the run executed
+    #: under a fault plan; empty tuple otherwise
+    fault_events: tuple[dict[str, Any], ...] = ()
+    #: accounting tallies from the fault session (injected/recovered/...)
+    fault_summary: dict[str, Any] = dataclasses.field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
@@ -127,15 +137,52 @@ class Device(abc.ABC):
         """
         return {}
 
-    def run(self, config: MDConfig, n_steps: int) -> DeviceRunResult:
-        """Run ``n_steps`` of MD functionally and accumulate simulated time."""
+    @property
+    def fault_session(self) -> FaultSession | None:
+        """The active fault session during :meth:`run`, else ``None``.
+
+        Device hooks (DMA transfers, mailbox signals, cost-model step
+        pricing) consult this to draw and recover injected faults; with
+        no session — or a zero-rate plan — every hook is a no-op.
+        """
+        return getattr(self, "_fault_session", None)
+
+    def run(
+        self,
+        config: MDConfig,
+        n_steps: int,
+        faults: FaultPlan | None = None,
+    ) -> DeviceRunResult:
+        """Run ``n_steps`` of MD functionally and accumulate simulated time.
+
+        With a :class:`FaultPlan`, the run executes under a fault
+        session: device hooks inject/recover transfer faults, the force
+        path runs behind the numeric guard, and an energy-drift watchdog
+        backs the simulation up to the last good checkpoint when silent
+        corruption slips through.  All recovery is charged in simulated
+        seconds (the ``fault_recovery`` breakdown component).  A
+        zero-rate plan is bit-identical to ``faults=None``.
+        """
         if n_steps < 0:
             raise ValueError(f"n_steps must be non-negative, got {n_steps}")
         config = dataclasses.replace(config, dtype=self.precision)
+        session = FaultSession(faults) if faults is not None else None
+        self._fault_session = session
+        try:
+            return self._run(config, n_steps, session)
+        finally:
+            self._fault_session = None
+
+    def _run(
+        self, config: MDConfig, n_steps: int, session: FaultSession | None
+    ) -> DeviceRunResult:
         self.prepare(config)
         box = config.make_box()
         potential = config.make_potential()
         backend = self.force_backend(box, potential)
+        if session is not None:
+            session.enabled = False  # checkpoint 0 must be trustworthy
+            backend = session.guard_backend(backend)
 
         last_result: dict[str, ForceResult] = {}
 
@@ -145,11 +192,29 @@ class Device(abc.ABC):
             return result
 
         sim = MDSimulation(config, force_backend=recording_backend)
+        watchdog: EnergyDriftWatchdog | None = None
+        manager: CheckpointManager | None = None
+        if session is not None:
+            watchdog = EnergyDriftWatchdog(
+                tolerance=session.plan.watchdog_tolerance,
+                window=session.plan.watchdog_window,
+            )
+            watchdog.arm(sim.records[0].total_energy)
+            manager = CheckpointManager(
+                interval=session.plan.checkpoint_interval,
+                max_restores=session.plan.max_restores,
+            )
+            manager.take(sim)
+            session.enabled = True
+
         branch_probs = self.branch_probabilities(config)
         step_seconds: list[float] = []
         breakdowns: list[dict[str, float]] = []
-        for step_index in range(n_steps):
-            sim.step()
+        while sim.step_count < n_steps:
+            step_index = len(step_seconds)
+            if session is not None:
+                session.begin_step(step_index + 1)
+            record = sim.step()
             result = last_result["value"]
             metrics = pair_trip_metrics(
                 n_atoms=config.n_atoms,
@@ -158,8 +223,46 @@ class Device(abc.ABC):
                 branch_probabilities=branch_probs,
             )
             parts = self.step_seconds(metrics, step_index)
+            if session is not None:
+                recovery = session.drain_pending()
+                retries = session.drain_retries()
+                if retries:
+                    # Each recompute re-pays the whole step's kernel path.
+                    recovery += retries * sum(parts.values())
+                recovery += session.drain_carried()
+                if recovery > 0.0:
+                    parts = dict(parts)
+                    parts["fault_recovery"] = (
+                        parts.get("fault_recovery", 0.0) + recovery
+                    )
             breakdowns.append(parts)
             step_seconds.append(sum(parts.values()))
+            if session is not None:
+                assert watchdog is not None and manager is not None
+                if watchdog.observe(record.total_energy):
+                    checkpoint = manager.last
+                    assert checkpoint is not None
+                    wasted = float(sum(step_seconds[checkpoint.step :]))
+                    try:
+                        manager.note_restore()
+                    except RestoreBudgetExceeded as exc:
+                        session.log.append(
+                            sim.step_count, "vm.bitflip", "aborted",
+                            {"faults": session.silent_pending,
+                             "reason": str(exc)},
+                        )
+                        raise UnrecoveredFaultError(str(exc), session.log) from exc
+                    session.note_restore(
+                        sim.step_count,
+                        checkpoint.step,
+                        wasted,
+                        watchdog.drift(record.total_energy),
+                    )
+                    sim.restore(checkpoint)
+                    del step_seconds[checkpoint.step :]
+                    del breakdowns[checkpoint.step :]
+                    continue
+                manager.maybe_take(sim)
 
         setup = self.setup_breakdown()
         return DeviceRunResult(
@@ -173,4 +276,6 @@ class Device(abc.ABC):
             records=tuple(sim.records),
             final_positions=np.array(sim.state.positions, copy=True),
             final_velocities=np.array(sim.state.velocities, copy=True),
+            fault_events=tuple(session.log.to_dicts()) if session else (),
+            fault_summary=session.summary() if session else {},
         )

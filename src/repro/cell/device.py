@@ -101,6 +101,7 @@ class CellDevice(Device):
         self.spes = [SPE(index=i) for i in range(n_spes)]
         self.scheduler = SpeThreadScheduler(n_spes=n_spes, strategy=strategy)
         self.dma = make_dma_engine()
+        self.active_spes = n_spes
         self._program_cache: dict[float, object] = {}
 
     # -- functional side ---------------------------------------------------
@@ -112,6 +113,10 @@ class CellDevice(Device):
         program = self._program(sim_box.length)
         sweep = SpePairSweep(program)
         constants = kernel_constants(potential)
+        if self.fault_session is not None:
+            # vm mode injects bit-flips at the instruction level, into
+            # real local-store output registers, instead of post hoc.
+            self.fault_session.adopt_machine(sweep.machine)
 
         def vm_backend(positions: np.ndarray) -> ForceResult:
             n = positions.shape[0]
@@ -136,9 +141,10 @@ class CellDevice(Device):
 
     def prepare(self, config: MDConfig) -> None:
         self._box_length = config.make_box().length
+        self.active_spes = self.n_spes  # crashed SPEs stay dead per run
 
     def workers(self) -> int:
-        return self.n_spes
+        return self.active_spes
 
     def branch_probabilities(self, config: MDConfig) -> dict[str, float]:
         return {
@@ -157,16 +163,91 @@ class CellDevice(Device):
         self, metrics: KernelMetrics, step_index: int
     ) -> dict[str, float]:
         program = self._program(self._box_length)
-        traffic = MDTrafficPlan(n_atoms=metrics.n_atoms, n_spes=self.n_spes)
+        traffic = MDTrafficPlan(n_atoms=metrics.n_atoms, n_spes=self.active_spes)
         layout = traffic.layout(self.spes[0].local_store)
         kernel_seconds = self.spes[0].kernel_seconds(program, metrics.as_dict())
+        session = self.fault_session
+        if session is not None:
+            self._step_faults(session, traffic, layout, kernel_seconds, step_index)
         return {
             "spe_kernel": kernel_seconds,
             "dma": traffic.exposed_dma_seconds(self.dma, layout, kernel_seconds),
             "thread_launch": self.scheduler.launch_seconds(step_index),
-            "mailbox": self.scheduler.signal_seconds(step_index),
+            "mailbox": self.scheduler.signal_seconds(
+                step_index, n_spes=self.active_spes
+            ),
             "ppe_host": self.ppe.integration_seconds(metrics.n_atoms),
         }
+
+    def _step_faults(
+        self, session, traffic, layout, kernel_seconds: float, step_index: int
+    ) -> None:
+        """Draw this step's Cell fault sites and charge their recovery.
+
+        All recovery seconds accumulate on the session and surface in
+        the step's ``fault_recovery`` component; the functional physics
+        is untouched because retries re-read pristine main-memory data.
+        """
+        retry_cost = traffic.retry_transfer_seconds(self.dma, layout)
+        session.charge(session.faulty_transfer(
+            "cell.dma.fail", retry_cost, detection="dma-completion-status"
+        ))
+        session.charge(session.faulty_transfer(
+            "cell.dma.corrupt", retry_cost, detection="payload-checksum"
+        ))
+        if self.strategy is LaunchStrategy.LAUNCH_ONCE and step_index > 0:
+            mailbox = self.scheduler.mailbox
+            session.charge(session.faulty_transfer(
+                "cell.mailbox.drop",
+                mailbox.resend_seconds,
+                detection="ack-timeout",
+                on_fault=lambda decision: mailbox.drop(),
+            ))
+        session.charge(session.transient(
+            "cell.spe.hang",
+            lambda decision: kernel_seconds + 2 * self.scheduler.mailbox.transfer_s,
+            detection="completion-timeout",
+            action="SPE re-signalled and its block recomputed",
+        ))
+        crash = session.fire("cell.spe.crash")
+        if crash is not None:
+            self._crash_spe(session, crash, kernel_seconds)
+
+    def _crash_spe(self, session, decision, kernel_seconds: float) -> None:
+        """Kill one SPE and re-partition its rows onto the survivors."""
+        from repro.faults.session import UnrecoveredFaultError
+
+        victim = int(decision.rng.integers(self.active_spes))
+        session.log.append(
+            session.step, "cell.spe.crash", "injected",
+            {"occurrence": decision.occurrence, "spe": victim},
+        )
+        session.log.append(
+            session.step, "cell.spe.crash", "detected",
+            {"detection": "heartbeat-timeout"},
+        )
+        survivors = self.active_spes - 1
+        if survivors < 1:
+            session.log.append(
+                session.step, "cell.spe.crash", "aborted",
+                {"faults": 1, "reason": "no surviving SPEs"},
+            )
+            raise UnrecoveredFaultError(
+                f"last SPE crashed at step {session.step}; "
+                "no survivors to re-partition onto",
+                session.log,
+            )
+        # The dead SPE's block is redone by the survivors (one extra
+        # kernel quantum) after the PPE redistributes row ownership.
+        extra = self.scheduler.repartition_seconds(survivors) + kernel_seconds
+        self.active_spes = survivors
+        session.log.append(
+            session.step, "cell.spe.crash", "recovered",
+            {"faults": 1,
+             "action": f"rows re-partitioned onto {survivors} surviving SPEs"},
+            sim_seconds=extra,
+        )
+        session.charge(extra)
 
 
 class PPEOnlyDevice(Device):

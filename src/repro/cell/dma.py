@@ -135,6 +135,20 @@ class MDTrafficPlan:
         in_time = plan.transfers_per_step * engine.transfer_time(tile_bytes)
         return in_time + out_time
 
+    def retry_transfer_seconds(self, engine: DMAEngine, plan: ResidencyPlan) -> float:
+        """Blocking re-transfer time for one failed/corrupt gather.
+
+        A failed DMA is detected per transfer command, so the retry
+        re-pays one gather unit: the whole position array when resident,
+        one tile when streaming.  Used by fault recovery to price each
+        retry attempt in simulated time.
+        """
+        if plan.resident:
+            return engine.transfer_time(self.bytes_in)
+        return engine.transfer_time(
+            min(self.bytes_in, plan.tile_atoms * cal.VEC4_F32_BYTES)
+        )
+
     def exposed_dma_seconds(
         self,
         engine: DMAEngine,

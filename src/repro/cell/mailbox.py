@@ -5,6 +5,13 @@ asynchronous DMA transfers; there are other channels ('mailboxes') that
 can be used for blocking sends or receives of information on the order
 of bytes."  The launch-once strategy signals each SPE through its
 inbound mailbox every step instead of respawning threads.
+
+The channel is modelled functionally as well as in time: a bounded
+queue of 32-bit words (the SPU inbound mailbox is four entries deep),
+with :class:`MailboxEmpty` / :class:`MailboxFull` raised on blocking
+misuse, and a ``drops`` counter for words lost in flight under fault
+injection (a dropped "go" word is detected by the PPE's ack timeout and
+resent — see :meth:`resend_seconds`).
 """
 
 from __future__ import annotations
@@ -13,7 +20,18 @@ import dataclasses
 
 from repro.arch import calibration as cal
 
-__all__ = ["Mailbox"]
+__all__ = ["Mailbox", "MailboxEmpty", "MailboxFull", "MAILBOX_DEPTH"]
+
+#: SPU inbound mailbox depth, in 32-bit words.
+MAILBOX_DEPTH = 4
+
+
+class MailboxEmpty(RuntimeError):
+    """A read from a mailbox holding no words (would block forever)."""
+
+
+class MailboxFull(RuntimeError):
+    """A post to a mailbox already holding ``depth`` words."""
 
 
 @dataclasses.dataclass
@@ -21,8 +39,43 @@ class Mailbox:
     """A 32-bit-word mailbox channel with blocking send/receive cost."""
 
     transfer_s: float = cal.SPE_MAILBOX_S
+    depth: int = MAILBOX_DEPTH
     sends: int = 0
     receives: int = 0
+    drops: int = 0
+    queue: list[int] = dataclasses.field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.depth < 1:
+            raise ValueError(f"depth must be >= 1, got {self.depth}")
+
+    def __len__(self) -> int:
+        return len(self.queue)
+
+    @property
+    def full(self) -> bool:
+        return len(self.queue) >= self.depth
+
+    def put(self, word: int) -> None:
+        """Post one 32-bit word; raises :class:`MailboxFull` past depth."""
+        if self.full:
+            raise MailboxFull(
+                f"mailbox holds {len(self.queue)}/{self.depth} words; "
+                "the writer would block"
+            )
+        self.queue.append(int(word) & 0xFFFFFFFF)
+
+    def get(self) -> int:
+        """Pop the oldest word; raises :class:`MailboxEmpty` when none."""
+        if not self.queue:
+            raise MailboxEmpty("mailbox is empty; the reader would block")
+        return self.queue.pop(0)
+
+    def drop(self) -> None:
+        """Lose the newest in-flight word (fault injection)."""
+        self.drops += 1
+        if self.queue:
+            self.queue.pop()
 
     def send_seconds(self, n_words: int = 1) -> float:
         """Seconds for the PPE to post ``n_words`` to the SPE."""
@@ -37,3 +90,8 @@ class Mailbox:
             raise ValueError(f"n_words must be >= 1, got {n_words}")
         self.receives += n_words
         return n_words * self.transfer_s
+
+    def resend_seconds(self) -> float:
+        """Cost of re-posting one dropped word: the ack-timeout wait
+        (modelled as one mailbox round trip) plus the resend itself."""
+        return 2 * self.transfer_s + self.send_seconds()

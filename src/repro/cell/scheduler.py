@@ -57,12 +57,13 @@ class SpeThreadScheduler:
             return self.n_spes * self.launch_per_thread_s
         return 0.0
 
-    def signal_seconds(self, step_index: int) -> float:
+    def signal_seconds(self, step_index: int, n_spes: int | None = None) -> float:
         """Mailbox signalling time charged at this step.
 
         Launch-once signals every SPE twice per step after the first
         (go + completion); respawn needs no mailboxes (thread exit is
-        the completion signal).
+        the completion signal).  ``n_spes`` overrides the signalled
+        count when SPEs have been lost to faults mid-run.
         """
         if step_index < 0:
             raise ValueError("step_index must be non-negative")
@@ -70,7 +71,24 @@ class SpeThreadScheduler:
             return 0.0
         if step_index == 0:
             return 0.0
+        count = self.n_spes if n_spes is None else n_spes
         return sum(
             self.mailbox.send_seconds() + self.mailbox.receive_seconds()
-            for _ in range(self.n_spes)
+            for _ in range(count)
         )
+
+    def repartition_seconds(self, survivors: int) -> float:
+        """Cost of re-partitioning the atom rows after an SPE crash.
+
+        The PPE recomputes block bounds (folded into one launch quantum
+        of PPE work) and re-signals every surviving SPE with its new
+        block — the crashed thread's context is abandoned, not
+        relaunched, so launch cost is paid once regardless of strategy.
+        """
+        if survivors < 1:
+            raise ValueError(f"survivors must be >= 1, got {survivors}")
+        signals = sum(
+            self.mailbox.send_seconds() + self.mailbox.receive_seconds()
+            for _ in range(survivors)
+        )
+        return self.launch_per_thread_s + signals

@@ -18,6 +18,7 @@ from typing import Any, Callable, Mapping
 
 from repro.experiments import (
     ablations,
+    faultstorm,
     fig5_simd,
     fig6_launch,
     fig7_gpu,
@@ -49,14 +50,28 @@ class ExperimentSpec:
     quick_params: Mapping[str, Any] = dataclasses.field(default_factory=dict)
     #: fig9 threads the functional force engine through to its sweep.
     accepts_force_path: bool = False
+    #: the chaos experiment threads a serialized FaultPlan through.
+    accepts_fault_plan: bool = False
 
     def params(
-        self, *, quick: bool = False, force_path: str | None = None
+        self,
+        *,
+        quick: bool = False,
+        force_path: str | None = None,
+        fault_plan: Mapping[str, Any] | None = None,
     ) -> dict[str, Any]:
-        """The resolved keyword arguments for one invocation."""
+        """The resolved keyword arguments for one invocation.
+
+        ``fault_plan`` is the JSON-native ``FaultPlan.to_dict()`` form —
+        it must stay serializable because it lands in the job params and
+        therefore in the cache key (a run under a different plan is a
+        different experiment).
+        """
         resolved = dict(self.quick_params if quick else self.full_params)
         if self.accepts_force_path and force_path is not None:
             resolved["force_path"] = force_path
+        if self.accepts_fault_plan and fault_plan is not None:
+            resolved["fault_plan"] = dict(fault_plan)
         return resolved
 
     def resolve(self) -> Callable[..., Any]:
@@ -72,6 +87,7 @@ def _spec(
     quick_params: Mapping[str, Any],
     full_params: Mapping[str, Any] | None = None,
     accepts_force_path: bool = False,
+    accepts_fault_plan: bool = False,
 ) -> ExperimentSpec:
     return ExperimentSpec(
         experiment_id=experiment_id,
@@ -81,6 +97,7 @@ def _spec(
         full_params=dict(full_params or {}),
         quick_params=dict(quick_params),
         accepts_force_path=accepts_force_path,
+        accepts_fault_plan=accepts_fault_plan,
     )
 
 
@@ -187,6 +204,15 @@ EXPERIMENTS: tuple[ExperimentSpec, ...] = (
         "run_precision",
         ablations.DESCRIPTIONS["abl-precision"],
         quick_params={"n_atoms": 256},
+    ),
+    _spec(
+        "faults",
+        faultstorm,
+        "run",
+        faultstorm.DESCRIPTION,
+        quick_params={"n_atoms": 128, "n_steps": 6},
+        full_params={"n_atoms": 256, "n_steps": 12},
+        accepts_fault_plan=True,
     ),
 )
 

@@ -95,7 +95,23 @@ def main(argv: list[str] | None = None) -> int:
         help="VM execution backend for every device model (sets "
         f"{EXEC_ENV_VAR}; default: drivers pick 'compiled')",
     )
+    parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="PLAN",
+        help="fault plan for the chaos experiment: 'storm', 'none', or a "
+        "path to a JSON plan file (applies to experiments that accept one)",
+    )
     args = parser.parse_args(argv)
+
+    fault_plan = None
+    if args.fault_plan is not None:
+        from repro.faults import load_plan_arg
+
+        try:
+            fault_plan = load_plan_arg(args.fault_plan).to_dict()
+        except ValueError as exc:
+            parser.error(str(exc))
 
     if args.vm_exec:
         import os
@@ -114,6 +130,7 @@ def main(argv: list[str] | None = None) -> int:
         jobs = api.jobs_from_registry(
             quick=args.quick,
             force_path=args.force_path,
+            fault_plan=fault_plan,
             only=[args.only] if args.only else None,
             skip=args.skip,
         )

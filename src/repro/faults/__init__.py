@@ -1,0 +1,45 @@
+"""Deterministic fault injection, detection, and recovery.
+
+The fault plane threads a :class:`FaultPlan` through a device run:
+the plan seeds per-site RNG streams (:mod:`repro.faults.injector`),
+device models hook named sites, detection layers catch the damage
+(:mod:`repro.faults.detect`), and recovery — retry-with-backoff,
+SPE re-partitioning, checkpoint restore — is charged through the
+existing cost models so fault runs produce honestly degraded timing
+curves.  Every recovery leaves structured events
+(:mod:`repro.faults.events`); a run never silently corrupts.
+"""
+
+from repro.faults.checkpoint import Checkpoint, CheckpointManager, RestoreBudgetExceeded
+from repro.faults.detect import (
+    NUMERIC_GUARD_LIMIT,
+    EnergyDriftWatchdog,
+    checksum_matches,
+    nonfinite_reason,
+    payload_checksum,
+)
+from repro.faults.events import EventLog, FaultEvent
+from repro.faults.injector import FaultDecision, FaultInjector
+from repro.faults.plan import FAULT_SITES, FaultPlan, SiteSpec, load_plan_arg
+from repro.faults.session import FaultSession, UnrecoveredFaultError
+
+__all__ = [
+    "FAULT_SITES",
+    "NUMERIC_GUARD_LIMIT",
+    "Checkpoint",
+    "CheckpointManager",
+    "EnergyDriftWatchdog",
+    "EventLog",
+    "FaultDecision",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSession",
+    "RestoreBudgetExceeded",
+    "SiteSpec",
+    "UnrecoveredFaultError",
+    "checksum_matches",
+    "load_plan_arg",
+    "nonfinite_reason",
+    "payload_checksum",
+]

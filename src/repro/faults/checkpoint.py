@@ -1,0 +1,130 @@
+"""Step-granular checkpoint/restore for :class:`repro.md.simulation.MDSimulation`.
+
+A :class:`Checkpoint` captures everything needed to rewind a simulation
+to a known-good step — dynamical state, step counter, and the per-step
+records — or to resume an aborted run in a fresh process: checkpoints
+serialize to JSON-native dicts, so the harness can persist the last
+good snapshot next to a job record and pick the run back up later.
+
+This module deliberately does not import the MD layer at module scope
+(the MD layer imports it back for ``MDSimulation.snapshot/restore``);
+record reconstruction resolves :class:`StepRecord` lazily.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["Checkpoint", "CheckpointManager", "RestoreBudgetExceeded"]
+
+
+class RestoreBudgetExceeded(RuntimeError):
+    """Raised when a run keeps diverging past ``max_restores`` rewinds."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Checkpoint:
+    """One known-good snapshot of a simulation at the end of ``step``."""
+
+    step: int
+    positions: np.ndarray
+    velocities: np.ndarray
+    accelerations: np.ndarray
+    potential_energy: float
+    interacting_pairs: int
+    records: tuple[Any, ...]  # StepRecord tuple, [0 .. step] inclusive
+    dtype: str
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-native form for on-disk persistence (harness resume).
+
+        Each array records its own dtype: the dynamical state legally
+        mixes precisions (float64 lattice positions, a float32 device's
+        accelerations), and a resumed run must replay bit-identically.
+        """
+        return {
+            "step": self.step,
+            "positions": self.positions.tolist(),
+            "velocities": self.velocities.tolist(),
+            "accelerations": self.accelerations.tolist(),
+            "array_dtypes": {
+                "positions": str(self.positions.dtype),
+                "velocities": str(self.velocities.dtype),
+                "accelerations": str(self.accelerations.dtype),
+            },
+            "potential_energy": float(self.potential_energy),
+            "interacting_pairs": int(self.interacting_pairs),
+            "records": [dataclasses.asdict(r) for r in self.records],
+            "dtype": self.dtype,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Checkpoint":
+        from repro.md.simulation import StepRecord
+
+        array_dtypes = data.get("array_dtypes", {})
+
+        def load(name: str) -> np.ndarray:
+            dtype = np.dtype(array_dtypes.get(name, data["dtype"]))
+            return np.asarray(data[name], dtype=dtype)
+
+        return cls(
+            step=int(data["step"]),
+            positions=load("positions"),
+            velocities=load("velocities"),
+            accelerations=load("accelerations"),
+            potential_energy=float(data["potential_energy"]),
+            interacting_pairs=int(data["interacting_pairs"]),
+            records=tuple(StepRecord(**r) for r in data["records"]),
+            dtype=data["dtype"],
+        )
+
+
+class CheckpointManager:
+    """Keeps the last good snapshot on a fixed step cadence.
+
+    ``interval`` is in steps; step 0 (the initial state) is always
+    snapshotted so a restore target exists from the first step on.
+    ``note_restore`` enforces the plan's ``max_restores`` budget — a
+    run that keeps rewinding is failing loudly, not looping forever.
+    """
+
+    def __init__(self, interval: int = 5, max_restores: int = 8) -> None:
+        if interval < 1:
+            raise ValueError("interval must be >= 1")
+        if max_restores < 0:
+            raise ValueError("max_restores must be non-negative")
+        self.interval = interval
+        self.max_restores = max_restores
+        self.last: Checkpoint | None = None
+        self.restores = 0
+
+    def due(self, step: int) -> bool:
+        return step % self.interval == 0
+
+    def take(self, sim: Any) -> Checkpoint:
+        """Snapshot ``sim`` (an :class:`MDSimulation`) and keep it."""
+        self.last = sim.snapshot()
+        return self.last
+
+    def maybe_take(self, sim: Any) -> Checkpoint | None:
+        if self.due(sim.step_count):
+            return self.take(sim)
+        return None
+
+    def note_restore(self) -> None:
+        self.restores += 1
+        if self.restores > self.max_restores:
+            raise RestoreBudgetExceeded(
+                f"run restored from checkpoint {self.restores} times, "
+                f"budget is {self.max_restores}; the workload is diverging "
+                "faster than recovery can make progress"
+            )
+
+
+def truncate_records(records: Sequence[Any], step: int) -> list[Any]:
+    """Records up to and including ``step`` (list, ready to mutate)."""
+    return [r for r in records if r.step <= step]

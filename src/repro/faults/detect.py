@@ -1,0 +1,109 @@
+"""Detection primitives: checksums, numeric guards, and the energy watchdog.
+
+Three independent detection layers, cheapest first:
+
+* **payload checksums** — every simulated DMA/PCIe payload carries a
+  CRC32; in-flight corruption is caught at the receiving end before the
+  data is used (the transfer is then retried, charged in simulated
+  time).
+* **numeric guards** — force/position arrays are screened for NaN/inf
+  and absurd magnitudes right after each force evaluation; a loud
+  bit-flip (exponent/sign) trips this layer and the evaluation is
+  recomputed.
+* **energy-drift watchdog** — total energy is a conserved quantity of
+  the velocity-Verlet integrator, so corruption that slips past the
+  numeric guard (a low-bit mantissa flip) surfaces as an energy jump;
+  the watchdog flags divergence within a configurable window and the
+  run restores from the last good checkpoint.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+__all__ = [
+    "payload_checksum",
+    "checksum_matches",
+    "nonfinite_reason",
+    "EnergyDriftWatchdog",
+    "NUMERIC_GUARD_LIMIT",
+]
+
+#: Magnitude above which a force/position value is treated as corrupt
+#: even when finite (an exponent-bit flip can land below inf).
+NUMERIC_GUARD_LIMIT = 1.0e30
+
+
+def payload_checksum(array: np.ndarray) -> int:
+    """CRC32 over the array's bytes — the simulated transfer checksum."""
+    return zlib.crc32(np.ascontiguousarray(array).tobytes())
+
+
+def checksum_matches(array: np.ndarray, expected: int) -> bool:
+    return payload_checksum(array) == expected
+
+
+def nonfinite_reason(
+    array: np.ndarray, name: str = "array", limit: float = NUMERIC_GUARD_LIMIT
+) -> str | None:
+    """Why this array fails the numeric guard, or ``None`` if it passes."""
+    array = np.asarray(array)
+    if not np.isfinite(array).all():
+        return f"{name} contains non-finite values"
+    if array.size and float(np.max(np.abs(array))) > limit:
+        return f"{name} magnitude exceeds {limit:g}"
+    return None
+
+
+class EnergyDriftWatchdog:
+    """Flags total-energy divergence against the run's reference energy.
+
+    ``tolerance`` is relative drift |E - E0| / |E0|; ``window`` is the
+    number of *consecutive* violating observations required to trip
+    (debounce, so one borderline step under float32 arithmetic does not
+    trigger a restore).  The reference energy is armed once at run
+    start and survives checkpoint restores — the conserved quantity
+    does not move.
+    """
+
+    def __init__(self, tolerance: float = 0.05, window: int = 1) -> None:
+        if tolerance <= 0.0:
+            raise ValueError("tolerance must be positive")
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.tolerance = tolerance
+        self.window = window
+        self.reference: float | None = None
+        self.violations = 0
+        self.trips = 0
+
+    def arm(self, reference_energy: float) -> None:
+        self.reference = float(reference_energy)
+        self.violations = 0
+
+    def drift(self, total_energy: float) -> float:
+        if self.reference is None:
+            raise RuntimeError("watchdog not armed")
+        scale = abs(self.reference) if self.reference != 0.0 else 1.0
+        return abs(total_energy - self.reference) / scale
+
+    def observe(self, total_energy: float) -> bool:
+        """Feed one step's total energy; True when the watchdog trips."""
+        if self.reference is None:
+            self.arm(total_energy)
+            return False
+        if self.drift(total_energy) > self.tolerance:
+            self.violations += 1
+        else:
+            self.violations = 0
+        if self.violations >= self.window:
+            self.trips += 1
+            self.violations = 0
+            return True
+        return False
+
+    def reset_debounce(self) -> None:
+        """Clear the violation streak (called after a checkpoint restore)."""
+        self.violations = 0

@@ -1,0 +1,144 @@
+"""Structured fault events — the audit trail every recovery must leave.
+
+Each injection, detection, and recovery appends a :class:`FaultEvent` to
+the run's :class:`EventLog`.  The log is the accounting instrument the
+chaos suite audits: every injected fault must be detected, and every
+detected fault must end in a recovery or a loud abort — never a silent
+corruption.  Events carry their *simulated*-seconds cost so experiments
+can report faults-seen/faults-recovered alongside degraded timings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Iterator, Mapping
+
+__all__ = ["FaultEvent", "EventLog"]
+
+#: Recognized event kinds, in lifecycle order.
+KINDS = ("injected", "detected", "recovered", "restore", "aborted")
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultEvent:
+    """One entry in the fault audit trail.
+
+    ``detail`` is JSON-native; recovery events carry ``faults`` — how
+    many injected faults that recovery cleared — which is what makes
+    the log auditable: Σ injected == Σ recovered.faults + Σ
+    aborted.faults on a fully recovered run.
+    """
+
+    step: int
+    site: str
+    kind: str
+    detail: Mapping[str, Any] = dataclasses.field(default_factory=dict)
+    sim_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown event kind {self.kind!r}")
+        object.__setattr__(self, "detail", dict(self.detail))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "step": self.step,
+            "site": self.site,
+            "kind": self.kind,
+            "detail": dict(self.detail),
+            "sim_seconds": self.sim_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultEvent":
+        return cls(
+            step=int(data["step"]),
+            site=data["site"],
+            kind=data["kind"],
+            detail=dict(data.get("detail", {})),
+            sim_seconds=float(data.get("sim_seconds", 0.0)),
+        )
+
+
+class EventLog:
+    """Append-only fault audit trail with accounting helpers."""
+
+    def __init__(self) -> None:
+        self.events: list[FaultEvent] = []
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def append(
+        self,
+        step: int,
+        site: str,
+        kind: str,
+        detail: Mapping[str, Any] | None = None,
+        sim_seconds: float = 0.0,
+    ) -> FaultEvent:
+        event = FaultEvent(
+            step=step,
+            site=site,
+            kind=kind,
+            detail=detail or {},
+            sim_seconds=sim_seconds,
+        )
+        self.events.append(event)
+        return event
+
+    def by_kind(self, kind: str) -> list[FaultEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def by_site(self, site: str) -> list[FaultEvent]:
+        return [e for e in self.events if e.site == site]
+
+    # -- accounting ------------------------------------------------------
+
+    def accounting(self) -> dict[str, int]:
+        """Fault conservation tallies across the whole log.
+
+        ``injected`` counts injection events; ``cleared`` sums the
+        ``faults`` detail of recovery and abort events.  A fully
+        recovered run has ``injected == cleared`` and ``aborted == 0``.
+        """
+        injected = len(self.by_kind("injected"))
+        recovered = sum(
+            int(e.detail.get("faults", 1)) for e in self.by_kind("recovered")
+        )
+        aborted = sum(
+            int(e.detail.get("faults", 1)) for e in self.by_kind("aborted")
+        )
+        return {
+            "injected": injected,
+            "detected": len(self.by_kind("detected")),
+            "recovered": recovered,
+            "aborted": aborted,
+            "restores": len(self.by_kind("restore")),
+            "cleared": recovered + aborted,
+        }
+
+    @property
+    def fully_accounted(self) -> bool:
+        """True when every injected fault was recovered (none aborted)."""
+        tally = self.accounting()
+        return tally["injected"] == tally["recovered"] and tally["aborted"] == 0
+
+    def summary(self) -> dict[str, Any]:
+        tally = self.accounting()
+        tally["sim_seconds"] = sum(e.sim_seconds for e in self.events)
+        tally["fully_accounted"] = self.fully_accounted
+        return tally
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        return [event.to_dict() for event in self.events]
+
+    def canonical_json(self) -> str:
+        """Deterministic byte-for-byte form; CI diffs this across runs."""
+        return json.dumps(self.to_dicts(), sort_keys=True)

@@ -1,0 +1,89 @@
+"""Deterministic fault draws: per-site RNG streams keyed off the plan seed.
+
+Each site owns an independent :class:`numpy.random.Generator` seeded by
+``sha256(plan.seed, site_name)`` — so the draw sequence at one site is
+unaffected by how often *other* sites draw, and identical across
+processes and Python hash seeds.  A "draw" is one opportunity for the
+site to fire (one transfer, one step, one VM segment execution); the
+occurrence index counts draws, which is what plan schedules index.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Any
+
+import numpy as np
+
+from repro.faults.plan import FaultPlan, SiteSpec
+
+__all__ = ["FaultDecision", "FaultInjector"]
+
+
+def _site_seed(plan_seed: int, site: str) -> int:
+    digest = hashlib.sha256(f"{plan_seed}:{site}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclasses.dataclass
+class FaultDecision:
+    """One fired fault: where, which occurrence, and its knobs.
+
+    ``rng`` is the site's generator — corruption details (element
+    index, bit position, severity) draw from it so they stay on the
+    same deterministic stream as the firing decision itself.
+    """
+
+    site: str
+    occurrence: int
+    payload: dict[str, Any]
+    rng: np.random.Generator
+
+
+class FaultInjector:
+    """Draws fault decisions for a plan, one deterministic stream per site."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._rngs = {
+            site: np.random.default_rng(_site_seed(plan.seed, site))
+            for site in plan.sites
+        }
+        self._occurrences: dict[str, int] = {site: 0 for site in plan.sites}
+        self._fired: dict[str, int] = {}
+
+    def fire(self, site: str) -> FaultDecision | None:
+        """One draw at ``site``; a :class:`FaultDecision` if it fired.
+
+        Sites absent from the plan never fire and consume no RNG state,
+        so a zero-site plan leaves every stream untouched — the
+        bit-identity guarantee of the differential tests.
+        """
+        spec: SiteSpec | None = self.plan.site(site)
+        if spec is None:
+            return None
+        occurrence = self._occurrences[site]
+        self._occurrences[site] = occurrence + 1
+        fired = occurrence in spec.schedule
+        if spec.rate > 0.0:
+            # Always consume the draw so schedules never shift the stream.
+            sample = self._rngs[site].random()
+            fired = fired or sample < spec.rate
+        if not fired:
+            return None
+        self._fired[site] = self._fired.get(site, 0) + 1
+        return FaultDecision(
+            site=site,
+            occurrence=occurrence,
+            payload=dict(spec.payload),
+            rng=self._rngs[site],
+        )
+
+    def fired_counts(self) -> dict[str, int]:
+        """How many times each site has fired so far."""
+        return dict(self._fired)
+
+    def draw_counts(self) -> dict[str, int]:
+        """How many opportunities each site has seen so far."""
+        return dict(self._occurrences)

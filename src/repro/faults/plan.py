@@ -1,0 +1,218 @@
+"""Declarative, seeded fault plans — the injection side of ``repro.faults``.
+
+A :class:`FaultPlan` names *where* faults may strike (fault **sites**,
+one per hazard the device models expose), *how often* (a per-draw rate
+and/or an explicit occurrence schedule), and the recovery policy
+(bounded retries, checkpoint cadence, watchdog tolerance).  Plans are
+plain data: JSON-serializable both ways, so a plan rides inside harness
+job parameters and its bytes participate in content-addressed cache
+keys — a cached record computed under one plan can never be replayed
+for another.
+
+Determinism contract: every random decision derives from
+``(plan.seed, site_name, occurrence_index)`` through per-site
+:mod:`numpy` generators (see :mod:`repro.faults.injector`), never from
+wall clock or interpreter state.  Two runs of the same workload under
+the same plan produce identical fault decisions, identical event logs,
+and identical simulated timings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Mapping
+
+__all__ = ["FAULT_SITES", "SiteSpec", "FaultPlan", "load_plan_arg"]
+
+#: Every fault site the device models expose, and the hazard it models.
+FAULT_SITES: dict[str, str] = {
+    "cell.dma.fail": "EIB DMA transfer fails outright (no data arrives)",
+    "cell.dma.corrupt": "EIB DMA payload corrupted in flight (checksum catches it)",
+    "cell.mailbox.drop": "PPE<->SPE mailbox word dropped (timeout + resend)",
+    "cell.spe.crash": "SPE thread dies mid-run (work re-partitioned onto survivors)",
+    "cell.spe.hang": "SPE thread hangs (heartbeat timeout, then re-partition)",
+    "gpu.pcie.corrupt": "PCIe readback corrupted in flight (checksum catches it)",
+    "gpu.shader.fail": "shader pass aborts (pipeline fault, pass re-rasterized)",
+    "mta.stream.stall": "MTA stream stalls (watchdog restart, issue slots lost)",
+    "mta.stream.starve": "MTA processor starved below stream saturation",
+    "vm.bitflip": "numeric bit-flip in a VM output buffer / force array",
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class SiteSpec:
+    """Fault behavior at one site.
+
+    ``rate`` is the per-draw firing probability; ``schedule`` lists
+    occurrence indices (the k-th draw at this site) that fire
+    unconditionally — the deterministic way to script "one SPE crash at
+    step 2".  ``payload`` carries site-specific knobs (corruption
+    severity, stall fraction, hang timeout) that the hooks interpret.
+    """
+
+    rate: float = 0.0
+    schedule: tuple[int, ...] = ()
+    payload: Mapping[str, Any] = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        object.__setattr__(self, "schedule", tuple(int(k) for k in self.schedule))
+        if any(k < 0 for k in self.schedule):
+            raise ValueError("schedule indices must be non-negative")
+        object.__setattr__(self, "payload", dict(self.payload))
+
+    @property
+    def armed(self) -> bool:
+        return self.rate > 0.0 or bool(self.schedule)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rate": self.rate,
+            "schedule": list(self.schedule),
+            "payload": dict(self.payload),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SiteSpec":
+        return cls(
+            rate=float(data.get("rate", 0.0)),
+            schedule=tuple(data.get("schedule", ())),
+            payload=dict(data.get("payload", {})),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """A complete, serializable chaos scenario plus its recovery policy.
+
+    ``backoff_s`` is *simulated* seconds — retry backoff is charged
+    through the device cost models into the step timing breakdown, so
+    fault runs produce meaningfully degraded timing curves, not wall
+    clock noise.
+    """
+
+    seed: int = 2007
+    sites: Mapping[str, SiteSpec] = dataclasses.field(default_factory=dict)
+    max_retries: int = 3
+    backoff_s: float = 2.0e-5
+    checkpoint_interval: int = 5
+    max_restores: int = 8
+    watchdog_tolerance: float = 0.05
+    watchdog_window: int = 1
+
+    def __post_init__(self) -> None:
+        for name in self.sites:
+            if name not in FAULT_SITES:
+                raise ValueError(
+                    f"unknown fault site {name!r}; known sites: "
+                    f"{', '.join(sorted(FAULT_SITES))}"
+                )
+        object.__setattr__(self, "sites", dict(self.sites))
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.backoff_s < 0.0:
+            raise ValueError("backoff_s must be non-negative")
+        if self.checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be >= 1")
+        if self.max_restores < 0:
+            raise ValueError("max_restores must be non-negative")
+        if self.watchdog_tolerance <= 0.0:
+            raise ValueError("watchdog_tolerance must be positive")
+        if self.watchdog_window < 1:
+            raise ValueError("watchdog_window must be >= 1")
+
+    @property
+    def is_zero(self) -> bool:
+        """True when no site can ever fire (the differential baseline)."""
+        return not any(spec.armed for spec in self.sites.values())
+
+    def site(self, name: str) -> SiteSpec | None:
+        return self.sites.get(name)
+
+    # -- serialization (harness cache keys hash this dict) ---------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "sites": {name: spec.to_dict() for name, spec in sorted(self.sites.items())},
+            "max_retries": self.max_retries,
+            "backoff_s": self.backoff_s,
+            "checkpoint_interval": self.checkpoint_interval,
+            "max_restores": self.max_restores,
+            "watchdog_tolerance": self.watchdog_tolerance,
+            "watchdog_window": self.watchdog_window,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        return cls(
+            seed=int(data.get("seed", 2007)),
+            sites={
+                name: SiteSpec.from_dict(spec)
+                for name, spec in data.get("sites", {}).items()
+            },
+            max_retries=int(data.get("max_retries", 3)),
+            backoff_s=float(data.get("backoff_s", 2.0e-5)),
+            checkpoint_interval=int(data.get("checkpoint_interval", 5)),
+            max_restores=int(data.get("max_restores", 8)),
+            watchdog_tolerance=float(data.get("watchdog_tolerance", 0.05)),
+            watchdog_window=int(data.get("watchdog_window", 1)),
+        )
+
+    def canonical_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    # -- presets ---------------------------------------------------------
+
+    @classmethod
+    def none(cls, **overrides: Any) -> "FaultPlan":
+        """A zero-rate plan: all machinery armed, nothing ever fires.
+
+        Runs under this plan must be bit-identical to runs with no plan
+        at all — the differential guarantee the chaos suite enforces.
+        """
+        return cls(sites={}, **overrides)
+
+    @classmethod
+    def storm(cls, seed: int = 2007, **overrides: Any) -> "FaultPlan":
+        """The canonical seeded fault storm used by CI and the chaos suite.
+
+        DMA failures and corruptions, mailbox drops, exactly one
+        scheduled SPE crash, PCIe readback corruption, a flaky shader
+        pass, MTA stream stalls/starvation, and loud VM bit-flips.
+        """
+        sites = {
+            "cell.dma.fail": SiteSpec(rate=0.10),
+            "cell.dma.corrupt": SiteSpec(rate=0.10),
+            "cell.mailbox.drop": SiteSpec(rate=0.08),
+            "cell.spe.crash": SiteSpec(schedule=(2,)),
+            "gpu.pcie.corrupt": SiteSpec(rate=0.15),
+            "gpu.shader.fail": SiteSpec(rate=0.08),
+            "mta.stream.stall": SiteSpec(rate=0.10),
+            "mta.stream.starve": SiteSpec(rate=0.08),
+            "vm.bitflip": SiteSpec(rate=0.04),
+        }
+        return cls(seed=seed, sites=sites, **overrides)
+
+
+def load_plan_arg(value: str) -> FaultPlan:
+    """Resolve a ``--fault-plan`` CLI argument.
+
+    Accepts a preset name (``storm``, ``none``) or a path to a JSON
+    file holding a serialized plan.
+    """
+    if value == "storm":
+        return FaultPlan.storm()
+    if value == "none":
+        return FaultPlan.none()
+    try:
+        with open(value, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except FileNotFoundError:
+        raise ValueError(
+            f"--fault-plan expects 'storm', 'none', or a JSON file path; "
+            f"{value!r} is neither"
+        ) from None
+    return FaultPlan.from_dict(data)

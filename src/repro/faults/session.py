@@ -1,0 +1,359 @@
+"""The per-run fault session: injection, detection, recovery, accounting.
+
+One :class:`FaultSession` lives for one :meth:`Device.run` under a
+:class:`FaultPlan`.  It owns the deterministic injector and the event
+log, and provides the three recovery primitives the device models use:
+
+* :meth:`faulty_transfer` — the bounded retry-with-backoff loop for
+  failed/corrupted transfers (DMA, PCIe, mailbox).  Each retry re-pays
+  the transfer through the caller-supplied cost and adds exponential
+  backoff, all in *simulated* seconds, so fault runs produce degraded
+  timing curves through the existing cost models.
+* :meth:`transient` — single-shot faults that are detected and absorbed
+  within the step (MTA stream stalls/starvation, shader pass re-runs).
+* :meth:`guard_backend` — wraps a functional force backend with
+  corruption injection (``vm.bitflip``), the numeric guard, and a
+  bounded recompute loop; silent corruption that slips through is the
+  energy watchdog's job (checkpoint restore, orchestrated by
+  :meth:`repro.arch.device.Device.run`).
+
+Retries that exhaust ``plan.max_retries`` raise
+:class:`UnrecoveredFaultError` carrying the event log — the run fails
+loudly, never silently.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from repro.faults.detect import NUMERIC_GUARD_LIMIT, nonfinite_reason
+from repro.faults.events import EventLog
+from repro.faults.injector import FaultDecision, FaultInjector
+from repro.faults.plan import FaultPlan
+
+__all__ = ["FaultSession", "UnrecoveredFaultError"]
+
+
+class UnrecoveredFaultError(RuntimeError):
+    """A fault survived its whole retry/restore budget."""
+
+    def __init__(self, message: str, log: EventLog | None = None) -> None:
+        super().__init__(message)
+        self.log = log
+
+
+def _corrupt_value(
+    dtype: np.dtype, rng: np.random.Generator, severity: str, silent_value: float
+) -> float:
+    """The value an in-flight bit-flip leaves behind.
+
+    ``loud`` saturates the exponent field (the IEEE pattern a
+    high-exponent-bit flip produces): non-finite, caught by the numeric
+    guard.  ``silent`` is a large-but-plausible finite value that slips
+    past the guard and must be caught by the energy watchdog.
+    """
+    if severity == "silent":
+        return float(np.copysign(silent_value, rng.random() - 0.5))
+    return float(np.inf if rng.random() < 0.5 else -np.inf)
+
+
+class FaultSession:
+    """Injection + detection + recovery state for one device run."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.injector = FaultInjector(plan)
+        self.log = EventLog()
+        #: Injection master switch.  Device.run keeps this off through
+        #: setup and the initial force evaluation so checkpoint 0 is
+        #: trustworthy, then arms it before the first step.  No RNG is
+        #: consumed while disabled, so the gate point is deterministic.
+        self.enabled = True
+        self.step = -1  # -1 = setup / initial force evaluation
+        self._pending_seconds = 0.0  # transfer-level charges this step
+        self._carried_seconds = 0.0  # wasted work from a restore
+        self._step_retries = 0  # force recomputes this step
+        self._machine_owned = False  # VM-level injection active
+        self._silent_pending = 0  # injected, awaiting watchdog detection
+
+    # -- step lifecycle --------------------------------------------------
+
+    def begin_step(self, step: int) -> None:
+        self.step = step
+
+    def charge(self, seconds: float) -> None:
+        self._pending_seconds += seconds
+
+    def drain_pending(self) -> float:
+        seconds, self._pending_seconds = self._pending_seconds, 0.0
+        return seconds
+
+    def drain_retries(self) -> int:
+        retries, self._step_retries = self._step_retries, 0
+        return retries
+
+    def carry(self, seconds: float) -> None:
+        """Park wasted (rolled-back) simulated time on the next good step."""
+        self._carried_seconds += seconds
+
+    def drain_carried(self) -> float:
+        seconds, self._carried_seconds = self._carried_seconds, 0.0
+        return seconds
+
+    # -- raw draws -------------------------------------------------------
+
+    def fire(self, site: str) -> FaultDecision | None:
+        """One draw at ``site``; device-specific hooks handle the fallout."""
+        if not self.enabled:
+            return None
+        return self.injector.fire(site)
+
+    def backoff_seconds(self, attempt: int) -> float:
+        return self.plan.backoff_s * (2.0 ** max(0, attempt - 1))
+
+    # -- transfer faults (retry-with-backoff) ----------------------------
+
+    def faulty_transfer(
+        self,
+        site: str,
+        attempt_seconds: float | Callable[[], float],
+        detection: str,
+        on_fault: Callable[[FaultDecision], None] | None = None,
+    ) -> float:
+        """Guard one transfer; returns the extra simulated seconds spent.
+
+        Draws ``site`` once for the transfer itself; if it fires, the
+        receiving end detects it (``detection`` names the mechanism),
+        and the transfer is retried with exponential backoff.  Each
+        retry re-draws the site — a retry can fail too.  Exhausting the
+        budget aborts the run loudly.  ``attempt_seconds`` may be a
+        callable so the retry cost is only computed (and any counters
+        only bumped) when a fault actually fires; ``on_fault`` lets the
+        caller mutate its functional model per fired fault (dropping a
+        mailbox word, say).
+        """
+        decision = self.fire(site)
+        if decision is None:
+            return 0.0
+        extra = 0.0
+        faults = 0
+        attempts = 0
+        while decision is not None:
+            if on_fault is not None:
+                on_fault(decision)
+            faults += 1
+            self.log.append(
+                self.step, site, "injected",
+                {"occurrence": decision.occurrence, "attempt": attempts},
+            )
+            self.log.append(
+                self.step, site, "detected", {"detection": detection}
+            )
+            attempts += 1
+            if attempts > self.plan.max_retries:
+                self.log.append(
+                    self.step, site, "aborted",
+                    {"attempts": attempts, "faults": faults},
+                    sim_seconds=extra,
+                )
+                raise UnrecoveredFaultError(
+                    f"{site}: transfer still failing after "
+                    f"{self.plan.max_retries} retries at step {self.step}",
+                    self.log,
+                )
+            cost = attempt_seconds() if callable(attempt_seconds) else attempt_seconds
+            extra += self.backoff_seconds(attempts) + cost
+            decision = self.injector.fire(site)
+        self.log.append(
+            self.step, site, "recovered",
+            {"attempts": attempts, "faults": faults, "detection": detection},
+            sim_seconds=extra,
+        )
+        return extra
+
+    # -- transient faults (absorbed within the step) ---------------------
+
+    def transient(
+        self,
+        site: str,
+        penalty_seconds: Callable[[FaultDecision], float],
+        detection: str,
+        action: str,
+    ) -> float:
+        """Draw ``site``; on fire, charge a one-shot penalty and log it."""
+        decision = self.fire(site)
+        if decision is None:
+            return 0.0
+        extra = float(penalty_seconds(decision))
+        self.log.append(
+            self.step, site, "injected", {"occurrence": decision.occurrence}
+        )
+        self.log.append(self.step, site, "detected", {"detection": detection})
+        self.log.append(
+            self.step, site, "recovered",
+            {"faults": 1, "action": action},
+            sim_seconds=extra,
+        )
+        return extra
+
+    # -- force corruption + numeric guard --------------------------------
+
+    def adopt_machine(self, machine: Any) -> None:
+        """Move ``vm.bitflip`` injection down into a VM machine.
+
+        Instruction-level device paths corrupt real VM output buffers;
+        the result-level corruption in :meth:`maybe_corrupt_result`
+        stands down so faults are injected exactly once.
+        """
+        machine.install_fault_session(self)
+        self._machine_owned = True
+
+    def _severity(self, decision: FaultDecision) -> tuple[str, float]:
+        severity = decision.payload.get("severity", "loud")
+        if severity == "mixed":
+            severity = "silent" if decision.rng.random() < 0.5 else "loud"
+        return severity, float(decision.payload.get("silent_value", 1.0e6))
+
+    def machine_bitflip(self, machine: Any, outputs: tuple[str, ...], env: dict) -> None:
+        """Maybe flip one element of a declared VM output register.
+
+        Lane 0 is targeted because every kernel's declared outputs
+        carry meaningful data there (x-component / PE), so an injected
+        flip always propagates into the force result instead of dying
+        in a padding lane.
+        """
+        decision = self.fire("vm.bitflip")
+        if decision is None or not outputs:
+            return
+        name = outputs[int(decision.rng.integers(len(outputs)))]
+        register = env.get(name)
+        if register is None or register.size == 0:
+            return
+        row = int(decision.rng.integers(register.shape[0]))
+        severity, silent_value = self._severity(decision)
+        register[row, 0] = _corrupt_value(
+            machine.dtype, decision.rng, severity, silent_value
+        )
+        self._note_injection(severity, {
+            "occurrence": decision.occurrence,
+            "register": name,
+            "row": row,
+            "severity": severity,
+            "level": "vm",
+        })
+
+    def maybe_corrupt_result(self, result: Any) -> Any:
+        """Result-level ``vm.bitflip`` for the NumPy ("fast") force paths."""
+        if self._machine_owned:
+            return result
+        decision = self.fire("vm.bitflip")
+        if decision is None:
+            return result
+        accelerations = np.array(result.accelerations, copy=True)
+        flat = accelerations.reshape(-1)
+        index = int(decision.rng.integers(flat.size))
+        severity, silent_value = self._severity(decision)
+        flat[index] = _corrupt_value(
+            accelerations.dtype, decision.rng, severity, silent_value
+        )
+        self._note_injection(severity, {
+            "occurrence": decision.occurrence,
+            "element": index,
+            "severity": severity,
+            "level": "result",
+        })
+        import dataclasses
+
+        return dataclasses.replace(result, accelerations=accelerations)
+
+    def _note_injection(self, severity: str, detail: Mapping[str, Any]) -> None:
+        self.log.append(self.step, "vm.bitflip", "injected", detail)
+        if severity == "silent":
+            self._silent_pending += 1
+        else:
+            self._loud_pending = getattr(self, "_loud_pending", 0) + 1
+
+    def check_result(self, result: Any) -> str | None:
+        """Numeric guard over a ForceResult; a reason string on failure."""
+        reason = nonfinite_reason(result.accelerations, "accelerations")
+        if reason is not None:
+            return reason
+        pe = float(result.potential_energy)
+        if not math.isfinite(pe) or abs(pe) > NUMERIC_GUARD_LIMIT:
+            return "potential energy fails the numeric guard"
+        return None
+
+    def guard_backend(self, backend: Callable[..., Any]) -> Callable[..., Any]:
+        """Wrap a force backend with corruption, detection, and recompute."""
+
+        def guarded(positions: np.ndarray) -> Any:
+            attempts = 0
+            while True:
+                result = self.maybe_corrupt_result(backend(positions))
+                reason = self.check_result(result)
+                if reason is None:
+                    loud = getattr(self, "_loud_pending", 0)
+                    if attempts and loud:
+                        self.log.append(
+                            self.step, "vm.bitflip", "recovered",
+                            {"attempts": attempts, "faults": loud,
+                             "action": "force evaluation recomputed"},
+                        )
+                        self._loud_pending = 0
+                    return result
+                attempts += 1
+                self.log.append(
+                    self.step, "vm.bitflip", "detected",
+                    {"detection": "numeric-guard", "reason": reason,
+                     "attempt": attempts},
+                )
+                self._step_retries += 1
+                if attempts > self.plan.max_retries:
+                    self.log.append(
+                        self.step, "vm.bitflip", "aborted",
+                        {"attempts": attempts,
+                         "faults": getattr(self, "_loud_pending", 0)},
+                    )
+                    raise UnrecoveredFaultError(
+                        f"force evaluation still corrupt after "
+                        f"{self.plan.max_retries} recomputes at step {self.step}",
+                        self.log,
+                    )
+
+        return guarded
+
+    # -- watchdog / checkpoint accounting --------------------------------
+
+    @property
+    def silent_pending(self) -> int:
+        return self._silent_pending
+
+    def note_restore(
+        self, step: int, checkpoint_step: int, wasted_seconds: float, drift: float
+    ) -> None:
+        """Log a watchdog-triggered rewind and settle silent-fault accounts."""
+        self.log.append(
+            step, "vm.bitflip", "detected",
+            {"detection": "energy-watchdog", "drift": drift},
+        )
+        self.log.append(
+            step, "vm.bitflip", "restore",
+            {"checkpoint_step": checkpoint_step, "rolled_back": step - checkpoint_step},
+            sim_seconds=wasted_seconds,
+        )
+        if self._silent_pending:
+            self.log.append(
+                step, "vm.bitflip", "recovered",
+                {"faults": self._silent_pending,
+                 "action": f"restored to checkpoint at step {checkpoint_step}"},
+            )
+            self._silent_pending = 0
+        self.carry(wasted_seconds)
+
+    def summary(self) -> dict[str, Any]:
+        tally = self.log.summary()
+        tally["fired_by_site"] = self.injector.fired_counts()
+        return tally

@@ -153,6 +153,9 @@ class GpuDevice(Device):
         shader = self._shader(sim_box.length)
         sweep = GpuPairSweep(shader)
         constants = shader_constants(potential, sim_box.length)
+        if self.fault_session is not None:
+            # vm mode flips bits in the real render-target registers.
+            self.fault_session.adopt_machine(sweep.machine)
 
         def vm_backend(positions: np.ndarray) -> ForceResult:
             n = positions.shape[0]
@@ -183,8 +186,28 @@ class GpuDevice(Device):
         shader_metrics = dict(metrics.as_dict())
         shader_metrics["pairs"] = float(metrics.n_atoms) ** 2
         array_bytes = metrics.n_atoms * cal.VEC4_F32_BYTES
+        shader_seconds = self.pipelines.execute_seconds(shader, shader_metrics)
+        session = self.fault_session
+        if session is not None:
+            # Readback corruption: the host checksums the acceleration
+            # texture and re-reads it over PCIe until clean.
+            session.charge(session.faulty_transfer(
+                "gpu.pcie.corrupt",
+                self.pcie.readback_time(array_bytes),
+                detection="payload-checksum",
+            ))
+            # A failed pass is reported by the driver; the whole
+            # rasterization re-executes (plus one driver round trip).
+            session.charge(session.transient(
+                "gpu.shader.fail",
+                lambda decision: self.pipelines.repass_seconds(
+                    shader, shader_metrics
+                ) + cal.GPU_STEP_OVERHEAD_S,
+                detection="driver-status",
+                action="shader pass re-executed",
+            ))
         return {
-            "shader": self.pipelines.execute_seconds(shader, shader_metrics),
+            "shader": shader_seconds,
             "pcie_upload": self.pcie.upload_time(array_bytes),
             "pcie_readback": self.pcie.readback_time(array_bytes),
             "driver": cal.GPU_STEP_OVERHEAD_S,

@@ -61,3 +61,12 @@ class PipelineArray:
             shader.program, metrics, issue_slots=GPU_ISSUE_SLOTS
         )
         return issues / self.issue_rate
+
+    def repass_seconds(self, shader: ShaderProgram, metrics: Metrics) -> float:
+        """Cost of re-executing a failed render pass.
+
+        The pass is idempotent (it only writes its own render target),
+        so recovery is a straight re-run of the full rasterization —
+        there is no partial-progress credit on a streaming device.
+        """
+        return self.execute_seconds(shader, metrics)

@@ -41,6 +41,7 @@ def jobs_from_registry(
     *,
     quick: bool = False,
     force_path: str | None = None,
+    fault_plan: Mapping[str, Any] | None = None,
     only: Iterable[str] | None = None,
     skip: Iterable[str] = (),
 ) -> list[Job]:
@@ -48,6 +49,9 @@ def jobs_from_registry(
 
     ``only``/``skip`` filter by experiment id and raise ``KeyError`` on
     unknown ids (so CLI typos fail loudly before any compute).
+    ``fault_plan`` (a JSON-native ``FaultPlan.to_dict()``) reaches the
+    specs that accept it and lands in their job params — so it is part
+    of the cache key, and runs under different plans never alias.
     """
     from repro.experiments.registry import EXPERIMENTS, spec_for
 
@@ -66,7 +70,9 @@ def jobs_from_registry(
                 experiment_id=eid,
                 module=spec.module,
                 func=spec.func,
-                params=spec.params(quick=quick, force_path=force_path),
+                params=spec.params(
+                    quick=quick, force_path=force_path, fault_plan=fault_plan
+                ),
             )
         )
     return jobs

@@ -3,8 +3,9 @@
 Subcommands::
 
     run   [--quick] [--jobs N] [--only ID ...] [--skip ID ...]
-          [--force-path NAME] [--timeout S] [--retries N]
-          [--no-cache] [--invalidate ID ...] [--runs-dir DIR] [--list]
+          [--force-path NAME] [--fault-plan PLAN] [--timeout S]
+          [--retries N] [--no-cache] [--invalidate ID ...]
+          [--runs-dir DIR] [--list]
     list  [--runs-dir DIR]            # stored runs, oldest first
     show  RUN_ID [--render] [--runs-dir DIR]
     diff  RUN_A RUN_B [--runs-dir DIR]   # shape-band regressions
@@ -74,6 +75,10 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="VM execution backend for every device model (sets "
                      f"{EXEC_ENV_VAR} so worker processes inherit it; not "
                      "part of job cache keys — results are bit-identical)")
+    run.add_argument("--fault-plan", default=None, metavar="PLAN",
+                     help="fault plan for the chaos experiment: 'storm', "
+                     "'none', or a path to a JSON plan file; ships through "
+                     "job params, so it IS part of the cache key")
     _add_runs_dir(run)
 
     lst = sub.add_parser("list", help="list stored runs")
@@ -129,10 +134,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from repro.vm.machine import EXEC_ENV_VAR
 
         os.environ[EXEC_ENV_VAR] = args.vm_exec
+    fault_plan = None
+    if args.fault_plan is not None:
+        from repro.faults import load_plan_arg
+
+        try:
+            fault_plan = load_plan_arg(args.fault_plan).to_dict()
+        except (ValueError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     try:
         jobs = api.jobs_from_registry(
             quick=args.quick,
             force_path=args.force_path,
+            fault_plan=fault_plan,
             only=args.only or None,
             skip=args.skip,
         )
@@ -154,6 +169,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "jobs": args.jobs,
             "force_path": args.force_path,
             "vm_exec": args.vm_exec,
+            "fault_plan": args.fault_plan,
             "only": args.only,
             "skip": args.skip,
         },

@@ -27,6 +27,7 @@ are not enforceable inline and are ignored there.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
@@ -67,8 +68,27 @@ def _error_record(payload: Mapping[str, Any], status: str, message: str) -> dict
     }
 
 
-def _backoff_delay(backoff: float, attempts: int) -> float:
-    return backoff * (2.0 ** max(0, attempts - 1))
+def _backoff_delay(
+    backoff: float, attempts: int, key: str | None = None
+) -> float:
+    """Exponential backoff with deterministic per-job jitter.
+
+    Jitter decorrelates retry herds when many jobs fail together, but a
+    wall-clock or PRNG source would make reruns unreproducible — so it
+    is derived from the job's cache key (or id) and the attempt number:
+    the same job retries on the same schedule in every run.  The factor
+    spreads delays over [1x, 1.5x].
+    """
+    delay = backoff * (2.0 ** max(0, attempts - 1))
+    if key is not None:
+        digest = hashlib.sha256(f"{key}:{attempts}".encode()).digest()
+        fraction = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        delay *= 1.0 + 0.5 * fraction
+    return delay
+
+
+def _job_key(payload: Mapping[str, Any]) -> str:
+    return str(payload.get("cache_key") or payload.get("job_id") or "")
 
 
 def _run_inline(
@@ -93,7 +113,7 @@ def _run_inline(
             record["attempts"] = attempts
             if record["status"] == STATUS_OK or attempts > retries:
                 break
-            time.sleep(_backoff_delay(backoff, attempts))
+            time.sleep(_backoff_delay(backoff, attempts, _job_key(payload)))
         records[payload["job_id"]] = record
         if on_record is not None:
             on_record(record)
@@ -176,7 +196,9 @@ def run_jobs(
 
     def finish_or_retry(item: _Pending, record: dict[str, Any]) -> None:
         if record["status"] != STATUS_OK and item.attempts <= retries:
-            item.not_before = time.monotonic() + _backoff_delay(backoff, item.attempts)
+            item.not_before = time.monotonic() + _backoff_delay(
+                backoff, item.attempts, _job_key(item.payload)
+            )
             pending.append(item)
         else:
             finish(item, record)

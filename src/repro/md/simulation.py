@@ -29,9 +29,19 @@ from repro.md.lj import LennardJones
 from repro.md.observables import kinetic_energy
 from repro.md.trajectory import Trajectory
 
-__all__ = ["MDConfig", "StepRecord", "MDSimulation"]
+__all__ = ["MDConfig", "StepRecord", "MDSimulation", "SimulationDiverged"]
 
 ForceBackend = Callable[[np.ndarray], ForceResult]
+
+
+class SimulationDiverged(RuntimeError):
+    """The integration blew up: non-finite forces or positions.
+
+    Raised by :meth:`MDSimulation.step` the moment NaN/inf reaches the
+    dynamical state (an unstable ``dt``, an overlapping start
+    configuration, or corruption that escaped the force-level guards).
+    The run fails loudly instead of silently recording garbage energies.
+    """
 
 
 @dataclasses.dataclass(frozen=True)
@@ -172,8 +182,21 @@ class MDSimulation:
             self.state, self.config.dt, self.box, backend
         )
         self.step_count += 1
+        self._check_finite(self.state)
         self._record(self.state)
         return self.records[-1]
+
+    def _check_finite(self, state: State) -> None:
+        for name, array in (
+            ("forces", state.accelerations),
+            ("positions", state.positions),
+        ):
+            if not np.isfinite(array).all():
+                raise SimulationDiverged(
+                    f"non-finite {name} at step {self.step_count} "
+                    f"(dt={self.config.dt}, dtype={self.config.dtype}); "
+                    "the integration has diverged"
+                )
 
     def run(self, n_steps: int) -> list[StepRecord]:
         """Advance ``n_steps`` steps; returns the records they produced."""
@@ -183,6 +206,41 @@ class MDSimulation:
         for _ in range(n_steps):
             self.step()
         return self.records[start:]
+
+    def snapshot(self):
+        """Capture a step-granular checkpoint of the run's full state."""
+        from repro.faults.checkpoint import Checkpoint
+
+        return Checkpoint(
+            step=self.step_count,
+            positions=np.array(self.state.positions, copy=True),
+            velocities=np.array(self.state.velocities, copy=True),
+            accelerations=np.array(self.state.accelerations, copy=True),
+            potential_energy=float(self.state.potential_energy),
+            interacting_pairs=int(self.last_interacting_pairs),
+            records=tuple(self.records),
+            dtype=self.config.dtype,
+        )
+
+    def restore(self, checkpoint) -> None:
+        """Rewind to ``checkpoint``: state, step counter, records, frames.
+
+        Arrays are restored with their captured dtypes untouched — any
+        cast would perturb the replay below the last representable bit
+        and break the bit-identity guarantee of fault recovery.
+        """
+        self.state = State(
+            positions=np.array(checkpoint.positions, copy=True),
+            velocities=np.array(checkpoint.velocities, copy=True),
+            accelerations=np.array(checkpoint.accelerations, copy=True),
+            potential_energy=float(checkpoint.potential_energy),
+        )
+        self.step_count = int(checkpoint.step)
+        self._last_interacting_pairs = int(checkpoint.interacting_pairs)
+        self.records = list(checkpoint.records)
+        self.trajectory.frames = [
+            frame for frame in self.trajectory.frames if frame.step <= checkpoint.step
+        ]
 
     def energy_drift(self) -> float:
         """Max |E(t) - E(0)| / |E(0)| over the recorded steps."""

@@ -112,6 +112,27 @@ class MTADevice(Device):
         integ_seconds = self.streams.parallel_seconds(
             integ_issues, concurrent_threads=float(metrics.n_atoms)
         )
+        session = self.fault_session
+        if session is not None:
+            # A stalled stream's block re-issues at the serial rate.
+            per_thread = pair_issues / max(1.0, float(metrics.n_atoms))
+            session.charge(session.transient(
+                "mta.stream.stall",
+                lambda decision: self.streams.stall_recovery_seconds(per_thread),
+                detection="stream-heartbeat",
+                action="stalled stream's block re-issued",
+            ))
+            # Starvation: the force region runs below saturation until
+            # the runtime tops the ready pool back up.
+            session.charge(session.transient(
+                "mta.stream.starve",
+                lambda decision: self.streams.starvation_seconds(
+                    force_seconds,
+                    float(decision.payload.get("severity", 0.25)),
+                ),
+                detection="utilization-counter",
+                action="runtime re-saturated the stream pool",
+            ))
         return {
             "force_loop": force_seconds,
             "pe_reduction": reduction_seconds,

@@ -66,3 +66,30 @@ class StreamModel:
         if issues < 0:
             raise ValueError("issues must be non-negative")
         return self.clock.seconds(issues * self.serial_issue_gap)
+
+    def stall_recovery_seconds(self, issues_per_thread: float) -> float:
+        """Penalty for one stream stalled on a blocked memory word.
+
+        The runtime notices the stuck stream, re-issues its block of
+        iterations, and the re-run proceeds at the *serial* rate — the
+        saturation that hid its latency is busy with everyone else's
+        work.
+        """
+        if issues_per_thread < 0:
+            raise ValueError("issues_per_thread must be non-negative")
+        return self.serial_seconds(issues_per_thread)
+
+    def starvation_seconds(
+        self, saturated_seconds: float, severity: float
+    ) -> float:
+        """Extra time when the ready-thread pool drops below saturation.
+
+        ``severity`` is the fraction of the step's streams lost to
+        starvation; the region's issue rate falls to ``1 - severity`` of
+        peak, so the extra time is ``t * severity / (1 - severity)``.
+        """
+        if not 0.0 <= severity < 1.0:
+            raise ValueError(f"severity must be in [0, 1), got {severity}")
+        if saturated_seconds < 0.0:
+            raise ValueError("saturated_seconds must be non-negative")
+        return saturated_seconds * severity / (1.0 - severity)

@@ -11,6 +11,13 @@ and checks:
 * step/record bookkeeping consistency,
 * breakdown components summing to the reported totals.
 
+A run may also be validated *under fault injection*: pass a
+:class:`repro.faults.FaultPlan` and each device executes through the
+fault plane — the report then additionally requires the fault event log
+to be fully accounted (every injected fault recovered, none aborted,
+nothing silently lost), and the trajectory tolerances apply unchanged,
+because recovery is required to restore bit-faithful physics.
+
 Used by the integration tests and available to users who modify a
 device model and want a one-call certification.
 """
@@ -18,10 +25,12 @@ device model and want a one-call certification.
 from __future__ import annotations
 
 import dataclasses
+from typing import Any
 
 import numpy as np
 
 from repro.arch.device import Device, DeviceRunResult
+from repro.faults.plan import FaultPlan
 from repro.md.simulation import MDConfig, MDSimulation
 
 __all__ = ["DeviceValidation", "ValidationReport", "validate_devices"]
@@ -44,6 +53,12 @@ class DeviceValidation:
     energy_drift: float
     breakdown_consistent: bool
     failures: tuple[str, ...]
+    #: fault accounting tallies when run under a plan (empty otherwise)
+    fault_summary: dict[str, Any] = dataclasses.field(default_factory=dict)
+    #: watchdog-triggered checkpoint restores during the run
+    restores: int = 0
+    #: True when every injected fault was detected and recovered
+    faults_accounted: bool = True
 
     @property
     def passed(self) -> bool:
@@ -57,6 +72,8 @@ class ValidationReport:
     config: MDConfig
     n_steps: int
     devices: tuple[DeviceValidation, ...]
+    #: the fault plan the roster ran under, or None for clean runs
+    fault_plan: FaultPlan | None = None
 
     @property
     def all_passed(self) -> bool:
@@ -81,8 +98,15 @@ def validate_devices(
     devices: list[Device],
     config: MDConfig | None = None,
     n_steps: int = 5,
+    fault_plan: FaultPlan | None = None,
 ) -> ValidationReport:
-    """Run the roster and certify physics + bookkeeping on each device."""
+    """Run the roster and certify physics + bookkeeping on each device.
+
+    With ``fault_plan``, every device runs under fault injection and
+    must still meet the clean-run tolerances — recovery is obliged to
+    reproduce the fault-free trajectory — plus full event-log
+    accounting of every injected fault.
+    """
     if n_steps < 1:
         raise ValueError("n_steps must be >= 1")
     config = config or MDConfig(n_atoms=256)
@@ -92,7 +116,7 @@ def validate_devices(
 
     outcomes: list[DeviceValidation] = []
     for device in devices:
-        result = device.run(config, n_steps)
+        result = device.run(config, n_steps, faults=fault_plan)
         failures: list[str] = []
 
         max_err = float(
@@ -123,6 +147,16 @@ def validate_devices(
                 f"{result.total_seconds!r}"
             )
 
+        summary = dict(result.fault_summary)
+        restores = int(summary.get("restores", 0))
+        accounted = bool(summary.get("fully_accounted", True))
+        if fault_plan is not None and not accounted:
+            failures.append(
+                f"fault log not fully accounted: {summary.get('injected', 0)} "
+                f"injected, {summary.get('recovered', 0)} recovered, "
+                f"{summary.get('aborted', 0)} aborted"
+            )
+
         outcomes.append(
             DeviceValidation(
                 device=device.name,
@@ -131,8 +165,14 @@ def validate_devices(
                 energy_drift=drift,
                 breakdown_consistent=bool(consistent),
                 failures=tuple(failures),
+                fault_summary=summary,
+                restores=restores,
+                faults_accounted=accounted,
             )
         )
     return ValidationReport(
-        config=config, n_steps=n_steps, devices=tuple(outcomes)
+        config=config,
+        n_steps=n_steps,
+        devices=tuple(outcomes),
+        fault_plan=fault_plan,
     )

@@ -129,6 +129,8 @@ class Machine:
         self.exec_backend = resolve_exec_backend(exec_backend, default="interp")
         #: measured P(taken) per IfBlock prob_key, accumulated over runs
         self.branch_stats: dict[str, BranchStat] = {}
+        #: optional fault session corrupting declared outputs post-segment
+        self._fault_session = None
 
     # -- register helpers ------------------------------------------------
 
@@ -180,9 +182,20 @@ class Machine:
             compiled_segment(program, segment_name, self.width, self.dtype)(
                 env, self
             )
-            return env
-        self._exec_nodes(segment.body, env, loop_indices=[])
+        else:
+            self._exec_nodes(segment.body, env, loop_indices=[])
+        if self._fault_session is not None:
+            self._fault_session.machine_bitflip(self, program.outputs, env)
         return env
+
+    def install_fault_session(self, session) -> None:
+        """Arm instruction-level fault injection (``vm.bitflip``).
+
+        After every segment execution the session may corrupt one
+        element of a declared output register — the VM-mode analogue of
+        an SEU in an SPE's local store or a GPU render target.
+        """
+        self._fault_session = session
 
     def measured_probability(self, prob_key: str) -> float:
         """Mean measured P(taken) for a branch key across all runs so far."""

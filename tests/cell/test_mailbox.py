@@ -1,0 +1,92 @@
+"""Tests for the PPE<->SPE mailbox channel model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import calibration as cal
+from repro.cell.mailbox import MAILBOX_DEPTH, Mailbox, MailboxEmpty, MailboxFull
+
+
+class TestQueue:
+    def test_fifo_order(self):
+        box = Mailbox()
+        box.put(1)
+        box.put(2)
+        box.put(3)
+        assert [box.get(), box.get(), box.get()] == [1, 2, 3]
+
+    def test_words_truncate_to_32_bits(self):
+        box = Mailbox()
+        box.put(0x1_FFFF_FFFF)
+        assert box.get() == 0xFFFF_FFFF
+
+    def test_full_mailbox_blocks_writer(self):
+        box = Mailbox()
+        for word in range(MAILBOX_DEPTH):
+            box.put(word)
+        assert box.full
+        with pytest.raises(MailboxFull):
+            box.put(99)
+
+    def test_empty_mailbox_blocks_reader(self):
+        with pytest.raises(MailboxEmpty):
+            Mailbox().get()
+
+    def test_len_tracks_queue(self):
+        box = Mailbox()
+        assert len(box) == 0
+        box.put(7)
+        assert len(box) == 1
+        box.get()
+        assert len(box) == 0
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            Mailbox(depth=0)
+
+    def test_custom_depth(self):
+        box = Mailbox(depth=1)
+        box.put(1)
+        assert box.full
+
+
+class TestDrop:
+    def test_drop_loses_newest_word(self):
+        box = Mailbox()
+        box.put(1)
+        box.put(2)
+        box.drop()
+        assert box.drops == 1
+        assert len(box) == 1
+        assert box.get() == 1  # the older word survived
+
+    def test_drop_on_empty_queue_still_counts(self):
+        box = Mailbox()
+        box.drop()
+        assert box.drops == 1
+        assert len(box) == 0
+
+
+class TestTiming:
+    def test_send_and_receive_cost_per_word(self):
+        box = Mailbox(transfer_s=2e-6)
+        assert box.send_seconds(3) == pytest.approx(6e-6)
+        assert box.receive_seconds(2) == pytest.approx(4e-6)
+        assert box.sends == 3
+        assert box.receives == 2
+
+    def test_word_counts_rejected_below_one(self):
+        box = Mailbox()
+        with pytest.raises(ValueError):
+            box.send_seconds(0)
+        with pytest.raises(ValueError):
+            box.receive_seconds(0)
+
+    def test_resend_costs_timeout_plus_send(self):
+        box = Mailbox(transfer_s=2e-6)
+        assert box.resend_seconds() == pytest.approx(3 * 2e-6)
+        assert box.sends == 1  # the resend is a real send
+
+    def test_default_transfer_matches_calibration(self):
+        assert Mailbox().transfer_s == cal.SPE_MAILBOX_S

@@ -1,0 +1,201 @@
+"""Chaos suite: fault storms against every simulated device.
+
+The contract under test, per device:
+
+* a zero-rate plan is bit-identical to no plan at all (arming is free),
+* a seeded storm either fully recovers — bit-identical physics, slower
+  simulated clock, every fault accounted — or fails loudly,
+* the same plan twice produces byte-identical event logs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cell.device import CellDevice
+from repro.faults import FaultPlan, SiteSpec, UnrecoveredFaultError
+from repro.gpu.device import GpuDevice
+from repro.md.simulation import MDConfig
+from repro.mta.device import MTADevice
+from repro.validation import validate_devices
+
+N_STEPS = 6
+
+DEVICES = {
+    "cell": lambda: CellDevice(n_spes=8),
+    "gpu": lambda: GpuDevice(),
+    "mta": lambda: MTADevice(),
+}
+
+
+@pytest.fixture(scope="module")
+def config():
+    return MDConfig(n_atoms=128)
+
+
+@pytest.fixture(scope="module")
+def clean_runs(config):
+    return {
+        name: make().run(config, N_STEPS) for name, make in DEVICES.items()
+    }
+
+
+@pytest.mark.parametrize("name", sorted(DEVICES))
+class TestZeroPlanBitIdentity:
+    def test_zero_plan_changes_nothing(self, name, config, clean_runs):
+        clean = clean_runs[name]
+        armed = DEVICES[name]().run(config, N_STEPS, faults=FaultPlan.none())
+        np.testing.assert_array_equal(armed.final_positions, clean.final_positions)
+        assert armed.step_seconds == clean.step_seconds
+        assert armed.step_breakdowns == clean.step_breakdowns
+        assert armed.total_seconds == clean.total_seconds
+        assert armed.fault_events == ()
+        assert armed.fault_summary["injected"] == 0
+
+
+@pytest.mark.parametrize("name", sorted(DEVICES))
+class TestStormRecovery:
+    def test_storm_recovers_bit_identically_and_pays_in_time(
+        self, name, config, clean_runs
+    ):
+        clean = clean_runs[name]
+        faulted = DEVICES[name]().run(config, N_STEPS, faults=FaultPlan.storm())
+        summary = faulted.fault_summary
+        # the canonical storm hits every device at this length
+        assert summary["injected"] > 0
+        assert summary["fully_accounted"]
+        assert summary["aborted"] == 0
+        # physics is restored exactly; only the simulated clock suffers
+        np.testing.assert_array_equal(faulted.final_positions, clean.final_positions)
+        assert [r.total_energy for r in faulted.records] == [
+            r.total_energy for r in clean.records
+        ]
+        assert faulted.total_seconds > clean.total_seconds
+        # fault_recovery carries the retry/backoff/rollback charges; an
+        # SPE crash additionally slows every later step through the
+        # ordinary kernel components, so recovery bounds the delta from
+        # below without necessarily reaching it.
+        recovery = sum(
+            parts.get("fault_recovery", 0.0) for parts in faulted.step_breakdowns
+        )
+        delta = faulted.total_seconds - clean.total_seconds
+        assert 0.0 < recovery <= delta * (1 + 1e-9)
+
+    def test_same_plan_twice_is_byte_identical(self, name, config, clean_runs):
+        import json
+
+        plan = FaultPlan.storm()
+        a = DEVICES[name]().run(config, N_STEPS, faults=plan)
+        b = DEVICES[name]().run(config, N_STEPS, faults=plan)
+        assert json.dumps(a.fault_events, sort_keys=True) == json.dumps(
+            b.fault_events, sort_keys=True
+        )
+        assert a.step_seconds == b.step_seconds
+        np.testing.assert_array_equal(a.final_positions, b.final_positions)
+
+
+class TestSilentCorruptionRestore:
+    def test_watchdog_restores_and_replays(self, config):
+        """A silent flip escapes the guard; the watchdog rewinds the run."""
+        plan = FaultPlan(
+            sites={
+                "vm.bitflip": SiteSpec(
+                    schedule=(4,), payload={"severity": "silent"}
+                )
+            },
+            checkpoint_interval=2,
+        )
+        clean = GpuDevice().run(config, N_STEPS)
+        faulted = GpuDevice().run(config, N_STEPS, faults=plan)
+        assert faulted.fault_summary["restores"] >= 1
+        assert faulted.fault_summary["fully_accounted"]
+        np.testing.assert_array_equal(
+            faulted.final_positions, clean.final_positions
+        )
+        assert faulted.total_seconds > clean.total_seconds
+        kinds = [e["kind"] for e in faulted.fault_events]
+        assert "restore" in kinds
+
+
+class TestLoudFailures:
+    def test_relentless_dma_failure_aborts(self, config):
+        plan = FaultPlan(
+            sites={"cell.dma.fail": SiteSpec(rate=1.0)}, max_retries=2
+        )
+        with pytest.raises(UnrecoveredFaultError):
+            CellDevice(n_spes=8).run(config, N_STEPS, faults=plan)
+
+    def test_restore_budget_exhaustion_aborts(self, config):
+        """Corruption on every evaluation outruns the restore budget."""
+        plan = FaultPlan(
+            sites={
+                "vm.bitflip": SiteSpec(rate=1.0, payload={"severity": "silent"})
+            },
+            max_restores=2,
+            checkpoint_interval=2,
+        )
+        with pytest.raises(UnrecoveredFaultError):
+            GpuDevice().run(config, N_STEPS, faults=plan)
+
+    def test_all_spes_dead_aborts(self, config):
+        plan = FaultPlan(
+            sites={"cell.spe.crash": SiteSpec(schedule=(0, 1, 2))}
+        )
+        with pytest.raises(UnrecoveredFaultError):
+            CellDevice(n_spes=1).run(config, N_STEPS, faults=plan)
+
+
+class TestSpeCrash:
+    def test_crash_repartitions_onto_survivors(self, config):
+        plan = FaultPlan(sites={"cell.spe.crash": SiteSpec(schedule=(1,))})
+        device = CellDevice(n_spes=8)
+        clean = CellDevice(n_spes=8).run(config, N_STEPS)
+        faulted = device.run(config, N_STEPS, faults=plan)
+        assert device.active_spes == 7
+        assert faulted.fault_summary["fully_accounted"]
+        np.testing.assert_array_equal(
+            faulted.final_positions, clean.final_positions
+        )
+        assert faulted.total_seconds > clean.total_seconds
+
+    def test_prepare_resets_survivor_count(self, config):
+        plan = FaultPlan(sites={"cell.spe.crash": SiteSpec(schedule=(1,))})
+        device = CellDevice(n_spes=8)
+        device.run(config, N_STEPS, faults=plan)
+        assert device.active_spes == 7
+        device.run(config, 2)
+        assert device.active_spes == 8
+
+
+class TestVmModeInjection:
+    def test_machine_level_bitflip_recovers(self, config):
+        """vm-mode injects into real VM output registers, once per fault."""
+        plan = FaultPlan(sites={"vm.bitflip": SiteSpec(schedule=(1,))})
+        clean = CellDevice(n_spes=8, mode="vm").run(config, 3)
+        faulted = CellDevice(n_spes=8, mode="vm").run(config, 3, faults=plan)
+        summary = faulted.fault_summary
+        assert summary["injected"] >= 1
+        assert summary["fully_accounted"]
+        levels = {
+            e["detail"].get("level")
+            for e in faulted.fault_events
+            if e["kind"] == "injected"
+        }
+        assert levels == {"vm"}  # machine-level, not result-level
+        np.testing.assert_array_equal(
+            faulted.final_positions, clean.final_positions
+        )
+
+
+class TestValidationUnderFaults:
+    def test_roster_passes_validation_under_storm(self, config):
+        report = validate_devices(
+            [CellDevice(n_spes=8), GpuDevice(), MTADevice()],
+            config=config,
+            n_steps=4,
+            fault_plan=FaultPlan.storm(),
+        )
+        assert report.all_passed, report.failures()
+        assert report.fault_plan is not None
+        assert all(d.faults_accounted for d in report.devices)

@@ -1,0 +1,110 @@
+"""Tests for step-granular checkpoint/restore and resume-from-JSON."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.faults import Checkpoint, CheckpointManager, RestoreBudgetExceeded
+from repro.md.simulation import MDConfig, MDSimulation
+
+
+@pytest.fixture
+def sim(small_config):
+    return MDSimulation(small_config)
+
+
+class TestSnapshotRestore:
+    def test_replay_is_bit_identical(self, sim):
+        sim.run(4)
+        checkpoint = sim.snapshot()
+        first = sim.run(3)
+        positions = sim.state.positions.copy()
+
+        sim.restore(checkpoint)
+        assert sim.step_count == 4
+        replay = sim.run(3)
+        np.testing.assert_array_equal(sim.state.positions, positions)
+        assert [r.total_energy for r in replay] == [r.total_energy for r in first]
+
+    def test_restore_truncates_records_and_frames(self, sim):
+        sim.run(6)
+        checkpoint_at_3 = None
+        sim2 = MDSimulation(sim.config)
+        sim2.run(3)
+        checkpoint_at_3 = sim2.snapshot()
+        sim.restore(checkpoint_at_3)
+        assert [r.step for r in sim.records] == list(range(4))
+        assert all(f.step <= 3 for f in sim.trajectory.frames)
+
+    def test_restore_preserves_mixed_dtypes(self, small_config):
+        """float64 integration state must not be cast on restore."""
+        import dataclasses
+
+        config = dataclasses.replace(small_config, dtype="float32")
+        sim = MDSimulation(config)
+        sim.run(2)
+        checkpoint = sim.snapshot()
+        sim.restore(checkpoint)
+        assert sim.state.positions.dtype == checkpoint.positions.dtype
+        assert sim.state.accelerations.dtype == checkpoint.accelerations.dtype
+
+
+class TestSerialization:
+    def test_json_round_trip_is_exact(self, sim):
+        sim.run(3)
+        checkpoint = sim.snapshot()
+        reloaded = Checkpoint.from_dict(json.loads(json.dumps(checkpoint.to_dict())))
+        np.testing.assert_array_equal(reloaded.positions, checkpoint.positions)
+        np.testing.assert_array_equal(reloaded.velocities, checkpoint.velocities)
+        np.testing.assert_array_equal(reloaded.accelerations, checkpoint.accelerations)
+        assert reloaded.step == checkpoint.step
+        assert reloaded.records == checkpoint.records
+        assert reloaded.positions.dtype == checkpoint.positions.dtype
+
+    def test_resume_in_fresh_simulation(self, sim, small_config):
+        """A serialized checkpoint resumes a run in a new process image."""
+        sim.run(2)
+        blob = json.dumps(sim.snapshot().to_dict())
+        continued = sim.run(3)
+
+        fresh = MDSimulation(small_config)
+        fresh.restore(Checkpoint.from_dict(json.loads(blob)))
+        resumed = fresh.run(3)
+        np.testing.assert_array_equal(fresh.state.positions, sim.state.positions)
+        assert [r.total_energy for r in resumed] == [
+            r.total_energy for r in continued
+        ]
+
+
+class TestManager:
+    def test_cadence(self):
+        manager = CheckpointManager(interval=3)
+        assert manager.due(0) and manager.due(3) and manager.due(6)
+        assert not manager.due(1) and not manager.due(4)
+
+    def test_maybe_take_keeps_latest(self, sim):
+        manager = CheckpointManager(interval=2)
+        manager.take(sim)
+        assert manager.last.step == 0
+        sim.run(2)
+        assert manager.maybe_take(sim) is not None
+        assert manager.last.step == 2
+        sim.run(1)
+        assert manager.maybe_take(sim) is None
+        assert manager.last.step == 2
+
+    def test_restore_budget_enforced(self):
+        manager = CheckpointManager(max_restores=2)
+        manager.note_restore()
+        manager.note_restore()
+        with pytest.raises(RestoreBudgetExceeded):
+            manager.note_restore()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CheckpointManager(interval=0)
+        with pytest.raises(ValueError):
+            CheckpointManager(max_restores=-1)

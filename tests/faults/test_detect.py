@@ -1,0 +1,89 @@
+"""Tests for the detection layers: checksums, guards, watchdog."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    NUMERIC_GUARD_LIMIT,
+    EnergyDriftWatchdog,
+    checksum_matches,
+    nonfinite_reason,
+    payload_checksum,
+)
+
+
+class TestChecksum:
+    def test_matches_clean_payload(self, rng):
+        payload = rng.normal(size=(16, 3))
+        assert checksum_matches(payload, payload_checksum(payload))
+
+    def test_catches_single_element_flip(self, rng):
+        payload = rng.normal(size=(16, 3))
+        expected = payload_checksum(payload)
+        payload[7, 1] = -payload[7, 1]
+        assert not checksum_matches(payload, expected)
+
+    def test_non_contiguous_view_checksums(self, rng):
+        payload = rng.normal(size=(8, 6))
+        view = payload[:, ::2]
+        assert checksum_matches(np.ascontiguousarray(view), payload_checksum(view))
+
+
+class TestNumericGuard:
+    def test_clean_array_passes(self):
+        assert nonfinite_reason(np.ones((4, 3))) is None
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_nonfinite_caught(self, bad):
+        array = np.ones(5)
+        array[2] = bad
+        assert "non-finite" in nonfinite_reason(array, "forces")
+
+    def test_huge_finite_value_caught(self):
+        array = np.ones(5)
+        array[0] = 2 * NUMERIC_GUARD_LIMIT
+        assert "magnitude" in nonfinite_reason(array)
+
+    def test_empty_array_passes(self):
+        assert nonfinite_reason(np.empty(0)) is None
+
+
+class TestWatchdog:
+    def test_trips_on_energy_jump(self):
+        dog = EnergyDriftWatchdog(tolerance=0.05)
+        dog.arm(-100.0)
+        assert not dog.observe(-99.9)
+        assert dog.observe(-80.0)
+        assert dog.trips == 1
+
+    def test_debounce_requires_consecutive_violations(self):
+        dog = EnergyDriftWatchdog(tolerance=0.05, window=2)
+        dog.arm(-100.0)
+        assert not dog.observe(-80.0)  # first violation: held
+        assert not dog.observe(-100.0)  # streak broken
+        assert not dog.observe(-80.0)
+        assert dog.observe(-80.0)  # second consecutive: trip
+
+    def test_auto_arms_on_first_observation(self):
+        dog = EnergyDriftWatchdog()
+        assert not dog.observe(-42.0)
+        assert dog.reference == -42.0
+
+    def test_drift_requires_arming(self):
+        with pytest.raises(RuntimeError):
+            EnergyDriftWatchdog().drift(-1.0)
+
+    def test_reset_debounce_clears_streak(self):
+        dog = EnergyDriftWatchdog(tolerance=0.05, window=2)
+        dog.arm(-100.0)
+        dog.observe(-80.0)
+        dog.reset_debounce()
+        assert not dog.observe(-80.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyDriftWatchdog(tolerance=0.0)
+        with pytest.raises(ValueError):
+            EnergyDriftWatchdog(window=0)

@@ -1,0 +1,86 @@
+"""Tests for the deterministic per-site fault injector."""
+
+from __future__ import annotations
+
+from repro.faults import FaultInjector, FaultPlan, SiteSpec
+
+
+def _fire_pattern(injector, site, draws):
+    return [injector.fire(site) is not None for _ in range(draws)]
+
+
+class TestDeterminism:
+    def test_same_seed_same_pattern(self):
+        plan = FaultPlan(seed=7, sites={"cell.dma.fail": SiteSpec(rate=0.3)})
+        a = _fire_pattern(FaultInjector(plan), "cell.dma.fail", 200)
+        b = _fire_pattern(FaultInjector(plan), "cell.dma.fail", 200)
+        assert a == b
+        assert any(a)  # rate 0.3 over 200 draws must fire sometimes
+        assert not all(a)
+
+    def test_different_seeds_differ(self):
+        def pattern(seed):
+            plan = FaultPlan(seed=seed, sites={"cell.dma.fail": SiteSpec(rate=0.3)})
+            return _fire_pattern(FaultInjector(plan), "cell.dma.fail", 200)
+
+        assert pattern(1) != pattern(2)
+
+    def test_sites_draw_independent_streams(self):
+        """Interleaving draws at other sites must not shift a site's stream."""
+        solo = FaultPlan(seed=7, sites={"cell.dma.fail": SiteSpec(rate=0.3)})
+        both = FaultPlan(
+            seed=7,
+            sites={
+                "cell.dma.fail": SiteSpec(rate=0.3),
+                "gpu.pcie.corrupt": SiteSpec(rate=0.5),
+            },
+        )
+        reference = _fire_pattern(FaultInjector(solo), "cell.dma.fail", 100)
+        injector = FaultInjector(both)
+        interleaved = []
+        for _ in range(100):
+            injector.fire("gpu.pcie.corrupt")
+            interleaved.append(injector.fire("cell.dma.fail") is not None)
+        assert interleaved == reference
+
+
+class TestFiring:
+    def test_absent_site_never_fires_and_draws_nothing(self):
+        injector = FaultInjector(FaultPlan(sites={}))
+        assert injector.fire("cell.dma.fail") is None
+        assert injector.draw_counts() == {}
+        assert injector.fired_counts() == {}
+
+    def test_schedule_fires_exact_occurrence(self):
+        plan = FaultPlan(sites={"cell.spe.crash": SiteSpec(schedule=(2,))})
+        injector = FaultInjector(plan)
+        pattern = _fire_pattern(injector, "cell.spe.crash", 5)
+        assert pattern == [False, False, True, False, False]
+        assert injector.fired_counts() == {"cell.spe.crash": 1}
+        assert injector.draw_counts() == {"cell.spe.crash": 5}
+
+    def test_schedule_does_not_shift_rate_stream(self):
+        """The rate draw is consumed whether or not the schedule fires."""
+        with_schedule = FaultPlan(
+            seed=7, sites={"cell.dma.fail": SiteSpec(rate=0.3, schedule=(0,))}
+        )
+        without = FaultPlan(seed=7, sites={"cell.dma.fail": SiteSpec(rate=0.3)})
+        a = _fire_pattern(FaultInjector(with_schedule), "cell.dma.fail", 100)
+        b = _fire_pattern(FaultInjector(without), "cell.dma.fail", 100)
+        assert a[0] is True
+        assert a[1:] == b[1:]
+
+    def test_rate_one_always_fires(self):
+        plan = FaultPlan(sites={"vm.bitflip": SiteSpec(rate=1.0)})
+        assert all(_fire_pattern(FaultInjector(plan), "vm.bitflip", 10))
+
+    def test_decision_carries_payload_and_occurrence(self):
+        plan = FaultPlan(
+            sites={"vm.bitflip": SiteSpec(schedule=(1,), payload={"severity": "silent"})}
+        )
+        injector = FaultInjector(plan)
+        assert injector.fire("vm.bitflip") is None
+        decision = injector.fire("vm.bitflip")
+        assert decision.site == "vm.bitflip"
+        assert decision.occurrence == 1
+        assert decision.payload == {"severity": "silent"}

@@ -1,0 +1,103 @@
+"""Tests for fault plans: validation, serialization, presets."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.faults import FAULT_SITES, FaultPlan, SiteSpec, load_plan_arg
+
+
+class TestSiteSpec:
+    def test_defaults_are_disarmed(self):
+        spec = SiteSpec()
+        assert not spec.armed
+        assert spec.rate == 0.0
+        assert spec.schedule == ()
+
+    def test_rate_arms(self):
+        assert SiteSpec(rate=0.1).armed
+
+    def test_schedule_arms(self):
+        assert SiteSpec(schedule=(3,)).armed
+
+    @pytest.mark.parametrize("rate", [-0.1, 1.5])
+    def test_rate_out_of_range_rejected(self, rate):
+        with pytest.raises(ValueError):
+            SiteSpec(rate=rate)
+
+    def test_negative_schedule_rejected(self):
+        with pytest.raises(ValueError):
+            SiteSpec(schedule=(-1,))
+
+    def test_round_trip(self):
+        spec = SiteSpec(rate=0.25, schedule=(1, 4), payload={"severity": "silent"})
+        assert SiteSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestFaultPlan:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultPlan(sites={"cell.dma.exploded": SiteSpec(rate=0.5)})
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_retries": -1},
+            {"backoff_s": -1.0},
+            {"checkpoint_interval": 0},
+            {"max_restores": -1},
+            {"watchdog_tolerance": 0.0},
+            {"watchdog_window": 0},
+        ],
+    )
+    def test_policy_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultPlan(**kwargs)
+
+    def test_none_is_zero(self):
+        assert FaultPlan.none().is_zero
+
+    def test_storm_is_not_zero(self):
+        assert not FaultPlan.storm().is_zero
+
+    def test_storm_sites_all_known(self):
+        for name in FaultPlan.storm().sites:
+            assert name in FAULT_SITES
+
+    def test_round_trip(self):
+        plan = FaultPlan.storm(seed=99, max_retries=5, checkpoint_interval=3)
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_canonical_json_is_deterministic(self):
+        assert FaultPlan.storm().canonical_json() == FaultPlan.storm().canonical_json()
+
+    def test_canonical_json_survives_json_round_trip(self):
+        plan = FaultPlan.storm()
+        reloaded = FaultPlan.from_dict(json.loads(json.dumps(plan.to_dict())))
+        assert reloaded.canonical_json() == plan.canonical_json()
+
+    def test_seed_changes_canonical_json(self):
+        assert (
+            FaultPlan.storm(seed=1).canonical_json()
+            != FaultPlan.storm(seed=2).canonical_json()
+        )
+
+
+class TestLoadPlanArg:
+    def test_storm_preset(self):
+        assert load_plan_arg("storm") == FaultPlan.storm()
+
+    def test_none_preset(self):
+        assert load_plan_arg("none").is_zero
+
+    def test_json_file(self, tmp_path):
+        plan = FaultPlan.storm(seed=1234)
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(plan.to_dict()))
+        assert load_plan_arg(str(path)) == plan
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError, match="neither"):
+            load_plan_arg("no-such-preset-or-file")

@@ -1,0 +1,191 @@
+"""Tests for the per-run fault session: retries, guards, accounting."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    FaultPlan,
+    FaultSession,
+    SiteSpec,
+    UnrecoveredFaultError,
+)
+from repro.md.forces import ForceResult
+
+
+def _result(accelerations, pe=-1.0, pairs=3):
+    return ForceResult(
+        accelerations=np.asarray(accelerations, dtype=np.float64),
+        potential_energy=pe,
+        interacting_pairs=pairs,
+        pairs_examined=pairs,
+    )
+
+
+class TestFaultyTransfer:
+    def test_clean_transfer_costs_nothing(self):
+        session = FaultSession(FaultPlan.none())
+        session.begin_step(1)
+        extra = session.faulty_transfer(
+            "cell.dma.fail", 1e-6, detection="dma-completion-status"
+        )
+        assert extra == 0.0
+        assert len(session.log) == 0
+
+    def test_single_fault_recovers_with_backoff(self):
+        plan = FaultPlan(
+            sites={"cell.dma.fail": SiteSpec(schedule=(0,))},
+            backoff_s=1e-5,
+        )
+        session = FaultSession(plan)
+        session.begin_step(1)
+        extra = session.faulty_transfer(
+            "cell.dma.fail", 2e-6, detection="dma-completion-status"
+        )
+        assert extra == pytest.approx(1e-5 + 2e-6)
+        kinds = [e.kind for e in session.log]
+        assert kinds == ["injected", "detected", "recovered"]
+        assert session.log.fully_accounted
+
+    def test_cost_callable_only_invoked_per_retry(self):
+        plan = FaultPlan(sites={"cell.dma.fail": SiteSpec(schedule=(0, 1))})
+        session = FaultSession(plan)
+        session.begin_step(1)
+        calls = []
+        session.faulty_transfer(
+            "cell.dma.fail", lambda: calls.append(1) or 1e-6, detection="x"
+        )
+        assert len(calls) == 2  # two faulted attempts, two re-pays
+
+    def test_exhausted_retries_abort_loudly(self):
+        plan = FaultPlan(
+            sites={"cell.dma.fail": SiteSpec(rate=1.0)}, max_retries=2
+        )
+        session = FaultSession(plan)
+        session.begin_step(0)
+        with pytest.raises(UnrecoveredFaultError) as excinfo:
+            session.faulty_transfer("cell.dma.fail", 1e-6, detection="x")
+        assert excinfo.value.log is session.log
+        assert session.log.by_kind("aborted")
+        assert not session.log.fully_accounted
+
+    def test_on_fault_callback_fires_per_fault(self):
+        plan = FaultPlan(sites={"cell.mailbox.drop": SiteSpec(schedule=(0,))})
+        session = FaultSession(plan)
+        session.begin_step(1)
+        seen = []
+        session.faulty_transfer(
+            "cell.mailbox.drop", 1e-6, detection="ack-timeout",
+            on_fault=seen.append,
+        )
+        assert len(seen) == 1
+        assert seen[0].site == "cell.mailbox.drop"
+
+
+class TestTransient:
+    def test_charges_penalty_and_accounts(self):
+        plan = FaultPlan(sites={"mta.stream.stall": SiteSpec(schedule=(0,))})
+        session = FaultSession(plan)
+        session.begin_step(2)
+        extra = session.transient(
+            "mta.stream.stall", lambda d: 3e-6,
+            detection="stream-heartbeat", action="re-issued",
+        )
+        assert extra == pytest.approx(3e-6)
+        assert session.log.fully_accounted
+
+    def test_silent_when_disarmed(self):
+        session = FaultSession(FaultPlan.none())
+        assert session.transient("mta.stream.stall", lambda d: 1.0, "x", "y") == 0.0
+
+
+class TestGuardBackend:
+    def test_loud_corruption_is_recomputed(self):
+        plan = FaultPlan(sites={"vm.bitflip": SiteSpec(schedule=(0,))})
+        session = FaultSession(plan)
+        session.begin_step(1)
+        clean = _result(np.ones((4, 3)))
+        guarded = session.guard_backend(lambda positions: clean)
+        result = guarded(np.zeros((4, 3)))
+        np.testing.assert_array_equal(result.accelerations, clean.accelerations)
+        assert session.drain_retries() == 1
+        assert session.log.fully_accounted
+
+    def test_silent_corruption_slips_the_guard(self):
+        plan = FaultPlan(
+            sites={
+                "vm.bitflip": SiteSpec(
+                    schedule=(0,), payload={"severity": "silent"}
+                )
+            }
+        )
+        session = FaultSession(plan)
+        session.begin_step(1)
+        guarded = session.guard_backend(lambda positions: _result(np.ones((4, 3))))
+        result = guarded(np.zeros((4, 3)))
+        assert np.isfinite(result.accelerations).all()
+        assert float(np.max(np.abs(result.accelerations))) == pytest.approx(1.0e6)
+        assert session.silent_pending == 1  # the watchdog's job now
+
+    def test_relentless_corruption_aborts(self):
+        plan = FaultPlan(sites={"vm.bitflip": SiteSpec(rate=1.0)}, max_retries=2)
+        session = FaultSession(plan)
+        session.begin_step(1)
+        guarded = session.guard_backend(lambda positions: _result(np.ones((4, 3))))
+        with pytest.raises(UnrecoveredFaultError):
+            guarded(np.zeros((4, 3)))
+
+    def test_check_result_flags_bad_potential_energy(self):
+        session = FaultSession(FaultPlan.none())
+        assert session.check_result(_result(np.ones((2, 3)), pe=np.nan))
+        assert session.check_result(_result(np.ones((2, 3)), pe=1e31))
+        assert session.check_result(_result(np.ones((2, 3)))) is None
+
+
+class TestSessionLifecycle:
+    def test_disabled_session_consumes_no_rng(self):
+        plan = FaultPlan(sites={"vm.bitflip": SiteSpec(rate=1.0)})
+        session = FaultSession(plan)
+        session.enabled = False
+        assert session.fire("vm.bitflip") is None
+        assert session.injector.draw_counts() == {"vm.bitflip": 0}
+
+    def test_backoff_doubles_per_attempt(self):
+        session = FaultSession(FaultPlan(backoff_s=1e-5))
+        assert session.backoff_seconds(1) == pytest.approx(1e-5)
+        assert session.backoff_seconds(2) == pytest.approx(2e-5)
+        assert session.backoff_seconds(3) == pytest.approx(4e-5)
+
+    def test_charges_drain_once(self):
+        session = FaultSession(FaultPlan.none())
+        session.charge(1e-6)
+        session.charge(2e-6)
+        assert session.drain_pending() == pytest.approx(3e-6)
+        assert session.drain_pending() == 0.0
+        session.carry(5e-6)
+        assert session.drain_carried() == pytest.approx(5e-6)
+        assert session.drain_carried() == 0.0
+
+    def test_note_restore_settles_silent_faults(self):
+        plan = FaultPlan(
+            sites={"vm.bitflip": SiteSpec(schedule=(0,), payload={"severity": "silent"})}
+        )
+        session = FaultSession(plan)
+        session.begin_step(3)
+        guarded = session.guard_backend(lambda positions: _result(np.ones((4, 3))))
+        guarded(np.zeros((4, 3)))
+        session.note_restore(step=3, checkpoint_step=2, wasted_seconds=1e-5, drift=0.2)
+        assert session.silent_pending == 0
+        assert session.log.fully_accounted
+        assert session.drain_carried() == pytest.approx(1e-5)
+
+    def test_summary_reports_fired_sites(self):
+        plan = FaultPlan(sites={"vm.bitflip": SiteSpec(schedule=(0,))})
+        session = FaultSession(plan)
+        session.begin_step(0)
+        session.fire("vm.bitflip")
+        summary = session.summary()
+        assert summary["fired_by_site"] == {"vm.bitflip": 1}

@@ -5,12 +5,43 @@ from __future__ import annotations
 import time
 
 from repro.harness.jobs import STATUS_FAILED, STATUS_OK, STATUS_TIMEOUT
-from repro.harness.scheduler import run_jobs
+from repro.harness.scheduler import _backoff_delay, _job_key, run_jobs
 from tests.harness.stub_jobs import stub_job
 
 
 def _payloads(jobs):
     return [job.payload(cache_key=f"key-{job.job_id}") for job in jobs]
+
+
+class TestBackoffJitter:
+    def test_deterministic_for_same_key_and_attempt(self):
+        assert _backoff_delay(0.25, 2, "cache-key-a") == _backoff_delay(
+            0.25, 2, "cache-key-a"
+        )
+
+    def test_jitter_decorrelates_jobs(self):
+        delays = {_backoff_delay(0.25, 1, f"key-{i}") for i in range(16)}
+        assert len(delays) == 16  # a retry herd spreads out
+
+    def test_jitter_bounded_to_half_extra(self):
+        for attempt in (1, 2, 3):
+            base = 0.25 * 2.0 ** (attempt - 1)
+            delay = _backoff_delay(0.25, attempt, "some-key")
+            assert base <= delay <= 1.5 * base
+
+    def test_no_key_is_pure_exponential(self):
+        assert _backoff_delay(0.25, 1) == 0.25
+        assert _backoff_delay(0.25, 3) == 1.0
+
+    def test_attempts_reschedule_on_distinct_delays(self):
+        a = _backoff_delay(0.25, 1, "k")
+        b = _backoff_delay(0.25, 2, "k")
+        assert b != 2 * a  # jitter re-derived per attempt, not scaled
+
+    def test_job_key_prefers_cache_key(self):
+        assert _job_key({"cache_key": "ck", "job_id": "jid"}) == "ck"
+        assert _job_key({"cache_key": None, "job_id": "jid"}) == "jid"
+        assert _job_key({}) == ""
 
 
 class TestInline:

@@ -12,7 +12,7 @@ from repro.md.observables import (
     total_energy,
     virial_pressure,
 )
-from repro.md.simulation import MDConfig, MDSimulation
+from repro.md.simulation import MDConfig, MDSimulation, SimulationDiverged
 from repro.md.units import ARGON
 
 
@@ -91,6 +91,29 @@ class TestMDSimulation:
         sim = MDSimulation(small_config, force_backend=backend)
         sim.run(3)
         assert len(calls) == 4  # initial + 3 steps
+
+
+class TestDivergenceGuard:
+    def test_unstable_dt_fails_loudly(self):
+        """A wildly unstable dt must raise, not record garbage energies."""
+        sim = MDSimulation(MDConfig(n_atoms=128, dt=1.0))
+        with np.errstate(all="ignore"), pytest.raises(SimulationDiverged) as excinfo:
+            sim.run(50)
+        assert "diverged" in str(excinfo.value)
+        assert str(sim.step_count) in str(excinfo.value)
+
+    def test_records_stop_at_the_last_finite_step(self):
+        sim = MDSimulation(MDConfig(n_atoms=128, dt=1.0))
+        with np.errstate(all="ignore"):
+            with pytest.raises(SimulationDiverged):
+                sim.run(50)
+        # the diverged step was never recorded; every stored energy is finite
+        assert all(np.isfinite(r.total_energy) for r in sim.records)
+        assert sim.records[-1].step < sim.step_count
+
+    def test_stable_dt_never_trips(self, small_config):
+        sim = MDSimulation(small_config)
+        sim.run(10)  # must not raise
 
 
 class TestObservables:

@@ -77,6 +77,29 @@ class TestArray:
         with pytest.raises(ValueError):
             FullEmptyArray(0)
 
+    def test_failed_read_leaves_tags_untouched(self):
+        """A deadlocked op must not half-apply: the tag state is intact."""
+        arr = FullEmptyArray(2)
+        arr.writeef(0, 1.0)
+        with pytest.raises(FullEmptyError):
+            arr.readfe(1)
+        assert arr.full_count() == 1
+        assert arr.readfe(0) == 1.0
+
+    def test_failed_write_preserves_value(self):
+        arr = FullEmptyArray(1)
+        arr.writeef(0, 5.0)
+        with pytest.raises(FullEmptyError):
+            arr.writeef(0, 9.0)
+        assert arr.readfe(0) == 5.0  # the losing writer changed nothing
+
+    def test_slot_reusable_after_drain(self):
+        arr = FullEmptyArray(1)
+        arr.writeef(0, 1.0)
+        arr.readfe(0)
+        arr.writeef(0, 2.0)  # empty again: producer may refill
+        assert arr.readfe(0) == 2.0
+
 
 class TestSynchronizedReduction:
     def test_computes_the_sum(self, rng):
@@ -109,3 +132,19 @@ class TestSynchronizedReduction:
         reduction = SynchronizedReduction()
         reduction.add_all(np.array([2.0]))
         assert reduction.word.full  # readable by any stream afterwards
+
+    def test_empty_contribution_batch_is_free(self):
+        reduction = SynchronizedReduction()
+        total = reduction.add_all(np.empty(0))
+        assert total == 0.0
+        assert reduction.serialized_issues == 0.0
+
+    def test_contention_cost_independent_of_stream_count(self):
+        """The chain serializes on one word: 2 batches of 50 cost as
+        much as 1 batch of 100 — concurrency buys nothing here."""
+        split = SynchronizedReduction()
+        split.add_all(np.ones(50))
+        split.add_all(np.ones(50))
+        merged = SynchronizedReduction()
+        merged.add_all(np.ones(100))
+        assert split.serialized_issues == merged.serialized_issues
