@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Regenerate the golden counter snapshots under ``tests/obs/golden/``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/update_golden_counters.py [NAME ...]
+
+With no arguments, every entry of the roster in
+:mod:`repro.obs.goldens` is re-run and rewritten; with names, only
+those.  Run this after an intentional change to a device's counter
+accounting, review the JSON diff, and commit it with the change — the
+diff *is* the reviewable statement of what the change did to the
+modeled hardware traffic.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def main(argv: list[str]) -> int:
+    from repro.obs.goldens import GOLDEN_DEVICES, golden_counters, golden_path
+
+    names = argv or sorted(GOLDEN_DEVICES)
+    unknown = [n for n in names if n not in GOLDEN_DEVICES]
+    if unknown:
+        print(
+            f"unknown golden roster entries: {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(GOLDEN_DEVICES))})",
+            file=sys.stderr,
+        )
+        return 2
+    for name in names:
+        counters = golden_counters(name)
+        path = golden_path(name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(counters, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {path} ({len(counters)} counters)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -23,6 +23,8 @@ from repro.faults.plan import FaultPlan
 from repro.faults.session import FaultSession, UnrecoveredFaultError
 from repro.md.forces import ForceResult
 from repro.md.simulation import MDConfig, MDSimulation, StepRecord
+from repro.obs.context import ambient_observation
+from repro.obs.observe import Observation
 
 __all__ = ["Device", "DeviceRunResult", "merge_breakdowns"]
 
@@ -55,6 +57,10 @@ class DeviceRunResult:
     fault_events: tuple[dict[str, Any], ...] = ()
     #: accounting tallies from the fault session (injected/recovered/...)
     fault_summary: dict[str, Any] = dataclasses.field(default_factory=dict)
+    #: hardware counters accumulated by this run when observed (the
+    #: delta against whatever the Observation held beforehand); empty
+    #: dict when the run was unobserved
+    counters: dict[str, float] = dataclasses.field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
@@ -138,6 +144,16 @@ class Device(abc.ABC):
         return {}
 
     @property
+    def observation(self) -> Observation | None:
+        """The active :class:`Observation` during :meth:`run`, else ``None``.
+
+        Device hooks may consult this mid-run; counter charging and span
+        emission happen through :meth:`observe_step`, called by the
+        template method once per completed step.
+        """
+        return getattr(self, "_observation", None)
+
+    @property
     def fault_session(self) -> FaultSession | None:
         """The active fault session during :meth:`run`, else ``None``.
 
@@ -152,6 +168,7 @@ class Device(abc.ABC):
         config: MDConfig,
         n_steps: int,
         faults: FaultPlan | None = None,
+        observe: "Observation | bool | None" = None,
     ) -> DeviceRunResult:
         """Run ``n_steps`` of MD functionally and accumulate simulated time.
 
@@ -162,16 +179,31 @@ class Device(abc.ABC):
         corruption slips through.  All recovery is charged in simulated
         seconds (the ``fault_recovery`` breakdown component).  A
         zero-rate plan is bit-identical to ``faults=None``.
+
+        ``observe`` controls hardware-counter and timeline collection:
+        an explicit :class:`~repro.obs.observe.Observation` records into
+        that object, ``None`` (the default) records into the ambient
+        :func:`~repro.obs.context.collect` session if one is active (and
+        is otherwise completely off), and ``False`` forces observation
+        off.  Observation never changes timing or physics results.
         """
         if n_steps < 0:
             raise ValueError(f"n_steps must be non-negative, got {n_steps}")
         config = dataclasses.replace(config, dtype=self.precision)
         session = FaultSession(faults) if faults is not None else None
+        if observe is None:
+            obs = ambient_observation(self.name)
+        elif observe is False:
+            obs = None
+        else:
+            obs = observe
         self._fault_session = session
+        self._observation = obs
         try:
             return self._run(config, n_steps, session)
         finally:
             self._fault_session = None
+            self._observation = None
 
     def _run(
         self, config: MDConfig, n_steps: int, session: FaultSession | None
@@ -208,6 +240,8 @@ class Device(abc.ABC):
             session.enabled = True
 
         branch_probs = self.branch_probabilities(config)
+        obs = self.observation
+        counter_baseline = obs.counters.as_dict() if obs is not None else {}
         step_seconds: list[float] = []
         breakdowns: list[dict[str, float]] = []
         while sim.step_count < n_steps:
@@ -237,6 +271,12 @@ class Device(abc.ABC):
                     )
             breakdowns.append(parts)
             step_seconds.append(sum(parts.values()))
+            if obs is not None:
+                # A watchdog restore rewinds step_seconds but not the
+                # observation: the trace keeps the wasted work visible
+                # (that is the point of a timeline) and the counters keep
+                # charging real executed work.
+                self._observe_step(obs, metrics, parts, step_index)
             if session is not None:
                 assert watchdog is not None and manager is not None
                 if watchdog.observe(record.total_energy):
@@ -278,4 +318,59 @@ class Device(abc.ABC):
             final_velocities=np.array(sim.state.velocities, copy=True),
             fault_events=tuple(session.log.to_dicts()) if session else (),
             fault_summary=session.summary() if session else {},
+            counters=(
+                obs.counters.delta(counter_baseline) if obs is not None else {}
+            ),
         )
+
+    # -- observability -------------------------------------------------
+
+    def _observe_step(
+        self,
+        obs: Observation,
+        metrics: KernelMetrics,
+        parts: dict[str, float],
+        step_index: int,
+    ) -> None:
+        """Charge the generic counters and the ``step`` span, then
+        delegate to :meth:`observe_step` and advance the cursor."""
+        total = sum(parts.values())
+        workers = self.workers()
+        obs.charge("step.count", 1)
+        obs.charge("sim.seconds", total)
+        obs.charge("pairs.examined", round(metrics.pairs_examined * workers))
+        obs.charge(
+            "pairs.interacting",
+            round(
+                metrics.pairs_examined * workers * metrics.interacting_fraction
+            ),
+        )
+        obs.span_at(
+            "step", "step", 0.0, total, args={"step": step_index, **parts}
+        )
+        self.observe_step(obs, metrics, parts, step_index)
+        obs.advance(total)
+
+    def observe_step(
+        self,
+        obs: Observation,
+        metrics: KernelMetrics,
+        parts: dict[str, float],
+        step_index: int,
+    ) -> None:
+        """Device-specific counters and spans for one completed step.
+
+        ``parts`` is the step's final component breakdown (including any
+        ``fault_recovery`` surcharge).  The default lays the components
+        end to end, each on a lane named after itself; devices with
+        concurrent hardware units (SPEs, pipelines, streams) override
+        this to emit one lane per unit and charge their hardware
+        counters.  Implementations must *recompute* whatever they need
+        from the same inputs ``step_seconds`` used — never mutate
+        simulation state.
+        """
+        offset = 0.0
+        for name, seconds in parts.items():
+            if seconds > 0.0:
+                obs.span_at(name, name, offset, seconds, args={"step": step_index})
+                offset += seconds

@@ -32,12 +32,14 @@ from repro.cell.dma import MDTrafficPlan, make_dma_engine
 from repro.cell.kernels import OPT_LEVELS, build_spe_kernel, kernel_constants
 from repro.cell.ppe import PPE
 from repro.cell.scheduler import LaunchStrategy, SpeThreadScheduler
-from repro.cell.spe import SPE, SpePairSweep
+from repro.cell.spe import SPE, SPE_COST_TABLE, SpePairSweep
 from repro.md.box import PeriodicBox
 from repro.md.forces import ForceResult
 from repro.md.lattice import cubic_lattice
 from repro.md.lj import LennardJones
 from repro.md.simulation import MDConfig
+from repro.obs.observe import Observation
+from repro.vm.schedule import issue_stats
 
 __all__ = ["CellDevice", "PPEOnlyDevice"]
 
@@ -103,16 +105,40 @@ class CellDevice(Device):
         self.dma = make_dma_engine()
         self.active_spes = n_spes
         self._program_cache: dict[float, object] = {}
+        self._sweep_cache: dict[float, SpePairSweep] = {}
+        #: VM work accumulated since the last observed step: segment
+        #: executions and per-branch (taken_mass, samples) deltas
+        self._vm_window: dict[str, object] = {"segments": 0, "branches": {}}
 
     # -- functional side ---------------------------------------------------
+
+    def _sweep(self, box_length: float) -> SpePairSweep:
+        """The vm-mode sweep for this box, cached across runs.
+
+        The machine's :class:`~repro.vm.machine.BranchStat` accumulators
+        survive with the cache, so every consumer must difference
+        ``branch_snapshot`` windows instead of reading lifetime totals —
+        reusing the machine must never let one run's branch statistics
+        leak into the next run's physics or counters.
+        """
+        key = round(box_length, 12)
+        sweep = self._sweep_cache.get(key)
+        if sweep is None:
+            if len(self._sweep_cache) > 4:
+                self._sweep_cache.clear()
+            sweep = SpePairSweep(self._program(box_length))
+            self._sweep_cache[key] = sweep
+        return sweep
 
     def force_backend(self, sim_box: PeriodicBox, potential: LennardJones):
         if self.mode == "fast":
             return self.functional_backend(sim_box, potential)
 
-        program = self._program(sim_box.length)
-        sweep = SpePairSweep(program)
+        sweep = self._sweep(sim_box.length)
         constants = kernel_constants(potential)
+        # Disarm any fault session left by a previous run on the cached
+        # machine before optionally arming this run's session.
+        sweep.machine.install_fault_session(None)
         if self.fault_session is not None:
             # vm mode injects bit-flips at the instruction level, into
             # real local-store output registers, instead of post hoc.
@@ -120,14 +146,21 @@ class CellDevice(Device):
 
         def vm_backend(positions: np.ndarray) -> ForceResult:
             n = positions.shape[0]
-            total0, count0 = sweep.machine.branch_snapshot("interacting_fraction")
+            machine = sweep.machine
+            before = {
+                key: stat.snapshot()
+                for key, stat in machine.branch_stats.items()
+            }
+            total0, count0 = before.get("interacting_fraction", (0.0, 0))
             acc, pe_rows = sweep.run(
                 positions, rows=np.arange(n), constants=constants
             )
-            total1, count1 = sweep.machine.branch_snapshot("interacting_fraction")
+            total1, count1 = machine.branch_snapshot("interacting_fraction")
             new_samples = count1 - count0
             fraction = (total1 - total0) / new_samples if new_samples else 0.0
             interacting = int(round(fraction * n * (n - 1) / 2.0))
+            if self.observation is not None:
+                self._record_vm_window(before)
             return ForceResult(
                 accelerations=acc.astype(np.float64),
                 potential_energy=0.5 * float(pe_rows.sum(dtype=np.float64)),
@@ -137,11 +170,28 @@ class CellDevice(Device):
 
         return vm_backend
 
+    def _record_vm_window(
+        self, before: dict[str, tuple[float, int]]
+    ) -> None:
+        """Fold one VM force evaluation's branch deltas into the window."""
+        window = self._vm_window
+        window["segments"] = int(window["segments"]) + 1
+        branches: dict[str, tuple[float, int]] = window["branches"]
+        machine = self._sweep(self._box_length).machine
+        for key, stat in machine.branch_stats.items():
+            total0, count0 = before.get(key, (0.0, 0))
+            total1, count1 = stat.snapshot()
+            prev_t, prev_c = branches.get(key, (0.0, 0))
+            branches[key] = (
+                prev_t + (total1 - total0), prev_c + (count1 - count0)
+            )
+
     # -- timing side ---------------------------------------------------------
 
     def prepare(self, config: MDConfig) -> None:
         self._box_length = config.make_box().length
         self.active_spes = self.n_spes  # crashed SPEs stay dead per run
+        self._vm_window = {"segments": 0, "branches": {}}
 
     def workers(self) -> int:
         return self.active_spes
@@ -178,6 +228,82 @@ class CellDevice(Device):
             ),
             "ppe_host": self.ppe.integration_seconds(metrics.n_atoms),
         }
+
+    def observe_step(
+        self,
+        obs: Observation,
+        metrics: KernelMetrics,
+        parts: dict[str, float],
+        step_index: int,
+    ) -> None:
+        active = self.active_spes
+        traffic = MDTrafficPlan(n_atoms=metrics.n_atoms, n_spes=active)
+        layout = traffic.layout(self.spes[0].local_store)
+        obs.charge_many({
+            "cell.dma.bytes_in": active * traffic.bytes_in,
+            "cell.dma.bytes_out": active * traffic.bytes_out,
+            "cell.dma.bytes": active * (traffic.bytes_in + traffic.bytes_out),
+            "cell.dma.transactions": active * traffic.transactions_per_spe(layout),
+        })
+        if (
+            self.strategy is LaunchStrategy.RESPAWN_PER_STEP
+            or step_index == 0
+        ):
+            obs.charge("cell.spe.launches", self.scheduler.n_spes)
+        if self.strategy is LaunchStrategy.LAUNCH_ONCE and step_index > 0:
+            obs.charge("cell.mailbox.words", 2 * active)
+            obs.charge("cell.mailbox.round_trips", active)
+        obs.charge("cell.spe.active", active)
+        obs.charge("cell.spe.slots", self.n_spes)
+        program = self._program(self._box_length)
+        stats = issue_stats(program, SPE_COST_TABLE, metrics.as_dict())
+        obs.charge_many({
+            "cell.spe.instructions": stats.instructions * active,
+            "cell.spe.cycles": stats.cycles * active,
+            "cell.spe.dual_issue_cycles": stats.dual_issue_cycles * active,
+            "cell.spe.branch_evals": stats.branch_evals * active,
+            "cell.spe.branch_taken": stats.branch_taken * active,
+            "cell.spe.branch_flush_cycles": stats.branch_flush_cycles * active,
+        })
+        if self.mode == "vm":
+            window = self._vm_window
+            segments = int(window["segments"])
+            if segments:
+                obs.charge("vm.segments", segments)
+            for key, (taken_mass, samples) in window["branches"].items():
+                if samples:
+                    obs.charge(f"vm.branch.{key}.samples", samples)
+                    obs.charge(f"vm.branch.{key}.taken_mass", taken_mass)
+            self._vm_window = {"segments": 0, "branches": {}}
+
+        # Timeline: launch on the PPE, then all SPEs gather and compute
+        # concurrently, then the PPE drains mailboxes and integrates.
+        launch = parts.get("thread_launch", 0.0)
+        dma = parts.get("dma", 0.0)
+        kernel = parts.get("spe_kernel", 0.0)
+        mailbox = parts.get("mailbox", 0.0)
+        host = parts.get("ppe_host", 0.0)
+        recovery = parts.get("fault_recovery", 0.0)
+        if launch > 0.0:
+            obs.span_at("thread_launch", "ppe", 0.0, launch,
+                        args={"step": step_index})
+        for spe in range(active):
+            lane = f"spe{spe}"
+            if dma > 0.0:
+                obs.span_at("dma", lane, launch, dma, args={"step": step_index})
+            if kernel > 0.0:
+                obs.span_at("spe_exec", lane, launch + dma, kernel,
+                            args={"step": step_index})
+        after = launch + dma + kernel
+        if mailbox > 0.0:
+            obs.span_at("mailbox_wait", "ppe", after, mailbox,
+                        args={"step": step_index})
+        if host > 0.0:
+            obs.span_at("ppe_host", "ppe", after + mailbox, host,
+                        args={"step": step_index})
+        if recovery > 0.0:
+            obs.span_at("fault_recovery", "ppe", after + mailbox + host,
+                        recovery, args={"step": step_index})
 
     def _step_faults(
         self, session, traffic, layout, kernel_seconds: float, step_index: int
@@ -288,3 +414,19 @@ class PPEOnlyDevice(Device):
             "ppe_kernel": self.ppe.kernel_seconds(program, metrics.as_dict()),
             "ppe_host": self.ppe.integration_seconds(metrics.n_atoms),
         }
+
+    def observe_step(
+        self,
+        obs: Observation,
+        metrics: KernelMetrics,
+        parts: dict[str, float],
+        step_index: int,
+    ) -> None:
+        # Everything happens on the one PPE: lay the parts end to end on
+        # a single "ppe" lane.
+        offset = 0.0
+        for name, seconds in parts.items():
+            if seconds > 0.0:
+                obs.span_at(name, "ppe", offset, seconds,
+                            args={"step": step_index})
+                offset += seconds

@@ -119,6 +119,23 @@ class MDTrafficPlan:
             resident=False, tile_atoms=tile_atoms, transfers_per_step=transfers
         )
 
+    def transactions_per_spe(self, plan: ResidencyPlan) -> int:
+        """DMA commands one SPE issues per step.
+
+        Each command moves at most the engine's maximum transfer size
+        (16 KB on the EIB); resident layouts gather the whole position
+        array in one burst of commands, tiled layouts issue a burst per
+        tile.  This is the ``cell.dma.transactions`` hardware counter.
+        """
+        chunk = cal.EIB_DMA_MAX_TRANSFER_BYTES
+        out_cmds = -(-self.bytes_out // chunk)
+        if plan.resident:
+            in_cmds = -(-self.bytes_in // chunk)
+        else:
+            tile_bytes = min(self.bytes_in, plan.tile_atoms * cal.VEC4_F32_BYTES)
+            in_cmds = plan.transfers_per_step * -(-tile_bytes // chunk)
+        return in_cmds + out_cmds
+
     def step_transfer_seconds(
         self, engine: DMAEngine, plan: ResidencyPlan | None = None
     ) -> float:

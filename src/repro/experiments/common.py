@@ -101,6 +101,10 @@ class ExperimentResult:
     checks: tuple[ShapeCheck, ...]
     notes: tuple[str, ...] = ()
     plot: str | None = None
+    #: hardware counters merged across every observed device run the
+    #: experiment performed ("{device}/{counter}" keys); empty unless
+    #: the harness ran the job under ``observe=True``
+    counters: Mapping[str, float] = dataclasses.field(default_factory=dict)
 
     @property
     def all_passed(self) -> bool:
@@ -127,6 +131,7 @@ class ExperimentResult:
             "notes": list(self.notes),
             "plot": self.plot,
             "all_passed": self.all_passed,
+            "counters": {k: float(v) for k, v in sorted(self.counters.items())},
         }
 
     @classmethod
@@ -139,6 +144,7 @@ class ExperimentResult:
             checks=tuple(ShapeCheck.from_dict(c) for c in data["checks"]),
             notes=tuple(data.get("notes", ())),
             plot=data.get("plot"),
+            counters=dict(data.get("counters") or {}),
         )
 
 

@@ -16,13 +16,18 @@ result cache, and stored run artifacts, use ``python -m repro.harness``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from functools import partial
+from pathlib import Path
 from typing import Any, Callable, Mapping
 
 from repro.experiments.common import ExperimentResult
 
 __all__ = ["all_experiments", "main"]
+
+#: Where ``--trace`` drops its Chrome trace-event artifacts.
+DEFAULT_TRACE_DIR = Path("runs") / "traces"
 
 
 def all_experiments(
@@ -48,9 +53,30 @@ def all_experiments(
     ]
 
 
-def _print_record(record: Mapping[str, Any]) -> None:
+def _print_record(
+    record: Mapping[str, Any],
+    show_counters: bool = False,
+    trace_dir: Path | None = None,
+) -> None:
     if record["status"] == "ok":
         print(ExperimentResult.from_dict(record["result"]).render())
+        if show_counters:
+            counters = record["result"].get("counters") or {}
+            if counters:
+                width = max(len(name) for name in counters)
+                print("hardware counters:")
+                for name in sorted(counters):
+                    print(f"  {name:<{width}}  {counters[name]:.6g}")
+        if trace_dir is not None and record.get("trace"):
+            from repro.reporting import ascii_timeline
+
+            trace_dir.mkdir(parents=True, exist_ok=True)
+            path = trace_dir / f"{record['experiment_id']}.trace.json"
+            path.write_text(
+                json.dumps(record["trace"], indent=2, sort_keys=True) + "\n"
+            )
+            print(ascii_timeline(record["trace"]), end="")
+            print(f"trace: {path}  (load in chrome://tracing or ui.perfetto.dev)")
     else:
         print(f"[ERROR] {record['experiment_id']}: experiment {record['status']}")
         if record.get("traceback"):
@@ -102,6 +128,23 @@ def main(argv: list[str] | None = None) -> int:
         help="fault plan for the chaos experiment: 'storm', 'none', or a "
         "path to a JSON plan file (applies to experiments that accept one)",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="observe every experiment, print an ASCII timeline, and write "
+        f"Chrome trace-event JSON under {DEFAULT_TRACE_DIR}/",
+    )
+    parser.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help=f"directory for --trace artifacts (default: {DEFAULT_TRACE_DIR})",
+    )
+    parser.add_argument(
+        "--counters",
+        action="store_true",
+        help="observe every experiment and print its hardware-counter summary",
+    )
     args = parser.parse_args(argv)
 
     fault_plan = None
@@ -126,6 +169,7 @@ def main(argv: list[str] | None = None) -> int:
 
     from repro.harness import api
 
+    observe = args.trace or args.counters
     try:
         jobs = api.jobs_from_registry(
             quick=args.quick,
@@ -133,16 +177,23 @@ def main(argv: list[str] | None = None) -> int:
             fault_plan=fault_plan,
             only=[args.only] if args.only else None,
             skip=args.skip,
+            observe=observe,
         )
     except KeyError as exc:
         parser.error(exc.args[0])
+
+    trace_dir = None
+    if args.trace:
+        trace_dir = Path(args.trace_dir) if args.trace_dir else DEFAULT_TRACE_DIR
 
     outcome = api.run_roster(
         jobs,
         store=None,  # ephemeral: no runs/ artifacts, no cache
         max_workers=0,  # inline, roster order, monkeypatch-friendly
         use_cache=False,
-        on_record=_print_record,
+        on_record=partial(
+            _print_record, show_counters=args.counters, trace_dir=trace_dir
+        ),
     )
     failures = outcome.failures
     if failures:

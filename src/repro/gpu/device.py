@@ -18,12 +18,14 @@ from repro.arch.device import Device
 from repro.arch.interconnect import PCIeBus, TransferModel
 from repro.arch.profilecounts import KernelMetrics
 from repro.gpu.kernels import build_md_shader, shader_constants
-from repro.gpu.pipelines import PipelineArray
+from repro.gpu.pipelines import GPU_ISSUE_SLOTS, PipelineArray
 from repro.md.box import PeriodicBox
 from repro.md.forces import ForceResult, compute_forces
 from repro.md.lj import LennardJones
 from repro.md.simulation import MDConfig
+from repro.obs.observe import Observation
 from repro.vm.machine import Machine, resolve_exec_backend
+from repro.vm.schedule import count_issues
 
 __all__ = ["GpuDevice", "GpuPairSweep", "make_pcie_bus"]
 
@@ -135,6 +137,7 @@ class GpuDevice(Device):
         self.pipelines = PipelineArray()
         self.pcie = make_pcie_bus()
         self._shader_cache: dict[float, object] = {}
+        self._sweep_cache: dict[float, GpuPairSweep] = {}
 
     def prepare(self, config: MDConfig) -> None:
         self._box_length = config.make_box().length
@@ -150,9 +153,17 @@ class GpuDevice(Device):
         if self.mode == "fast":
             return self.functional_backend(sim_box, potential)
 
-        shader = self._shader(sim_box.length)
-        sweep = GpuPairSweep(shader)
+        key = round(sim_box.length, 12)
+        sweep = self._sweep_cache.get(key)
+        if sweep is None:
+            if len(self._sweep_cache) > 4:
+                self._sweep_cache.clear()
+            sweep = GpuPairSweep(self._shader(sim_box.length))
+            self._sweep_cache[key] = sweep
         constants = shader_constants(potential, sim_box.length)
+        # Cached machines carry state across runs: disarm any stale
+        # fault session before optionally arming this run's.
+        sweep.machine.install_fault_session(None)
         if self.fault_session is not None:
             # vm mode flips bits in the real render-target registers.
             self.fault_session.adopt_machine(sweep.machine)
@@ -213,6 +224,59 @@ class GpuDevice(Device):
             "driver": cal.GPU_STEP_OVERHEAD_S,
             "host": self._host_seconds(metrics.n_atoms),
         }
+
+    def observe_step(
+        self,
+        obs: Observation,
+        metrics: KernelMetrics,
+        parts: dict[str, float],
+        step_index: int,
+    ) -> None:
+        n = metrics.n_atoms
+        array_bytes = n * cal.VEC4_F32_BYTES
+        shader = self._shader(self._box_length)
+        shader_metrics = dict(metrics.as_dict())
+        shader_metrics["pairs"] = float(n) ** 2
+        obs.charge_many({
+            "gpu.pcie.bytes_up": array_bytes,
+            "gpu.pcie.bytes_down": array_bytes,
+            "gpu.pcie.bytes": 2 * array_bytes,
+            "gpu.pcie.transfers": 2,
+            "gpu.shader.passes": 1,
+            "gpu.shader.invocations": n,
+            "gpu.shader.pair_trips": n * n,
+            "gpu.shader.issues": count_issues(
+                shader.program, shader_metrics, issue_slots=GPU_ISSUE_SLOTS
+            ),
+        })
+        # Timeline: upload, then all pipelines rasterize concurrently,
+        # then readback; driver overhead and host integration close out.
+        upload = parts.get("pcie_upload", 0.0)
+        shade = parts.get("shader", 0.0)
+        readback = parts.get("pcie_readback", 0.0)
+        driver = parts.get("driver", 0.0)
+        host = parts.get("host", 0.0)
+        recovery = parts.get("fault_recovery", 0.0)
+        if upload > 0.0:
+            obs.span_at("pcie", "pcie", 0.0, upload,
+                        args={"step": step_index, "dir": "upload"})
+        if shade > 0.0:
+            for pipe in range(self.pipelines.n_pipelines):
+                obs.span_at("shader_pass", f"pipe{pipe}", upload, shade,
+                            args={"step": step_index})
+        if readback > 0.0:
+            obs.span_at("pcie", "pcie", upload + shade, readback,
+                        args={"step": step_index, "dir": "readback"})
+        after = upload + shade + readback
+        if driver > 0.0:
+            obs.span_at("driver", "host", after, driver,
+                        args={"step": step_index})
+        if host > 0.0:
+            obs.span_at("host", "host", after + driver, host,
+                        args={"step": step_index})
+        if recovery > 0.0:
+            obs.span_at("fault_recovery", "host", after + driver + host,
+                        recovery, args={"step": step_index})
 
     @staticmethod
     def _host_seconds(n_atoms: int) -> float:

@@ -37,6 +37,7 @@ from repro.gpu.kernels import build_md_shader
 from repro.md.box import PeriodicBox
 from repro.md.lj import LennardJones
 from repro.md.simulation import MDConfig
+from repro.obs.observe import Observation
 from repro.vm.schedule import count_issues
 
 __all__ = ["NextGenGpuSpec", "NextGenGpuDevice"]
@@ -180,3 +181,53 @@ class NextGenGpuDevice(Device):
 
     def setup_breakdown(self) -> dict[str, float]:
         return {"jit_setup": cal.GPU_JIT_SETUP_S / 2.0}
+
+    def observe_step(
+        self,
+        obs: Observation,
+        metrics: KernelMetrics,
+        parts: dict[str, float],
+        step_index: int,
+    ) -> None:
+        n = metrics.n_atoms
+        array_bytes = n * cal.VEC4_F32_BYTES
+        obs.charge_many({
+            "gpu.pcie.bytes_up": array_bytes,
+            "gpu.pcie.bytes_down": array_bytes,
+            "gpu.pcie.bytes": 2 * array_bytes,
+            "gpu.pcie.transfers": 2,
+            "gpu.shader.passes": 1,
+            "gpu.shader.invocations": n,
+            "gpu.shader.pair_trips": n * n,
+            # invert kernel_seconds back to scalar issue slots (the
+            # staging and shared-load surcharges included)
+            "gpu.shader.issues": self.kernel_seconds(metrics) * self.issue_rate,
+        })
+        # One "gpu" lane: the SP array is a single dispatch domain here
+        # (per-SM lanes would imply a block schedule this model doesn't
+        # simulate).
+        upload = parts.get("pcie_upload", 0.0)
+        kernel = parts.get("kernel", 0.0)
+        reduction = parts.get("reduction", 0.0)
+        readback = parts.get("pcie_readback", 0.0)
+        driver = parts.get("driver", 0.0)
+        host = parts.get("host", 0.0)
+        if upload > 0.0:
+            obs.span_at("pcie", "pcie", 0.0, upload,
+                        args={"step": step_index, "dir": "upload"})
+        if kernel > 0.0:
+            obs.span_at("kernel", "gpu", upload, kernel,
+                        args={"step": step_index})
+        if reduction > 0.0:
+            obs.span_at("reduction", "gpu", upload + kernel, reduction,
+                        args={"step": step_index})
+        after = upload + kernel + reduction
+        if readback > 0.0:
+            obs.span_at("pcie", "pcie", after, readback,
+                        args={"step": step_index, "dir": "readback"})
+        if driver > 0.0:
+            obs.span_at("driver", "host", after + readback, driver,
+                        args={"step": step_index})
+        if host > 0.0:
+            obs.span_at("host", "host", after + readback + driver, host,
+                        args={"step": step_index})

@@ -17,7 +17,20 @@ from repro.harness.jobs import STATUS_OK, Job, job_cache_key
 from repro.harness.scheduler import run_jobs
 from repro.harness.store import RunStore
 
-__all__ = ["RunOutcome", "jobs_from_registry", "run_roster", "diff_runs", "manifest_essence"]
+__all__ = [
+    "RunOutcome",
+    "jobs_from_registry",
+    "run_roster",
+    "diff_runs",
+    "manifest_essence",
+    "COUNTER_REGRESSION_TOLERANCE",
+]
+
+#: Relative drift above which a hardware counter difference between two
+#: observed runs counts as a regression in ``diff``.  Exact counters
+#: (count/bytes units) are deterministic, so any drift at all on them is
+#: already suspicious; 5% keeps the gate robust for derived quantities.
+COUNTER_REGRESSION_TOLERANCE = 0.05
 
 
 @dataclasses.dataclass(frozen=True)
@@ -44,6 +57,7 @@ def jobs_from_registry(
     fault_plan: Mapping[str, Any] | None = None,
     only: Iterable[str] | None = None,
     skip: Iterable[str] = (),
+    observe: bool = False,
 ) -> list[Job]:
     """Build the experiment roster as harness jobs.
 
@@ -52,6 +66,8 @@ def jobs_from_registry(
     ``fault_plan`` (a JSON-native ``FaultPlan.to_dict()``) reaches the
     specs that accept it and lands in their job params — so it is part
     of the cache key, and runs under different plans never alias.
+    ``observe`` runs every job under an observation session: hardware
+    counters land in the result, trace documents in the run store.
     """
     from repro.experiments.registry import EXPERIMENTS, spec_for
 
@@ -73,6 +89,7 @@ def jobs_from_registry(
                 params=spec.params(
                     quick=quick, force_path=force_path, fault_plan=fault_plan
                 ),
+                observe=observe,
             )
         )
     return jobs
@@ -175,6 +192,8 @@ def run_roster(
     if store is not None:
         for record in ordered:
             store.write_job_record(run_id, record)
+            if record.get("trace"):
+                store.write_trace(run_id, record["job_id"], record["trace"])
             if record["status"] == STATUS_OK and not record.get("cached"):
                 store.cache_put(record["cache_key"], record)
         store.write_manifest(run_id, manifest)
@@ -206,13 +225,16 @@ def _checks_by_experiment(
     out: dict[str, dict[str, Any]] = {}
     for record in store.iter_job_records(run_id):
         checks = {}
+        counters: dict[str, float] = {}
         if record.get("result"):
             for check in record["result"].get("checks", []):
                 checks[check["key"]] = check
+            counters = dict(record["result"].get("counters") or {})
         out[record["experiment_id"]] = {
             "status": record["status"],
             "all_passed": record.get("all_passed"),
             "checks": checks,
+            "counters": counters,
         }
     return out
 
@@ -221,9 +243,11 @@ def diff_runs(store: RunStore, run_a: str, run_b: str) -> tuple[list[str], int]:
     """Compare two stored runs' shape checks; return (lines, regressions).
 
     A *regression* is a check that passed in ``run_a`` and fails in
-    ``run_b``, or an experiment that was ok in ``run_a`` and did not
-    finish in ``run_b``.  Measured-value drift within a band is
-    reported but not counted.
+    ``run_b``, an experiment that was ok in ``run_a`` and did not
+    finish in ``run_b``, or — when both runs were observed — a hardware
+    counter whose relative drift exceeds
+    :data:`COUNTER_REGRESSION_TOLERANCE`.  Measured-value drift within
+    a shape band is reported but not counted.
     """
     a = _checks_by_experiment(store, run_a)
     b = _checks_by_experiment(store, run_b)
@@ -268,6 +292,20 @@ def diff_runs(store: RunStore, run_a: str, run_b: str) -> tuple[list[str], int]:
                 f"[{'PASS' if ca['passed'] else 'FAIL'}->"
                 f"{'PASS' if cb['passed'] else 'FAIL'}]{flag}"
             )
+        # Hardware-counter gate: only when both runs observed this
+        # experiment — a plain-vs-observed diff is not a regression.
+        if ea["counters"] and eb["counters"]:
+            from repro.obs.counters import diff_counters
+
+            for name, va, vb, drift in diff_counters(
+                ea["counters"], eb["counters"],
+                tolerance=COUNTER_REGRESSION_TOLERANCE,
+            ):
+                regressions += 1
+                lines.append(
+                    f"{eid}/{name}: counter {va:.6g} -> {vb:.6g} "
+                    f"({drift:+.1%} drift) COUNTER REGRESSION"
+                )
     if not lines:
         lines.append("runs are identical on every shape check")
     return lines, regressions

@@ -5,7 +5,7 @@ Subcommands::
     run   [--quick] [--jobs N] [--only ID ...] [--skip ID ...]
           [--force-path NAME] [--fault-plan PLAN] [--timeout S]
           [--retries N] [--no-cache] [--invalidate ID ...]
-          [--runs-dir DIR] [--list]
+          [--trace] [--counters] [--runs-dir DIR] [--list]
     list  [--runs-dir DIR]            # stored runs, oldest first
     show  RUN_ID [--render] [--runs-dir DIR]
     diff  RUN_A RUN_B [--runs-dir DIR]   # shape-band regressions
@@ -62,6 +62,12 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="recompute everything; do not read or reuse the cache")
     run.add_argument("--invalidate", action="append", default=[], metavar="ID",
                      help="drop cached records for an experiment id first (repeatable)")
+    run.add_argument("--trace", action="store_true",
+                     help="observe every job: store Chrome trace-event JSON "
+                     "under runs/<run_id>/traces/ and counters in results")
+    run.add_argument("--counters", action="store_true",
+                     help="observe every job and print its hardware-counter "
+                     "summary (implied by --trace for collection)")
     run.add_argument("--list", action="store_true",
                      help="list experiment ids and descriptions, then exit")
     from repro.md.forcefield import available_backends
@@ -143,6 +149,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         except (ValueError, OSError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+    observe = args.trace or args.counters
     try:
         jobs = api.jobs_from_registry(
             quick=args.quick,
@@ -150,6 +157,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             fault_plan=fault_plan,
             only=args.only or None,
             skip=args.skip,
+            observe=observe,
         )
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
@@ -172,9 +180,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "fault_plan": args.fault_plan,
             "only": args.only,
             "skip": args.skip,
+            "trace": args.trace,
+            "counters": args.counters,
         },
         on_record=lambda record: print(_status_line(record), flush=True),
     )
+    if args.counters:
+        for record in outcome.records:
+            counters = (record.get("result") or {}).get("counters") or {}
+            if not counters:
+                continue
+            print(f"\n[{record['job_id']}] hardware counters:")
+            width = max(len(name) for name in counters)
+            for name in sorted(counters):
+                print(f"  {name:<{width}}  {counters[name]:.6g}")
+    if args.trace and outcome.run_id is not None:
+        for job_id in store.list_traces(outcome.run_id):
+            print(f"trace: {store.trace_path(outcome.run_id, job_id)}")
     m = outcome.manifest
     print(
         f"run {outcome.run_id}: {m['job_count']} job(s), "

@@ -38,6 +38,10 @@ class Job:
     module: str
     func: str
     params: Mapping[str, Any] = dataclasses.field(default_factory=dict)
+    #: run the experiment inside an observation session: its device runs
+    #: collect hardware counters (merged into the result) and a Chrome
+    #: trace document (stored alongside the job record)
+    observe: bool = False
 
     def payload(self, cache_key: str | None = None) -> dict[str, Any]:
         """The picklable dict shipped to worker processes."""
@@ -48,6 +52,7 @@ class Job:
             "func": self.func,
             "params": dict(self.params),
             "cache_key": cache_key,
+            "observe": self.observe,
         }
 
 
@@ -58,17 +63,19 @@ def job_cache_key(job: Job, code_fingerprint: str) -> str:
     so a key computed from an in-memory roster matches one recomputed
     from a JSON-round-tripped manifest.
     """
-    payload = json.dumps(
-        {
-            "experiment_id": job.experiment_id,
-            "module": job.module,
-            "func": job.func,
-            "params": job.params,
-            "code": code_fingerprint,
-        },
-        sort_keys=True,
-        default=str,
-    )
+    keyed: dict[str, Any] = {
+        "experiment_id": job.experiment_id,
+        "module": job.module,
+        "func": job.func,
+        "params": job.params,
+        "code": code_fingerprint,
+    }
+    if job.observe:
+        # Observed records carry counters and a trace that plain records
+        # lack, so they must not alias; plain keys stay byte-identical
+        # to pre-observability keys (old caches remain valid).
+        keyed["observe"] = True
+    payload = json.dumps(keyed, sort_keys=True, default=str)
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
@@ -96,11 +103,23 @@ def execute_job(payload: Mapping[str, Any]) -> dict[str, Any]:
         "stdout": "",
         "wall_seconds": 0.0,
         "cpu_seconds": 0.0,
+        "trace": None,
     }
     try:
         with contextlib.redirect_stdout(captured), contextlib.redirect_stderr(captured):
             func = getattr(importlib.import_module(payload["module"]), payload["func"])
-            result = func(**record["params"])
+            if payload.get("observe"):
+                from repro.obs.context import collect
+
+                with collect() as session:
+                    result = func(**record["params"])
+                if session.runs:
+                    result = dataclasses.replace(
+                        result, counters=session.merged_counters()
+                    )
+                    record["trace"] = session.chrome_trace()
+            else:
+                result = func(**record["params"])
         record["result"] = result.to_dict()
         record["all_passed"] = bool(result.all_passed)
     except Exception:

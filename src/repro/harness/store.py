@@ -7,6 +7,7 @@ Layout::
       <run_id>/
         manifest.json            # run metadata + per-job summary rows
         jobs/<job_id>.json       # full per-job records (incl. cached replays)
+        traces/<job_id>.trace.json   # Chrome trace docs (observed runs only)
 
 Run ids sort chronologically (``YYYYmmdd-HHMMSS-xxxxxx``).  Every run
 directory is self-contained: replayed jobs get their full record copied
@@ -28,6 +29,7 @@ DEFAULT_RUNS_DIR = "runs"
 
 _CACHE_DIR = "cache"
 _JOBS_DIR = "jobs"
+_TRACES_DIR = "traces"
 _MANIFEST = "manifest.json"
 
 
@@ -99,6 +101,38 @@ class RunStore:
         manifest = self.read_manifest(run_id)
         for entry in manifest.get("jobs", []):
             yield self.read_job_record(run_id, entry["job_id"])
+
+    # -- trace artifacts ----------------------------------------------
+
+    def trace_path(self, run_id: str, job_id: str) -> Path:
+        return self.run_dir(run_id) / _TRACES_DIR / f"{job_id}.trace.json"
+
+    def write_trace(
+        self, run_id: str, job_id: str, trace: Mapping[str, Any]
+    ) -> Path:
+        """Persist one job's Chrome trace-event document."""
+        path = self.trace_path(run_id, job_id)
+        _dump(path, trace)
+        return path
+
+    def read_trace(self, run_id: str, job_id: str) -> dict[str, Any]:
+        path = self.trace_path(run_id, job_id)
+        if not path.exists():
+            raise FileNotFoundError(
+                f"no trace for job {job_id!r} in run {run_id!r} "
+                f"(was the run observed with --trace?)"
+            )
+        return _load(path)
+
+    def list_traces(self, run_id: str) -> list[str]:
+        """Job ids with a stored trace document, sorted."""
+        traces_dir = self.run_dir(run_id) / _TRACES_DIR
+        if not traces_dir.is_dir():
+            return []
+        return sorted(
+            p.name[: -len(".trace.json")]
+            for p in traces_dir.glob("*.trace.json")
+        )
 
     # -- result cache --------------------------------------------------
 

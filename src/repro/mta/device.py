@@ -29,6 +29,7 @@ from repro.mta.kernels import (
     md_kernel_ir,
 )
 from repro.mta.streams import StreamModel
+from repro.obs.observe import Observation
 from repro.vm.schedule import count_issues
 
 __all__ = ["MTADevice"]
@@ -138,3 +139,65 @@ class MTADevice(Device):
             "pe_reduction": reduction_seconds,
             "integration": integ_seconds,
         }
+
+    def observe_step(
+        self,
+        obs: Observation,
+        metrics: KernelMetrics,
+        parts: dict[str, float],
+        step_index: int,
+    ) -> None:
+        metric_map = metrics.as_dict()
+        pair_issues = count_issues(
+            self._pair_program(self._box_length),
+            metric_map,
+            issue_slots=MTA_ISSUE_SLOTS,
+        )
+        integ_issues = count_issues(
+            build_mta_integration_program(),
+            metric_map,
+            issue_slots=MTA_ISSUE_SLOTS,
+        )
+        if self.compilation.loop("step2_forces").parallel:
+            parallel = pair_issues + integ_issues
+            serial = SynchronizedReduction().critical_path_issues(
+                metrics.n_atoms
+            )
+            obs.charge("mta.fullempty.updates", metrics.n_atoms)
+        else:
+            parallel = integ_issues
+            serial = pair_issues
+        obs.charge_many({
+            "mta.issues.parallel": parallel,
+            "mta.issues.serial": serial,
+            "mta.issues.total": parallel + serial,
+            "mta.streams.concurrent": metrics.n_atoms,
+            "mta.streams.slots": self.streams.n_streams
+            * self.streams.n_processors,
+        })
+        obs.sample(
+            "mta.stream.utilization",
+            {"utilization": self.streams.utilization(float(metrics.n_atoms))},
+        )
+        # Timeline: every processor works the force loop and the
+        # integration; the full/empty PE combination serializes between
+        # them on its own "sync" lane.
+        force = parts.get("force_loop", 0.0)
+        reduction = parts.get("pe_reduction", 0.0)
+        integ = parts.get("integration", 0.0)
+        recovery = parts.get("fault_recovery", 0.0)
+        for proc in range(self.streams.n_processors):
+            lane = f"proc{proc}"
+            if force > 0.0:
+                obs.span_at("force_loop", lane, 0.0, force,
+                            args={"step": step_index})
+            if integ > 0.0:
+                obs.span_at("integration", lane, force + reduction, integ,
+                            args={"step": step_index})
+        if reduction > 0.0:
+            obs.span_at("pe_reduction", "sync", force, reduction,
+                        args={"step": step_index})
+        if recovery > 0.0:
+            obs.span_at("fault_recovery", "sync",
+                        force + reduction + integ, recovery,
+                        args={"step": step_index})

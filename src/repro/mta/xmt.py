@@ -39,6 +39,7 @@ from repro.mta.kernels import (
     build_mta_pair_program,
 )
 from repro.mta.streams import StreamModel
+from repro.obs.observe import Observation
 from repro.vm.isa import OPS
 from repro.vm.program import Program
 from repro.vm.schedule import count_issues
@@ -200,3 +201,47 @@ class XMTDevice(Device):
             "network_wait": network_wait,
             "integration": integ_seconds,
         }
+
+    def observe_step(
+        self,
+        obs: Observation,
+        metrics: KernelMetrics,
+        parts: dict[str, float],
+        step_index: int,
+    ) -> None:
+        metric_map = metrics.as_dict()
+        issues = count_issues(
+            self._pair_program(self._box_length),
+            metric_map,
+            issue_slots=MTA_ISSUE_SLOTS,
+        )
+        integ_issues = count_issues(
+            build_mta_integration_program(),
+            metric_map,
+            issue_slots=MTA_ISSUE_SLOTS,
+        )
+        obs.charge_many({
+            "mta.issues.parallel": issues + integ_issues,
+            "mta.issues.total": issues + integ_issues,
+            "mta.streams.concurrent": metrics.n_atoms,
+            "mta.streams.slots": self.streams.n_streams * self.n_processors,
+        })
+        obs.sample(
+            "mta.stream.utilization",
+            {"utilization": self.streams.utilization(float(metrics.n_atoms))},
+        )
+        # One aggregate "streams" lane (the XMT scales to thousands of
+        # processors — per-processor lanes would be unreadable) plus a
+        # "network" lane for the exposed torus wait.
+        force = parts.get("force_loop", 0.0)
+        network = parts.get("network_wait", 0.0)
+        integ = parts.get("integration", 0.0)
+        if force > 0.0:
+            obs.span_at("force_loop", "streams", 0.0, force,
+                        args={"step": step_index})
+        if network > 0.0:
+            obs.span_at("network_wait", "network", force, network,
+                        args={"step": step_index})
+        if integ > 0.0:
+            obs.span_at("integration", "streams", force + network, integ,
+                        args={"step": step_index})

@@ -1,0 +1,158 @@
+"""The golden-counter roster: one fixed-seed run per device model.
+
+Shared by the regression tests (``tests/obs/test_golden_counters.py``)
+and the refresh script (``scripts/update_golden_counters.py``) so both
+always execute exactly the same workload.  Each entry runs a freshly
+constructed device for :data:`GOLDEN_STEPS` steps of the paper workload
+at :data:`GOLDEN_ATOMS` atoms (the default seed, 2007, is baked into
+``MDConfig``) under an explicit :class:`~repro.obs.observe.Observation`
+and snapshots the counters.
+
+The snapshots live in ``tests/obs/golden/<name>.json``.  Counters whose
+unit is exact (``count``/``bytes``) must match to the integer; the rest
+(issue/cycle expectations, simulated seconds) compare within
+:data:`GOLDEN_REL_TOL` — they are deterministic too, but float
+accumulation order may legitimately shift at the last few ulps.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+from repro.arch.device import Device
+from repro.md.simulation import MDConfig
+from repro.obs.counters import spec_for
+from repro.obs.observe import Observation
+
+__all__ = [
+    "GOLDEN_ATOMS",
+    "GOLDEN_STEPS",
+    "GOLDEN_REL_TOL",
+    "GOLDEN_DIR",
+    "GOLDEN_DEVICES",
+    "golden_counters",
+    "compare_golden",
+]
+
+#: Smallest paper-workload size whose box admits the 2.5σ cutoff.
+GOLDEN_ATOMS = 128
+GOLDEN_STEPS = 2
+#: Relative tolerance for non-exact (issues/cycles/seconds/ratio) counters.
+GOLDEN_REL_TOL = 1e-9
+
+GOLDEN_DIR = Path(__file__).resolve().parents[3] / "tests" / "obs" / "golden"
+
+
+def _cell(n_spes: int = 8, mode: str = "fast") -> Device:
+    from repro.cell.device import CellDevice
+
+    return CellDevice(n_spes=n_spes, mode=mode)
+
+
+def _ppe_only() -> Device:
+    from repro.cell.device import PPEOnlyDevice
+
+    return PPEOnlyDevice()
+
+
+def _opteron() -> Device:
+    from repro.opteron.device import OpteronDevice
+
+    return OpteronDevice()
+
+
+def _gpu() -> Device:
+    from repro.gpu.device import GpuDevice
+
+    return GpuDevice()
+
+
+def _nextgen() -> Device:
+    from repro.gpu.nextgen import NextGenGpuDevice
+
+    return NextGenGpuDevice()
+
+
+def _mta(fully: bool = True) -> Device:
+    from repro.mta.device import MTADevice
+
+    return MTADevice(fully_multithreaded=fully)
+
+
+def _xmt() -> Device:
+    from repro.mta.xmt import XMTDevice
+
+    return XMTDevice(n_processors=8)
+
+
+#: name -> zero-argument device factory.  Fresh device per run: cached
+#: sweeps/programs must not leak state between golden entries.
+GOLDEN_DEVICES: dict[str, Callable[[], Device]] = {
+    "opteron": _opteron,
+    "cell-8spe": lambda: _cell(8),
+    "cell-1spe-vm": lambda: _cell(1, mode="vm"),
+    "ppe-only": _ppe_only,
+    "gpu-7900gtx": _gpu,
+    "gpu-nextgen": _nextgen,
+    "mta2-fully": lambda: _mta(True),
+    "mta2-partially": lambda: _mta(False),
+    "xmt-8p": _xmt,
+}
+
+
+def golden_counters(name: str) -> dict[str, float]:
+    """Run one roster entry and return its counter snapshot."""
+    device = GOLDEN_DEVICES[name]()
+    obs = Observation(device.name)
+    result = device.run(
+        MDConfig(n_atoms=GOLDEN_ATOMS), GOLDEN_STEPS, observe=obs
+    )
+    return dict(result.counters)
+
+
+def golden_path(name: str) -> Path:
+    return GOLDEN_DIR / f"{name}.json"
+
+
+def load_golden(name: str) -> dict[str, Any]:
+    return json.loads(golden_path(name).read_text())
+
+
+def compare_golden(
+    measured: Mapping[str, float], golden: Mapping[str, float]
+) -> list[str]:
+    """Readable diff lines between a measurement and its snapshot.
+
+    Empty means identical under the unit-aware comparison: exact units
+    to the integer, everything else within :data:`GOLDEN_REL_TOL`.
+    """
+    problems: list[str] = []
+    for name in sorted(set(measured) | set(golden)):
+        if name not in golden:
+            problems.append(
+                f"{name}: {measured[name]:.9g} measured, absent from golden "
+                "(new counter? run scripts/update_golden_counters.py)"
+            )
+            continue
+        if name not in measured:
+            problems.append(
+                f"{name}: {golden[name]:.9g} golden, no longer measured"
+            )
+            continue
+        want, got = float(golden[name]), float(measured[name])
+        if spec_for(name).exact:
+            if got != want:
+                problems.append(
+                    f"{name}: exact counter drifted "
+                    f"{want:.9g} -> {got:.9g} ({got - want:+.9g})"
+                )
+        else:
+            scale = max(abs(want), abs(got))
+            if scale and abs(got - want) / scale > GOLDEN_REL_TOL:
+                problems.append(
+                    f"{name}: {want:.12g} -> {got:.12g} "
+                    f"(rel {abs(got - want) / scale:.3g} > {GOLDEN_REL_TOL})"
+                )
+    return problems

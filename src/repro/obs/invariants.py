@@ -1,0 +1,169 @@
+"""Conservation laws and structural invariants over observations.
+
+Each checker returns a list of human-readable problem strings (empty
+means the invariant holds), so tests can assert emptiness and print the
+violations verbatim.  The laws are the ones the paper's accounting
+rests on:
+
+* **DMA conservation** — Σ ``cell.dma.bytes`` equals the bytes of the
+  arrays actually moved: every SPE gathers the whole position array and
+  pushes back its acceleration rows, every step (section 5.1).
+* **PCIe conservation** — ``gpu.pcie.bytes`` equals one position upload
+  plus one acceleration readback of ``N * 16`` bytes per step (Fig. 7).
+* **Span nesting** — within each ``step`` span, the spans on any one
+  lane sum to no more than the step's duration (components of a step
+  cannot take longer than the step).
+* **Monotonic steps** — ``step`` spans tile the simulated timeline in
+  order, without overlap or gaps.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.arch import calibration as cal
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "dma_conservation_problems",
+    "pcie_conservation_problems",
+    "span_nesting_problems",
+    "monotonic_step_problems",
+]
+
+#: Absolute slack for float comparisons of simulated seconds.
+_EPS = 1.0e-9
+
+
+def _rel_eq(a: float, b: float, tol: float = 1.0e-9) -> bool:
+    scale = max(abs(a), abs(b), 1.0)
+    return abs(a - b) <= tol * scale
+
+
+def dma_conservation_problems(
+    counters: Mapping[str, float],
+    n_atoms: int,
+    n_spes: int,
+    n_steps: int,
+) -> list[str]:
+    """Check Cell DMA byte accounting against the arrays moved.
+
+    Expected per step: each of ``n_spes`` SPEs gathers the whole
+    position array (``N * 16`` bytes) and writes back its
+    ``ceil(N / n_spes)`` acceleration rows.  Assumes no SPEs were lost
+    to faults mid-run (golden/conservation tests run fault-free).
+    """
+    problems: list[str] = []
+    rows_per_spe = -(-n_atoms // n_spes)
+    expect_in = n_steps * n_spes * n_atoms * cal.VEC4_F32_BYTES
+    expect_out = n_steps * n_spes * rows_per_spe * cal.VEC4_F32_BYTES
+    got_in = counters.get("cell.dma.bytes_in", 0.0)
+    got_out = counters.get("cell.dma.bytes_out", 0.0)
+    got_total = counters.get("cell.dma.bytes", 0.0)
+    if got_in != expect_in:
+        problems.append(
+            f"cell.dma.bytes_in = {got_in:g}, expected "
+            f"{expect_in} ({n_steps} steps x {n_spes} SPEs x {n_atoms} atoms x "
+            f"{cal.VEC4_F32_BYTES} B)"
+        )
+    if got_out != expect_out:
+        problems.append(
+            f"cell.dma.bytes_out = {got_out:g}, expected {expect_out} "
+            f"({n_steps} steps x {n_spes} SPEs x {rows_per_spe} rows x "
+            f"{cal.VEC4_F32_BYTES} B)"
+        )
+    if got_total != got_in + got_out:
+        problems.append(
+            f"cell.dma.bytes = {got_total:g} != bytes_in + bytes_out = "
+            f"{got_in + got_out:g}"
+        )
+    return problems
+
+
+def pcie_conservation_problems(
+    counters: Mapping[str, float], n_atoms: int, n_steps: int
+) -> list[str]:
+    """Check GPU PCIe byte accounting: one upload + one readback per step."""
+    problems: list[str] = []
+    expect_each = n_steps * n_atoms * cal.VEC4_F32_BYTES
+    got_up = counters.get("gpu.pcie.bytes_up", 0.0)
+    got_down = counters.get("gpu.pcie.bytes_down", 0.0)
+    got_total = counters.get("gpu.pcie.bytes", 0.0)
+    if got_up != expect_each:
+        problems.append(
+            f"gpu.pcie.bytes_up = {got_up:g}, expected {expect_each}"
+        )
+    if got_down != expect_each:
+        problems.append(
+            f"gpu.pcie.bytes_down = {got_down:g}, expected {expect_each}"
+        )
+    if got_total != got_up + got_down:
+        problems.append(
+            f"gpu.pcie.bytes = {got_total:g} != up + down = {got_up + got_down:g}"
+        )
+    return problems
+
+
+def _step_spans(tracer: Tracer) -> list[Span]:
+    return sorted(
+        (s for s in tracer.spans if s.lane == "step"), key=lambda s: s.start_s
+    )
+
+
+def span_nesting_problems(tracer: Tracer) -> list[str]:
+    """Per step, per lane: child spans fit inside and sum ≤ the step.
+
+    Child spans are all non-``step``-lane spans starting within the step
+    interval.  Lanes model concurrent hardware units, so the bound is
+    per lane, not across lanes.
+    """
+    problems: list[str] = []
+    steps = _step_spans(tracer)
+    children = [s for s in tracer.spans if s.lane != "step"]
+    claimed = [False] * len(children)
+    for step in steps:
+        lane_sums: dict[str, float] = {}
+        for i, child in enumerate(children):
+            if claimed[i]:
+                continue
+            if step.start_s - _EPS <= child.start_s < step.end_s - _EPS:
+                claimed[i] = True
+                if child.end_s > step.end_s + max(_EPS, 1e-9 * step.end_s):
+                    problems.append(
+                        f"span {child.name!r} on lane {child.lane!r} ends at "
+                        f"{child.end_s:g}s, past its step's end {step.end_s:g}s"
+                    )
+                lane_sums[child.lane] = (
+                    lane_sums.get(child.lane, 0.0) + child.duration_s
+                )
+        for lane, total in lane_sums.items():
+            if total > step.duration_s * (1.0 + 1e-9) + _EPS:
+                problems.append(
+                    f"lane {lane!r} spans sum to {total:g}s inside a "
+                    f"{step.duration_s:g}s step"
+                )
+    for i, child in enumerate(children):
+        if not claimed[i] and steps:
+            problems.append(
+                f"span {child.name!r} on lane {child.lane!r} at "
+                f"{child.start_s:g}s falls outside every step span"
+            )
+    return problems
+
+
+def monotonic_step_problems(tracer: Tracer) -> list[str]:
+    """Step spans must tile simulated time: ordered, gap- and overlap-free."""
+    problems: list[str] = []
+    steps = _step_spans(tracer)
+    cursor = 0.0
+    for i, step in enumerate(steps):
+        if not _rel_eq(step.start_s, cursor):
+            kind = "overlaps" if step.start_s < cursor else "leaves a gap with"
+            problems.append(
+                f"step span {i} starts at {step.start_s:g}s and {kind} the "
+                f"previous step ending at {cursor:g}s"
+            )
+        if step.duration_s < 0.0:
+            problems.append(f"step span {i} has negative duration")
+        cursor = step.end_s
+    return problems

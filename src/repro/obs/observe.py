@@ -1,0 +1,96 @@
+"""The per-run observation object handed to ``Device.run(observe=)``.
+
+An :class:`Observation` pairs a :class:`~repro.obs.counters.CounterSet`
+with a :class:`~repro.obs.trace.Tracer` and a *simulated-time cursor*.
+Device models charge counters and emit spans against the cursor; the
+:class:`~repro.arch.device.Device` template method advances the cursor
+by each step's total seconds, so spans from consecutive steps tile the
+simulated timeline without the devices doing any bookkeeping.
+
+Observation is strictly off the timing path: device hooks *recompute*
+quantities (traffic plans, issue stats, cache statistics) from the same
+inputs ``step_seconds`` used, rather than instrumenting the timing
+code.  With ``observe=None`` no Observation object exists at all and
+``Device.run`` behaves byte-identically to an unobserved build.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.obs.counters import CounterSet
+from repro.obs.trace import Span, Tracer, chrome_trace
+
+__all__ = ["Observation"]
+
+
+class Observation:
+    """Counters + tracer + simulated-time cursor for one device run."""
+
+    __slots__ = ("device", "counters", "tracer", "now")
+
+    def __init__(self, device: str = "device") -> None:
+        self.device = device
+        self.counters = CounterSet()
+        self.tracer = Tracer()
+        #: simulated seconds elapsed before the current step
+        self.now = 0.0
+
+    # -- counters -----------------------------------------------------
+
+    def charge(self, name: str, value: float) -> None:
+        """Add ``value`` to counter ``name`` (must be registered)."""
+        self.counters.add(name, value)
+
+    def charge_many(self, values: Mapping[str, float]) -> None:
+        for name, value in values.items():
+            self.counters.add(name, value)
+
+    # -- timeline -----------------------------------------------------
+
+    def span(
+        self,
+        name: str,
+        lane: str,
+        start_s: float,
+        duration_s: float,
+        args: Mapping[str, Any] | None = None,
+    ) -> Span:
+        """Emit a span at absolute simulated time ``start_s``."""
+        return self.tracer.add(name, lane, start_s, duration_s, args=args)
+
+    def span_at(
+        self,
+        name: str,
+        lane: str,
+        offset_s: float,
+        duration_s: float,
+        args: Mapping[str, Any] | None = None,
+    ) -> Span:
+        """Emit a span at ``offset_s`` past the current cursor."""
+        return self.tracer.add(name, lane, self.now + offset_s, duration_s, args=args)
+
+    def sample(self, name: str, values: Mapping[str, float], offset_s: float = 0.0) -> None:
+        """Emit a counter-track sample at the cursor (Chrome ``"C"``)."""
+        self.tracer.sample(name, self.now + offset_s, values)
+
+    def advance(self, seconds: float) -> None:
+        """Move the simulated-time cursor forward (end of a step)."""
+        if seconds < 0.0:
+            raise ValueError(f"cannot advance the cursor by {seconds} s")
+        self.now += seconds
+
+    # -- export -------------------------------------------------------
+
+    def counters_snapshot(self) -> dict[str, float]:
+        return self.counters.as_dict()
+
+    def chrome_trace(self) -> dict[str, Any]:
+        """This observation alone as a one-process trace-event doc."""
+        return chrome_trace([(self.device, self.tracer)])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Observation(device={self.device!r}, now={self.now:.3e}s, "
+            f"counters={len(self.counters)}, spans={len(self.tracer.spans)})"
+        )

@@ -1,0 +1,207 @@
+"""Simulated-time timeline traces and the Chrome trace-event export.
+
+A :class:`Span` is one closed interval of *simulated* seconds on a
+named lane ("spe0", "ppe", "pipe3", "proc0", "step", ...).  Spans are
+emitted by the device models with explicit start/duration — simulated
+time is computed, not measured, so there is no need for enter/exit
+bracketing — and collected by a :class:`Tracer`.
+
+:func:`chrome_trace` serializes one or more named tracers to the Chrome
+trace-event format (the JSON Array Format wrapped in an object, as
+consumed by ``chrome://tracing`` and https://ui.perfetto.dev): one
+*process* per device run, one *thread* per lane, ``"X"`` complete
+events with microsecond timestamps, and ``"C"`` counter events for
+continuous tracks such as MTA stream utilization.
+:func:`validate_chrome_trace` is the schema check CI runs over emitted
+artifacts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "Span",
+    "CounterSample",
+    "Tracer",
+    "chrome_trace",
+    "validate_chrome_trace",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class Span:
+    """One simulated-time interval on one lane."""
+
+    name: str
+    lane: str
+    start_s: float
+    duration_s: float
+    cat: str = "sim"
+    args: Mapping[str, Any] = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0.0:
+            raise ValueError(f"span {self.name!r} starts at negative time")
+        if self.duration_s < 0.0:
+            raise ValueError(f"span {self.name!r} has negative duration")
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+
+@dataclasses.dataclass(frozen=True)
+class CounterSample:
+    """One sample of a continuous counter track (Chrome ``"C"`` event)."""
+
+    name: str
+    time_s: float
+    values: Mapping[str, float]
+
+
+class Tracer:
+    """Collects spans and counter samples for one device run.
+
+    Lanes get stable thread ids in first-seen order; the ``step`` lane
+    is created eagerly so it always renders first in trace viewers.
+    """
+
+    __slots__ = ("spans", "samples", "_lane_ids")
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self.samples: list[CounterSample] = []
+        self._lane_ids: dict[str, int] = {"step": 0}
+
+    def lane_id(self, lane: str) -> int:
+        tid = self._lane_ids.get(lane)
+        if tid is None:
+            tid = self._lane_ids[lane] = len(self._lane_ids)
+        return tid
+
+    @property
+    def lanes(self) -> dict[str, int]:
+        """lane name -> thread id, first-seen order."""
+        return dict(self._lane_ids)
+
+    def add(
+        self,
+        name: str,
+        lane: str,
+        start_s: float,
+        duration_s: float,
+        cat: str = "sim",
+        args: Mapping[str, Any] | None = None,
+    ) -> Span:
+        span = Span(name, lane, start_s, duration_s, cat, dict(args or {}))
+        self.lane_id(lane)
+        self.spans.append(span)
+        return span
+
+    def sample(self, name: str, time_s: float, values: Mapping[str, float]) -> None:
+        self.samples.append(CounterSample(name, time_s, dict(values)))
+
+
+_US = 1.0e6  # trace-event timestamps are microseconds
+
+
+def chrome_trace(named_tracers: Iterable[tuple[str, Tracer]]) -> dict[str, Any]:
+    """Serialize ``(process name, tracer)`` pairs to a trace-event doc.
+
+    Each tracer becomes one process (pid = 1-based position); each of
+    its lanes becomes one thread with a ``thread_name`` metadata event.
+    The result is JSON-native — ``json.dumps`` round-trips it exactly.
+    """
+    events: list[dict[str, Any]] = []
+    for pid, (process_name, tracer) in enumerate(named_tracers, start=1):
+        events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": process_name},
+        })
+        for lane, tid in tracer.lanes.items():
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "args": {"name": lane},
+            })
+            # sort_index keeps lanes in emission order, not name order
+            events.append({
+                "name": "thread_sort_index", "ph": "M", "pid": pid,
+                "tid": tid, "args": {"sort_index": tid},
+            })
+        for span in tracer.spans:
+            events.append({
+                "name": span.name,
+                "cat": span.cat,
+                "ph": "X",
+                "pid": pid,
+                "tid": tracer.lane_id(span.lane),
+                "ts": span.start_s * _US,
+                "dur": span.duration_s * _US,
+                "args": dict(span.args),
+            })
+        for sample in tracer.samples:
+            events.append({
+                "name": sample.name,
+                "ph": "C",
+                "pid": pid,
+                "tid": 0,
+                "ts": sample.time_s * _US,
+                "args": dict(sample.values),
+            })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"generator": "repro.obs", "clock": "simulated"},
+    }
+
+
+def validate_chrome_trace(doc: Any) -> list[str]:
+    """Validate a trace-event document; returns problems (empty = valid).
+
+    Checks the subset of the Chrome trace-event format this repo emits:
+    the object wrapper, per-event required keys by phase, numeric
+    non-negative timestamps/durations, and JSON round-trippability.
+    """
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"trace document must be a JSON object, got {type(doc).__name__}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["trace document missing 'traceEvents' list"]
+    if not events:
+        problems.append("'traceEvents' is empty")
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in ("X", "M", "C", "B", "E", "I"):
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        for key in ("name", "pid", "tid"):
+            if key not in event:
+                problems.append(f"{where}: missing {key!r}")
+        if not isinstance(event.get("name"), str):
+            problems.append(f"{where}: 'name' must be a string")
+        if ph in ("X", "C", "B", "E", "I"):
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(f"{where}: 'ts' must be a non-negative number")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: 'dur' must be a non-negative number")
+        if ph == "M" and not isinstance(event.get("args"), dict):
+            problems.append(f"{where}: metadata event missing 'args' object")
+    try:
+        round_tripped = json.loads(json.dumps(doc))
+    except (TypeError, ValueError) as exc:
+        problems.append(f"document is not JSON-serializable: {exc}")
+    else:
+        if round_tripped != doc:
+            problems.append("document does not round-trip through JSON")
+    return problems

@@ -13,12 +13,18 @@ while the MTA-2's does not.
 
 from __future__ import annotations
 
+import dataclasses
 import functools
 
 from repro.arch import calibration as cal
 from repro.arch.cache import Cache, CacheHierarchy
 
-__all__ = ["make_opteron_hierarchy", "cache_stall_cycles_per_pair"]
+__all__ = [
+    "ScanStats",
+    "make_opteron_hierarchy",
+    "cache_scan_stats",
+    "cache_stall_cycles_per_pair",
+]
 
 #: Scans used to warm the hierarchy and to measure, respectively.
 _WARMUP_SCANS = 2
@@ -67,14 +73,32 @@ def _position_scan_lines(n_atoms: int, line_bytes: int) -> list[int]:
     return lines
 
 
-@functools.lru_cache(maxsize=64)
-def cache_stall_cycles_per_pair(n_atoms: int) -> float:
-    """Measured average memory-stall cycles per examined pair.
+@dataclasses.dataclass(frozen=True)
+class ScanStats:
+    """Measured cache behavior of the steady-state position scans.
 
-    Simulates the repeated position-array scan on a fresh hierarchy:
-    warm-up scans populate the caches, then the stall cycles of the
-    measurement scans are averaged over their pair visits.  Cached per
-    system size — the pattern is deterministic.
+    Tallies cover ``scans`` back-to-back full scans of the position
+    array on a warmed hierarchy — the steady state every atom's inner
+    loop sees.  These are the quantities an Opteron's hardware
+    performance counters would report for the kernel.
+    """
+
+    scans: int
+    l1_accesses: int
+    l1_hits: int
+    l2_accesses: int
+    l2_hits: int
+    stall_cycles: float
+
+
+@functools.lru_cache(maxsize=64)
+def cache_scan_stats(n_atoms: int) -> ScanStats:
+    """Measured steady-state cache statistics of the position scan.
+
+    Simulates the repeated scan on a fresh hierarchy: warm-up scans
+    populate the caches (their tallies are discarded), then the
+    measurement scans are recorded.  Cached per system size — the
+    pattern is deterministic.
     """
     if n_atoms < 1:
         raise ValueError(f"n_atoms must be >= 1, got {n_atoms}")
@@ -83,7 +107,25 @@ def cache_stall_cycles_per_pair(n_atoms: int) -> float:
     addresses = [line * cal.OPTERON_L1_LINE_BYTES for line in lines]
     for _ in range(_WARMUP_SCANS):
         hierarchy.access(addresses)
+    hierarchy.reset_stats()
     stall = 0.0
     for _ in range(_MEASURE_SCANS):
         stall += hierarchy.access(addresses)
-    return stall / (_MEASURE_SCANS * n_atoms)
+    stats = hierarchy.stats()
+    return ScanStats(
+        scans=_MEASURE_SCANS,
+        l1_accesses=stats["L1"].accesses,
+        l1_hits=stats["L1"].hits,
+        l2_accesses=stats["L2"].accesses,
+        l2_hits=stats["L2"].hits,
+        stall_cycles=stall,
+    )
+
+
+@functools.lru_cache(maxsize=64)
+def cache_stall_cycles_per_pair(n_atoms: int) -> float:
+    """Measured average memory-stall cycles per examined pair."""
+    if n_atoms < 1:
+        raise ValueError(f"n_atoms must be >= 1, got {n_atoms}")
+    stats = cache_scan_stats(n_atoms)
+    return stats.stall_cycles / (stats.scans * n_atoms)

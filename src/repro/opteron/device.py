@@ -9,7 +9,8 @@ from repro.arch.profilecounts import KernelMetrics
 from repro.md.box import PeriodicBox
 from repro.md.lj import LennardJones
 from repro.md.simulation import MDConfig
-from repro.opteron.costmodel import cache_stall_cycles_per_pair
+from repro.obs.observe import Observation
+from repro.opteron.costmodel import cache_scan_stats, cache_stall_cycles_per_pair
 from repro.opteron.kernel import OPTERON_COST_TABLE, build_opteron_kernel
 from repro.vm.schedule import estimate_cycles
 
@@ -79,3 +80,26 @@ class OpteronDevice(Device):
             "memory_stall": self.clock.seconds(stall),
             "integration": self.clock.seconds(integration),
         }
+
+    def observe_step(
+        self,
+        obs: Observation,
+        metrics: KernelMetrics,
+        parts: dict[str, float],
+        step_index: int,
+    ) -> None:
+        program = self._program(self._box_length)
+        report = estimate_cycles(program, OPTERON_COST_TABLE, metrics.as_dict())
+        stats = cache_scan_stats(metrics.n_atoms)
+        # Each atom's inner loop rescans the position array once per step.
+        scale = metrics.n_atoms / stats.scans
+        obs.charge("opteron.kernel.cycles", report.total_cycles)
+        obs.charge("opteron.cache.l1_accesses", round(stats.l1_accesses * scale))
+        obs.charge("opteron.cache.l1_hits", round(stats.l1_hits * scale))
+        obs.charge("opteron.cache.l2_accesses", round(stats.l2_accesses * scale))
+        obs.charge("opteron.cache.l2_hits", round(stats.l2_hits * scale))
+        obs.charge(
+            "opteron.cache.stall_cycles",
+            cache_stall_cycles_per_pair(metrics.n_atoms) * metrics.pairs_examined,
+        )
+        super().observe_step(obs, metrics, parts, step_index)

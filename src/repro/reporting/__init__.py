@@ -2,5 +2,6 @@
 
 from repro.reporting.ascii_plot import ascii_plot
 from repro.reporting.table import format_table
+from repro.reporting.timeline import ascii_timeline
 
-__all__ = ["ascii_plot", "format_table"]
+__all__ = ["ascii_plot", "ascii_timeline", "format_table"]

@@ -1,0 +1,113 @@
+"""ASCII rendering of Chrome trace-event documents.
+
+:func:`ascii_timeline` turns the trace docs emitted by
+:mod:`repro.obs.trace` into a terminal timeline: one row per lane
+(thread), simulated time running left to right, each span filled with a
+letter keyed in the legend.  The point is a zero-tooling look at the
+schedule — where the SPEs overlap, where PCIe serializes the GPU step —
+without leaving the terminal; load the same JSON into
+``chrome://tracing`` or https://ui.perfetto.dev for the zoomable view.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+__all__ = ["ascii_timeline"]
+
+#: Letters assigned to span names in first-seen order.
+_FILL_LETTERS = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds <= 0.0:
+        return "0s"
+    for scale, unit in ((1.0, "s"), (1e-3, "ms"), (1e-6, "us"), (1e-9, "ns")):
+        if seconds >= scale:
+            return f"{seconds / scale:.3g}{unit}"
+    return f"{seconds:.3g}s"
+
+
+def ascii_timeline(doc: Mapping[str, Any], width: int = 72) -> str:
+    """Render a trace-event document as an ASCII timeline.
+
+    One block per process (device run), one row per lane, spans drawn
+    as runs of the letter the legend assigns to each span name.  The
+    ``step`` lane is skipped — it is the whole-row envelope and would
+    always render as a solid bar.  Cells where distinct spans collide
+    at this resolution show ``#``.
+    """
+    if width < 8:
+        raise ValueError("width must be >= 8")
+    events = list(doc.get("traceEvents", []))
+
+    process_names: dict[int, str] = {}
+    lane_names: dict[tuple[int, int], str] = {}
+    spans: dict[int, list[dict[str, Any]]] = {}
+    for event in events:
+        ph = event.get("ph")
+        if ph == "M":
+            args = event.get("args") or {}
+            if event.get("name") == "process_name":
+                process_names[event["pid"]] = args.get("name", str(event["pid"]))
+            elif event.get("name") == "thread_name":
+                lane_names[(event["pid"], event["tid"])] = args.get(
+                    "name", str(event["tid"])
+                )
+        elif ph == "X":
+            spans.setdefault(event["pid"], []).append(event)
+
+    if not spans:
+        return "(empty timeline: no complete events in trace)"
+
+    lines: list[str] = []
+    legend: dict[str, str] = {}  # span name -> letter
+
+    def letter_for(name: str) -> str:
+        if name not in legend:
+            legend[name] = _FILL_LETTERS[len(legend) % len(_FILL_LETTERS)]
+        return legend[name]
+
+    for pid in sorted(spans):
+        process_spans = spans[pid]
+        extent_us = max(e["ts"] + e["dur"] for e in process_spans)
+        title = process_names.get(pid, f"process {pid}")
+        lines.append(f"{title}  [0 .. {_format_seconds(extent_us / 1e6)}]")
+        # lanes in tid order; skip the whole-row "step" envelope lane
+        lane_ids = sorted(
+            {e["tid"] for e in process_spans},
+            key=lambda tid: tid,
+        )
+        label_width = max(
+            (len(lane_names.get((pid, tid), str(tid))) for tid in lane_ids),
+            default=0,
+        )
+        for tid in lane_ids:
+            lane = lane_names.get((pid, tid), str(tid))
+            if lane == "step":
+                continue
+            row = [" "] * width
+            for event in process_spans:
+                if event["tid"] != tid:
+                    continue
+                fill = letter_for(event["name"])
+                if extent_us <= 0.0:
+                    start, stop = 0, 1
+                else:
+                    start = int(event["ts"] / extent_us * width)
+                    stop = int((event["ts"] + event["dur"]) / extent_us * width)
+                start = min(start, width - 1)
+                stop = max(start + 1, min(stop, width))
+                for cell in range(start, stop):
+                    if row[cell] == " " or row[cell] == fill:
+                        row[cell] = fill
+                    else:
+                        row[cell] = "#"  # distinct spans collide here
+            lines.append(f"  {lane:<{label_width}} |{''.join(row)}|")
+        lines.append("")
+    if legend:
+        keys = ", ".join(
+            f"{letter}={name}" for name, letter in legend.items()
+        )
+        lines.append(f"legend: {keys}  (# = overlap)")
+    return "\n".join(lines).rstrip("\n") + "\n"

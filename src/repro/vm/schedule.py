@@ -35,7 +35,9 @@ from repro.vm.program import IfBlock, Instr, Loop, Metrics, Node, Program
 __all__ = [
     "SegmentCycles",
     "CycleReport",
+    "IssueStats",
     "estimate_cycles",
+    "issue_stats",
     "straightline_cycles",
     "count_issues",
 ]
@@ -79,6 +81,9 @@ class _PipelineState:
         self.last_issue_cycle = -1
         self.pipes_at_last: set[str] = set()
         self.completion = 0
+        #: cycles in which more than one instruction issued (observability
+        #: tally only; never feeds back into the schedule)
+        self.dual_issue_cycles = 0
 
     def issue(self, instr: Instr) -> None:
         cost = self.table.cost(instr.op)
@@ -93,6 +98,8 @@ class _PipelineState:
             or cost.pipe in self.pipes_at_last
         ):
             t += 1
+        if t == self.last_issue_cycle and len(self.pipes_at_last) == 1:
+            self.dual_issue_cycles += 1
         if t > self.last_issue_cycle:
             self.pipes_at_last = set()
         self.last_issue_cycle = t
@@ -199,6 +206,145 @@ def count_issues(
             )
         trips = float(metrics[seg.trips_key])
         total += trips * _nodes_issues(seg.body, metrics, issue_slots)
+    return total
+
+
+@dataclasses.dataclass(frozen=True)
+class IssueStats:
+    """Hardware-counter-grade statistics of one scheduled program run.
+
+    All fields are expectations over the measured branch probabilities
+    (an ``IfBlock`` body counts weighted by P(taken)), scaled by the
+    segment trip counts — the same accounting :func:`estimate_cycles`
+    uses, broken out for observability instead of summed into seconds.
+    """
+
+    #: instructions issued (IfBlock compare-and-branch included)
+    instructions: float
+    #: scheduled cycles (identical to ``estimate_cycles().total_cycles``)
+    cycles: float
+    #: cycles that retired two instructions (even+odd pipe together)
+    dual_issue_cycles: float
+    #: data-dependent branch evaluations
+    branch_evals: float
+    #: expected taken branches (evals weighted by measured P(taken))
+    branch_taken: float
+    #: expected pipeline-flush cycles from taken branches
+    branch_flush_cycles: float
+
+    def scaled(self, factor: float) -> "IssueStats":
+        return IssueStats(
+            *(getattr(self, f.name) * factor for f in dataclasses.fields(self))
+        )
+
+    def __add__(self, other: "IssueStats") -> "IssueStats":
+        return IssueStats(
+            *(
+                getattr(self, f.name) + getattr(other, f.name)
+                for f in dataclasses.fields(self)
+            )
+        )
+
+
+_ZERO_STATS = None  # populated lazily below
+
+
+def _zero_stats() -> IssueStats:
+    global _ZERO_STATS
+    if _ZERO_STATS is None:
+        _ZERO_STATS = IssueStats(0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    return _ZERO_STATS
+
+
+def _straightline_stats(instrs: list[Instr], table: CostTable) -> IssueStats:
+    if not instrs:
+        return _zero_stats()
+    state = _PipelineState(table)
+    for instr in instrs:
+        state.issue(instr)
+    return IssueStats(
+        instructions=float(len(instrs)),
+        cycles=float(state.completion),
+        dual_issue_cycles=float(state.dual_issue_cycles),
+        branch_evals=0.0,
+        branch_taken=0.0,
+        branch_flush_cycles=0.0,
+    )
+
+
+def _nodes_stats(
+    nodes: tuple[Node, ...], table: CostTable, metrics: Metrics
+) -> IssueStats:
+    """Mirror of :func:`_nodes_cycles` accumulating full issue statistics."""
+    total = _zero_stats()
+    run: list[Instr] = []
+
+    def flush() -> IssueStats:
+        nonlocal total
+        if run:
+            total = total + _straightline_stats(run, table)
+            run.clear()
+        return total
+
+    for node in nodes:
+        if isinstance(node, Instr):
+            run.append(node)
+        elif isinstance(node, Loop):
+            flush()
+            body = _nodes_stats(node.body, table, metrics)
+            overhead = IssueStats(
+                instructions=float(node.overhead_instrs),
+                cycles=float(node.overhead_instrs),
+                dual_issue_cycles=0.0,
+                branch_evals=0.0,
+                branch_taken=0.0,
+                branch_flush_cycles=0.0,
+            )
+            total = total + (body + overhead).scaled(float(node.count))
+        elif isinstance(node, IfBlock):
+            flush()
+            prob = float(metrics.get(node.prob_key, 0.0))
+            if not 0.0 <= prob <= 1.0:
+                raise ValueError(
+                    f"branch probability {node.prob_key}={prob} outside [0, 1]"
+                )
+            body = _nodes_stats(node.body, table, metrics)
+            branch = IssueStats(
+                instructions=1.0,
+                cycles=1.0 + float(node.fetch_stall) + prob * float(node.penalty),
+                dual_issue_cycles=0.0,
+                branch_evals=1.0,
+                branch_taken=prob,
+                branch_flush_cycles=prob * float(node.penalty),
+            )
+            total = total + branch + body.scaled(prob)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown node type {type(node)!r}")
+    flush()
+    return total
+
+
+def issue_stats(
+    program: Program, table: CostTable, metrics: Metrics
+) -> IssueStats:
+    """Full issue statistics for ``program`` over the given workload.
+
+    ``.cycles`` agrees with :func:`estimate_cycles` by construction (the
+    same pipeline model runs underneath); the other fields expose what
+    that model knows but the seconds-only path discards — the dual-issue
+    rate and the branch-miss machinery of the paper's Figure 5 analysis.
+    """
+    total = _zero_stats()
+    for seg in program.segments:
+        if seg.trips_key not in metrics:
+            raise KeyError(
+                f"metrics missing trip key {seg.trips_key!r} for segment "
+                f"{seg.name!r} of program {program.name!r}"
+            )
+        trips = float(metrics[seg.trips_key])
+        if trips < 0:
+            raise ValueError(f"trip count {seg.trips_key}={trips} negative")
+        total = total + _nodes_stats(seg.body, table, metrics).scaled(trips)
     return total
 
 

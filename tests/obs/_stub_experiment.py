@@ -1,0 +1,17 @@
+"""A minimal importable experiment for harness observability tests."""
+
+from repro.experiments.common import ExperimentResult
+from repro.md.simulation import MDConfig
+from repro.opteron.device import OpteronDevice
+
+
+def run_opteron(n_steps: int = 2) -> ExperimentResult:
+    device = OpteronDevice()
+    result = device.run(MDConfig(n_atoms=128), n_steps)
+    return ExperimentResult(
+        experiment_id="obs-stub",
+        title="observability stub",
+        headers=("total_seconds",),
+        rows=((result.total_seconds,),),
+        checks=(),
+    )

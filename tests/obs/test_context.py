@@ -1,0 +1,97 @@
+"""Ambient observation sessions: collect(), naming, merging."""
+
+import pytest
+
+from repro.md.simulation import MDConfig
+from repro.obs.context import ambient_observation, collect
+from repro.obs.observe import Observation
+from repro.obs.trace import validate_chrome_trace
+from repro.opteron.device import OpteronDevice
+
+CONFIG = MDConfig(n_atoms=128)
+
+
+class TestSessionPlumbing:
+    def test_no_session_means_no_observation(self):
+        assert ambient_observation("opteron") is None
+
+    def test_session_hands_out_fresh_observations(self):
+        with collect() as session:
+            a = ambient_observation("dev")
+            b = ambient_observation("dev")
+        assert isinstance(a, Observation) and isinstance(b, Observation)
+        assert a is not b
+        assert session.runs == [a, b]
+
+    def test_repeat_runs_get_numbered_names(self):
+        with collect() as session:
+            names = [session.new_observation("opteron").device
+                     for _ in range(3)]
+        assert names == ["opteron", "opteron#2", "opteron#3"]
+
+    def test_sessions_nest_innermost_wins(self):
+        with collect() as outer:
+            with collect() as inner:
+                obs = ambient_observation("dev")
+            assert inner.runs == [obs]
+            assert outer.runs == []
+
+    def test_session_closes_even_on_error(self):
+        with pytest.raises(RuntimeError):
+            with collect():
+                raise RuntimeError("boom")
+        assert ambient_observation("dev") is None
+
+
+class TestDeviceIntegration:
+    def test_ambient_run_collects_counters(self):
+        device = OpteronDevice()
+        with collect() as session:
+            result = device.run(CONFIG, 2)
+        assert len(session.runs) == 1
+        assert result.counters["step.count"] == 2
+        assert session.runs[0].counters["step.count"] == 2
+
+    def test_observe_false_opts_out_inside_a_session(self):
+        device = OpteronDevice()
+        with collect() as session:
+            result = device.run(CONFIG, 1, observe=False)
+        assert session.runs == []
+        assert result.counters == {}
+
+    def test_explicit_observation_bypasses_the_session(self):
+        device = OpteronDevice()
+        obs = Observation("mine")
+        with collect() as session:
+            device.run(CONFIG, 1, observe=obs)
+        assert session.runs == []
+        assert obs.counters["step.count"] == 1
+
+    def test_merged_counters_are_device_keyed(self):
+        device = OpteronDevice()
+        with collect() as session:
+            device.run(CONFIG, 1)
+            device.run(CONFIG, 1)
+        merged = session.merged_counters()
+        assert merged["opteron-2.2GHz/step.count"] == 1
+        assert merged["opteron-2.2GHz#2/step.count"] == 1
+
+    def test_total_counters_sum_across_runs(self):
+        device = OpteronDevice()
+        with collect() as session:
+            device.run(CONFIG, 1)
+            device.run(CONFIG, 2)
+        assert session.total_counters()["step.count"] == 3
+
+    def test_session_chrome_trace_has_one_process_per_run(self):
+        device = OpteronDevice()
+        with collect() as session:
+            device.run(CONFIG, 1)
+            device.run(CONFIG, 1)
+        doc = session.chrome_trace()
+        assert validate_chrome_trace(doc) == []
+        names = sorted(
+            e["args"]["name"] for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        )
+        assert names == ["opteron-2.2GHz", "opteron-2.2GHz#2"]

@@ -1,0 +1,111 @@
+"""Counter registry and CounterSet semantics."""
+
+import pytest
+
+from repro.obs.counters import (
+    COUNTER_SPECS,
+    EXACT_UNITS,
+    CounterSet,
+    UnknownCounterError,
+    diff_counters,
+    spec_for,
+)
+
+
+class TestRegistry:
+    def test_every_spec_has_a_valid_unit(self):
+        for name, spec in COUNTER_SPECS.items():
+            assert spec.name == name
+            assert spec.unit in {
+                "count", "bytes", "issues", "cycles", "seconds", "ratio"
+            }
+
+    def test_exact_units_are_count_and_bytes(self):
+        assert EXACT_UNITS == frozenset({"count", "bytes"})
+        assert spec_for("cell.dma.bytes").exact
+        assert spec_for("step.count").exact
+        assert not spec_for("sim.seconds").exact
+        assert not spec_for("cell.spe.cycles").exact
+
+    def test_wildcard_resolution(self):
+        spec = spec_for("vm.branch.reflect_take.samples")
+        assert spec.name.endswith("*")
+
+    def test_unknown_counter_raises(self):
+        with pytest.raises(UnknownCounterError):
+            spec_for("nonexistent.counter.name")
+
+
+class TestCounterSet:
+    def test_add_accumulates(self):
+        cs = CounterSet()
+        cs.add("step.count", 1)
+        cs.add("step.count", 2)
+        assert cs["step.count"] == 3
+        assert cs.get("sim.seconds") == 0.0
+        assert len(cs) == 1
+        assert "step.count" in cs
+
+    def test_unknown_name_rejected_at_charge_time(self):
+        cs = CounterSet()
+        with pytest.raises(UnknownCounterError):
+            cs.add("cell.dma.nope", 1)
+
+    def test_negative_charge_rejected(self):
+        cs = CounterSet()
+        with pytest.raises(ValueError):
+            cs.add("sim.seconds", -1.0)
+
+    def test_exact_counter_rejects_fractional_charge(self):
+        cs = CounterSet()
+        with pytest.raises(ValueError):
+            cs.add("cell.dma.bytes", 1.5)
+        cs.add("cell.spe.cycles", 1.5)  # non-exact unit: fine
+
+    def test_as_dict_is_sorted_and_json_native(self):
+        cs = CounterSet()
+        cs.add("sim.seconds", 0.25)
+        cs.add("cell.dma.bytes", 16)
+        snap = cs.as_dict()
+        assert list(snap) == sorted(snap)
+        assert all(isinstance(v, float) for v in snap.values())
+
+    def test_delta_against_baseline(self):
+        cs = CounterSet()
+        cs.add("step.count", 2)
+        baseline = cs.as_dict()
+        cs.add("step.count", 3)
+        cs.add("cell.dma.bytes", 32)
+        assert cs.delta(baseline) == {"step.count": 3.0, "cell.dma.bytes": 32.0}
+
+    def test_merge_validates(self):
+        cs = CounterSet({"step.count": 1})
+        cs.merge({"step.count": 2, "sim.seconds": 0.5})
+        assert cs["step.count"] == 3
+
+
+class TestDiffCounters:
+    def test_identical_snapshots_have_no_drift(self):
+        snap = {"cell.dma.bytes": 4096.0, "sim.seconds": 1.5}
+        assert diff_counters(snap, dict(snap)) == []
+
+    def test_drift_is_symmetric_and_relative(self):
+        a = {"cell.dma.bytes": 100.0}
+        b = {"cell.dma.bytes": 110.0}
+        rows = diff_counters(a, b, tolerance=0.05)
+        assert len(rows) == 1
+        name, va, vb, drift = rows[0]
+        assert (name, va, vb) == ("cell.dma.bytes", 100.0, 110.0)
+        assert drift == pytest.approx(10.0 / 110.0)
+        # symmetric: same drift magnitude in the other direction
+        assert diff_counters(b, a, tolerance=0.05)[0][3] == pytest.approx(drift)
+
+    def test_tolerance_suppresses_small_drift(self):
+        a = {"sim.seconds": 1.00}
+        b = {"sim.seconds": 1.04}
+        assert diff_counters(a, b, tolerance=0.05) == []
+        assert diff_counters(a, b, tolerance=0.0)
+
+    def test_appearing_counter_is_full_drift(self):
+        rows = diff_counters({}, {"step.count": 5.0}, tolerance=0.5)
+        assert rows == [("step.count", 0.0, 5.0, 1.0)]

@@ -1,0 +1,70 @@
+"""Golden-counter regression net: fixed-seed snapshots per device model.
+
+A failure here means a change moved the modeled hardware traffic.  If
+the move was intentional, regenerate with::
+
+    PYTHONPATH=src python scripts/update_golden_counters.py
+
+and commit the JSON diff alongside the change.
+"""
+
+import pytest
+
+from repro.obs.counters import spec_for
+from repro.obs.goldens import (
+    GOLDEN_DEVICES,
+    compare_golden,
+    golden_counters,
+    golden_path,
+    load_golden,
+)
+
+NAMES = sorted(GOLDEN_DEVICES)
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_snapshot_exists(name):
+    assert golden_path(name).exists(), (
+        f"missing golden snapshot for {name!r}; run "
+        "scripts/update_golden_counters.py"
+    )
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_counters_match_golden(name):
+    problems = compare_golden(golden_counters(name), load_golden(name))
+    assert not problems, (
+        f"{name}: counters drifted from tests/obs/golden/{name}.json\n"
+        + "\n".join(f"  {p}" for p in problems)
+        + "\n(intentional? run scripts/update_golden_counters.py and "
+        "commit the diff)"
+    )
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_snapshot_counters_are_registered_and_sane(name):
+    golden = load_golden(name)
+    assert golden, f"{name}: empty golden snapshot"
+    for counter, value in golden.items():
+        spec = spec_for(counter)  # raises on unregistered names
+        assert value >= 0.0
+        if spec.exact:
+            assert value == int(value), (
+                f"{name}/{counter}: exact unit {spec.unit!r} holds "
+                f"non-integral {value}"
+            )
+
+
+def test_compare_golden_reports_readably():
+    measured = {"step.count": 3.0, "sim.seconds": 1.0}
+    golden = {"step.count": 2.0, "pairs.examined": 10.0}
+    problems = compare_golden(measured, golden)
+    assert any("exact counter drifted 2 -> 3" in p for p in problems)
+    assert any("no longer measured" in p for p in problems)
+    assert any("absent from golden" in p for p in problems)
+
+
+def test_compare_golden_tolerates_ulp_noise_on_inexact_counters():
+    golden = {"sim.seconds": 1.0}
+    measured = {"sim.seconds": 1.0 + 1e-12}
+    assert compare_golden(measured, golden) == []

@@ -1,0 +1,170 @@
+"""Observability through the harness: jobs, cache keys, store, diff gate."""
+
+import copy
+
+import pytest
+
+from repro.experiments.common import ExperimentResult
+from repro.harness import api
+from repro.harness.jobs import Job, execute_job, job_cache_key
+from repro.harness.store import RunStore
+
+STUB_MODULE = "tests.obs._stub_experiment"
+
+
+def stub_job(observe: bool = False, job_id: str = "obs-stub") -> Job:
+    return Job(
+        job_id=job_id,
+        experiment_id="obs-stub",
+        module=STUB_MODULE,
+        func="run_opteron",
+        params={"n_steps": 2},
+        observe=observe,
+    )
+
+
+class TestExperimentResultCounters:
+    def test_counters_round_trip_through_dict(self):
+        result = ExperimentResult(
+            experiment_id="x", title="t", headers=("a",), rows=((1,),),
+            checks=(), counters={"dev/step.count": 2.0},
+        )
+        back = ExperimentResult.from_dict(result.to_dict())
+        assert back.counters == {"dev/step.count": 2.0}
+
+    def test_counters_default_empty_and_tolerate_legacy_dicts(self):
+        legacy = {
+            "experiment_id": "x", "title": "t", "headers": ["a"],
+            "rows": [[1]], "checks": [],
+        }
+        assert ExperimentResult.from_dict(legacy).counters == {}
+
+
+class TestCacheKeys:
+    def test_observed_jobs_never_alias_plain_jobs(self):
+        plain = job_cache_key(stub_job(observe=False), "fp")
+        observed = job_cache_key(stub_job(observe=True), "fp")
+        assert plain != observed
+
+    def test_plain_keys_are_stable_against_the_observe_field(self):
+        # pre-observability keys hashed exactly this payload; plain jobs
+        # must keep producing them so old caches stay valid
+        import hashlib
+        import json
+
+        legacy = hashlib.sha256(json.dumps(
+            {
+                "experiment_id": "obs-stub",
+                "module": STUB_MODULE,
+                "func": "run_opteron",
+                "params": {"n_steps": 2},
+                "code": "fp",
+            },
+            sort_keys=True,
+            default=str,
+        ).encode()).hexdigest()
+        assert job_cache_key(stub_job(observe=False), "fp") == legacy
+
+
+class TestExecuteJob:
+    def test_observed_job_collects_counters_and_trace(self):
+        record = execute_job(stub_job(observe=True).payload(cache_key="k"))
+        assert record["status"] == "ok"
+        counters = record["result"]["counters"]
+        assert counters["opteron-2.2GHz/step.count"] == 2
+        from repro.obs.trace import validate_chrome_trace
+
+        assert record["trace"] is not None
+        assert validate_chrome_trace(record["trace"]) == []
+
+    def test_plain_job_has_no_counters_or_trace(self):
+        record = execute_job(stub_job(observe=False).payload(cache_key="k"))
+        assert record["status"] == "ok"
+        assert record["result"]["counters"] == {}
+        assert record["trace"] is None
+
+
+class TestRunStoreTraces:
+    def test_run_roster_persists_traces(self, tmp_path):
+        store = RunStore(tmp_path)
+        outcome = api.run_roster(
+            [stub_job(observe=True)], store=store, max_workers=0
+        )
+        assert store.list_traces(outcome.run_id) == ["obs-stub"]
+        doc = store.read_trace(outcome.run_id, "obs-stub")
+        assert doc["traceEvents"]
+
+    def test_cached_replay_rematerializes_the_trace(self, tmp_path):
+        store = RunStore(tmp_path)
+        first = api.run_roster(
+            [stub_job(observe=True)], store=store, max_workers=0
+        )
+        second = api.run_roster(
+            [stub_job(observe=True)], store=store, max_workers=0
+        )
+        assert second.records[0]["cached"]
+        assert store.read_trace(second.run_id, "obs-stub") == (
+            store.read_trace(first.run_id, "obs-stub")
+        )
+
+    def test_missing_trace_raises_with_hint(self, tmp_path):
+        store = RunStore(tmp_path)
+        outcome = api.run_roster(
+            [stub_job(observe=False)], store=store, max_workers=0
+        )
+        assert store.list_traces(outcome.run_id) == []
+        with pytest.raises(FileNotFoundError, match="--trace"):
+            store.read_trace(outcome.run_id, "obs-stub")
+
+
+class TestCounterDiffGate:
+    @pytest.fixture
+    def observed_run(self, tmp_path):
+        store = RunStore(tmp_path)
+        outcome = api.run_roster(
+            [stub_job(observe=True)], store=store, max_workers=0
+        )
+        return store, outcome.run_id
+
+    def _clone_with_counter_scale(self, store, run_id, scale, names=("dma", "cycles", "count")):
+        clone_id = store.new_run_id()
+        manifest = store.read_manifest(run_id)
+        manifest = dict(manifest, run_id=clone_id)
+        for record in store.iter_job_records(run_id):
+            record = copy.deepcopy(record)
+            counters = record["result"]["counters"]
+            for name in list(counters):
+                counters[name] *= scale
+            store.write_job_record(clone_id, record)
+        store.write_manifest(clone_id, manifest)
+        return clone_id
+
+    def test_ten_percent_counter_drift_is_a_regression(self, observed_run):
+        store, run_a = observed_run
+        run_b = self._clone_with_counter_scale(store, run_a, 1.10)
+        lines, regressions = api.diff_runs(store, run_a, run_b)
+        assert regressions > 0
+        assert any("COUNTER REGRESSION" in line for line in lines)
+
+    def test_identical_counters_are_not_a_regression(self, observed_run):
+        store, run_a = observed_run
+        run_b = self._clone_with_counter_scale(store, run_a, 1.0)
+        _lines, regressions = api.diff_runs(store, run_a, run_b)
+        assert regressions == 0
+
+    def test_drift_below_tolerance_is_ignored(self, observed_run):
+        store, run_a = observed_run
+        run_b = self._clone_with_counter_scale(store, run_a, 1.04)
+        _lines, regressions = api.diff_runs(store, run_a, run_b)
+        assert regressions == 0
+
+    def test_plain_runs_skip_the_counter_gate(self, tmp_path):
+        store = RunStore(tmp_path)
+        a = api.run_roster(
+            [stub_job(observe=True)], store=store, max_workers=0
+        )
+        b = api.run_roster(
+            [stub_job(observe=False)], store=store, max_workers=0
+        )
+        _lines, regressions = api.diff_runs(store, a.run_id, b.run_id)
+        assert regressions == 0

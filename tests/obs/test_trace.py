@@ -1,0 +1,137 @@
+"""Span/Tracer mechanics, the Chrome export, and the ASCII timeline."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    chrome_trace,
+    validate_chrome_trace,
+)
+from repro.reporting import ascii_timeline
+
+
+def make_tracer() -> Tracer:
+    tracer = Tracer()
+    tracer.add("step", "step", 0.0, 1.0, args={"step": 0})
+    tracer.add("dma", "spe0", 0.0, 0.25)
+    tracer.add("spe_exec", "spe0", 0.25, 0.75)
+    tracer.add("step", "step", 1.0, 1.0, args={"step": 1})
+    tracer.add("dma", "spe0", 1.0, 0.25)
+    tracer.add("spe_exec", "spe0", 1.25, 0.75)
+    tracer.sample("mta.stream.utilization", 0.5, {"utilization": 0.8})
+    return tracer
+
+
+class TestSpan:
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            Span("x", "lane", -0.1, 1.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Span("x", "lane", 0.0, -1.0)
+
+    def test_end_property(self):
+        assert Span("x", "lane", 1.0, 2.0).end_s == 3.0
+
+
+class TestTracer:
+    def test_step_lane_is_always_thread_zero(self):
+        tracer = Tracer()
+        tracer.add("dma", "spe0", 0.0, 1.0)
+        assert tracer.lanes["step"] == 0
+        assert tracer.lanes["spe0"] == 1
+
+    def test_lane_ids_are_stable_first_seen_order(self):
+        tracer = Tracer()
+        for lane in ("b", "a", "b", "c"):
+            tracer.lane_id(lane)
+        assert tracer.lanes == {"step": 0, "b": 1, "a": 2, "c": 3}
+
+
+class TestChromeTrace:
+    def test_emitted_doc_is_valid(self):
+        doc = chrome_trace([("cell-8spe", make_tracer())])
+        assert validate_chrome_trace(doc) == []
+
+    def test_doc_json_round_trips(self):
+        doc = chrome_trace([("dev", make_tracer())])
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_one_process_per_tracer_with_lane_threads(self):
+        doc = chrome_trace([("a", make_tracer()), ("b", make_tracer())])
+        procs = {
+            e["pid"]: e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert procs == {1: "a", 2: "b"}
+        lanes = {
+            (e["pid"], e["args"]["name"])
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert (1, "spe0") in lanes and (2, "spe0") in lanes
+
+    def test_timestamps_are_microseconds(self):
+        doc = chrome_trace([("dev", make_tracer())])
+        execs = [e for e in doc["traceEvents"] if e["ph"] == "X"
+                 and e["name"] == "spe_exec"]
+        assert execs[0]["ts"] == pytest.approx(0.25e6)
+        assert execs[0]["dur"] == pytest.approx(0.75e6)
+
+    def test_counter_samples_become_C_events(self):
+        doc = chrome_trace([("dev", make_tracer())])
+        cs = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert len(cs) == 1
+        assert cs[0]["args"] == {"utilization": 0.8}
+
+
+class TestValidateChromeTrace:
+    def test_rejects_non_object(self):
+        assert validate_chrome_trace([1, 2]) != []
+
+    def test_rejects_missing_traceEvents(self):
+        assert validate_chrome_trace({}) == [
+            "trace document missing 'traceEvents' list"
+        ]
+
+    def test_flags_bad_phase_and_missing_keys(self):
+        doc = {"traceEvents": [
+            {"ph": "Z", "name": "x", "pid": 1, "tid": 0},
+            {"ph": "X", "name": "x", "pid": 1, "tid": 0, "ts": -1.0, "dur": 1.0},
+        ]}
+        problems = validate_chrome_trace(doc)
+        assert any("unknown phase" in p for p in problems)
+        assert any("'ts'" in p for p in problems)
+
+
+class TestAsciiTimeline:
+    def test_renders_lanes_and_legend(self):
+        doc = chrome_trace([("cell-8spe", make_tracer())])
+        art = ascii_timeline(doc, width=40)
+        assert "cell-8spe" in art
+        assert "spe0" in art
+        assert "legend:" in art
+        # the step envelope lane is omitted from the rows
+        assert "\n  step " not in art
+
+    def test_empty_trace_renders_placeholder(self):
+        art = ascii_timeline({"traceEvents": []})
+        assert "empty timeline" in art
+
+    def test_width_floor(self):
+        with pytest.raises(ValueError):
+            ascii_timeline({"traceEvents": []}, width=4)
+
+    def test_rows_have_exact_width(self):
+        doc = chrome_trace([("dev", make_tracer())])
+        art = ascii_timeline(doc, width=32)
+        rows = [line for line in art.splitlines() if "|" in line]
+        assert rows
+        for row in rows:
+            body = row.split("|")[1]
+            assert len(body) == 32
