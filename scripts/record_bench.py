@@ -1,17 +1,25 @@
 #!/usr/bin/env python
-"""Record VM kernel throughput per backend into BENCH_vm.json.
+"""Record VM throughput per backend into BENCH_vm.json / BENCH_vm2.json.
 
 Usage::
 
     python scripts/record_bench.py [--quick] [--out BENCH_vm.json]
     python scripts/record_bench.py --quick --check
+    python scripts/record_bench.py --ensemble [--quick] [--check]
 
-Measures pairs/sec for every shipped pair kernel (the fig5 SPE ladder
-plus the GPU MD shader) under both VM execution backends and writes a
-machine-readable record, so the repo's perf history is diffable from
-this commit onward.  ``--check`` is the CI gate: it exits nonzero if
-the compiled backend is slower than the interpreter on the fig5 SIMD
-kernel (``--gate-kernel``/``--min-speedup`` to adjust).
+Default mode measures pairs/sec for every shipped pair kernel (the fig5
+SPE ladder plus the GPU MD shader) under both VM execution backends and
+writes a machine-readable record, so the repo's perf history is
+diffable from this commit onward.  ``--check`` is the CI gate: it exits
+nonzero if the compiled backend is slower than the interpreter on the
+fig5 SIMD kernel (``--gate-kernel``/``--min-speedup`` to adjust).
+
+``--ensemble`` instead measures replicas/sec through one whole fused
+timestep (force + integration, batched replicas) against the compiled
+backend's sequential replica loop, writing ``BENCH_vm2.json``.  Its
+``--check`` gate requires fused-batched to reach
+``--min-ensemble-speedup`` (default 2x) at every measured replica count
+>= 8.
 """
 
 from __future__ import annotations
@@ -28,24 +36,27 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 import numpy as np  # noqa: E402
 
-from repro.vm.bench import bench_kernels, speedups  # noqa: E402
+from repro.vm.bench import (  # noqa: E402
+    bench_ensemble,
+    bench_kernels,
+    ensemble_speedups,
+    speedups,
+)
+
+#: Replica counts the ensemble gate applies to (R >= this must hit the
+#: minimum speedup).
+GATE_REPLICAS = 8
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", type=Path, default=REPO_ROOT / "BENCH_vm.json",
-                        help="output path (default: repo-root BENCH_vm.json)")
-    parser.add_argument("--quick", action="store_true",
-                        help="smaller batches and fewer repeats (CI-sized)")
-    parser.add_argument("--check", action="store_true",
-                        help="exit 1 unless compiled meets --min-speedup on "
-                        "--gate-kernel")
-    parser.add_argument("--gate-kernel", default="spe:simd_acceleration",
-                        help="kernel the --check gate applies to")
-    parser.add_argument("--min-speedup", type=float, default=1.0,
-                        help="minimum compiled/interp ratio for --check")
-    args = parser.parse_args(argv)
+def _host() -> dict:
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
 
+
+def _run_kernels(args: argparse.Namespace, out: Path) -> int:
     if args.quick:
         sizing = {"batch": 1024, "repeats": 3}
     else:
@@ -56,16 +67,12 @@ def main(argv: list[str] | None = None) -> int:
     record = {
         "schema": "repro.bench_vm/1",
         "recorded_unix": time.time(),
-        "host": {
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-        },
+        "host": _host(),
         "config": {**sizing, "quick": args.quick},
         "results": [r.to_dict() for r in results],
         "speedup_compiled_over_interp": ratios,
     }
-    args.out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
 
     width = max(len(r.kernel) for r in results)
     for r in results:
@@ -73,7 +80,7 @@ def main(argv: list[str] | None = None) -> int:
               f"{r.pairs_per_second / 1e6:8.3f} Mpairs/s")
     for kernel, ratio in sorted(ratios.items()):
         print(f"{kernel:<{width}}  speedup   {ratio:8.2f}x")
-    print(f"wrote {args.out}")
+    print(f"wrote {out}")
 
     if args.check:
         ratio = ratios.get(args.gate_kernel)
@@ -91,6 +98,100 @@ def main(argv: list[str] | None = None) -> int:
         print(f"gate ok: {args.gate_kernel} compiled/interp = {ratio:.2f}x "
               f">= {args.min_speedup:.2f}x")
     return 0
+
+
+def _run_ensemble(args: argparse.Namespace, out: Path) -> int:
+    if args.quick:
+        sizing = {
+            "replica_counts": (1, 2, 4, 8),
+            "rows_per_replica": 256,
+            "repeats": 3,
+        }
+    else:
+        sizing = {
+            "replica_counts": (1, 2, 4, 8, 16),
+            "rows_per_replica": 256,
+            "repeats": 7,
+        }
+
+    results = bench_ensemble(**sizing)
+    ratios = ensemble_speedups(results)
+    record = {
+        "schema": "repro.bench_vm2/1",
+        "recorded_unix": time.time(),
+        "host": _host(),
+        "config": {
+            "replica_counts": list(sizing["replica_counts"]),
+            "rows_per_replica": sizing["rows_per_replica"],
+            "repeats": sizing["repeats"],
+            "quick": args.quick,
+        },
+        "results": [r.to_dict() for r in results],
+        # JSON object keys are strings; keep replica counts readable.
+        "speedup_fused_over_compiled_sequential": {
+            str(r): ratio for r, ratio in sorted(ratios.items())
+        },
+    }
+    out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+
+    for r in results:
+        print(f"R={r.replicas:<3} {r.mode:<20} "
+              f"{r.replicas_per_second:10.1f} replicas/s "
+              f"({r.best_seconds * 1e3:.3f} ms)")
+    for replicas, ratio in sorted(ratios.items()):
+        print(f"R={replicas:<3} speedup              {ratio:10.2f}x")
+    print(f"wrote {out}")
+
+    if args.check:
+        gated = {r: v for r, v in ratios.items() if r >= GATE_REPLICAS}
+        if not gated:
+            print(f"error: no replica count >= {GATE_REPLICAS} measured",
+                  file=sys.stderr)
+            return 2
+        slow = {r: round(v, 2) for r, v in gated.items()
+                if v < args.min_ensemble_speedup}
+        if slow:
+            print(
+                f"FAIL: fused-batched below "
+                f"{args.min_ensemble_speedup:.2f}x replicas/sec over "
+                f"compiled-sequential at R={sorted(slow)}: {slow}",
+                file=sys.stderr,
+            )
+            return 1
+        floor = min(gated.values())
+        print(f"gate ok: fused/compiled-sequential >= {floor:.2f}x at every "
+              f"R >= {GATE_REPLICAS} (required "
+              f">= {args.min_ensemble_speedup:.2f}x)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=Path, default=None,
+                        help="output path (default: repo-root BENCH_vm.json, "
+                        "or BENCH_vm2.json with --ensemble)")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller batches and fewer repeats (CI-sized)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 unless the mode's speed gate holds")
+    parser.add_argument("--ensemble", action="store_true",
+                        help="measure batched-replica whole-timestep "
+                        "throughput instead of per-kernel pairs/sec")
+    parser.add_argument("--gate-kernel", default="spe:simd_acceleration",
+                        help="kernel the kernel-mode --check gate applies to")
+    parser.add_argument("--min-speedup", type=float, default=1.0,
+                        help="minimum compiled/interp ratio for --check")
+    parser.add_argument("--min-ensemble-speedup", type=float, default=2.0,
+                        help="minimum fused-batched/compiled-sequential "
+                        f"replicas-per-second ratio at R >= {GATE_REPLICAS} "
+                        "for --ensemble --check")
+    args = parser.parse_args(argv)
+
+    if args.ensemble:
+        out = args.out or REPO_ROOT / "BENCH_vm2.json"
+        return _run_ensemble(args, out)
+    out = args.out or REPO_ROOT / "BENCH_vm.json"
+    return _run_kernels(args, out)
 
 
 if __name__ == "__main__":

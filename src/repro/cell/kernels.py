@@ -43,7 +43,9 @@ __all__ = [
     "OPT_LEVELS",
     "OptimizationFlags",
     "build_spe_kernel",
+    "build_spe_timestep_kernel",
     "kernel_constants",
+    "timestep_constants",
 ]
 
 #: The Figure-5 ladder, in paper order.
@@ -282,13 +284,21 @@ def _pe_contribution(a: Asm) -> list[Node]:
     ]
 
 
-def build_spe_kernel(
-    level: str,
+def timestep_constants(potential: LennardJones, dt: float) -> dict[str, float]:
+    """Constant registers for the whole-timestep kernels: the pair-force
+    constants plus the integration step size."""
+    constants = kernel_constants(potential)
+    constants["dt"] = float(dt)
+    return constants
+
+
+def _pair_body(
+    flags: OptimizationFlags,
     box_length: float,
-    branch_penalty: int = 18,
-) -> Program:
-    """Build the per-pair SPE kernel at one Figure-5 optimization level."""
-    flags = OptimizationFlags.for_level(level)
+    branch_penalty: int,
+) -> list[Node]:
+    """The per-pair force body shared by the pair-only and whole-timestep
+    kernels."""
     a = Asm()
     body: list[Node] = []
 
@@ -352,12 +362,66 @@ def build_spe_kernel(
             penalty=branch_penalty,
         )
     )
+    return body
 
+
+def build_spe_kernel(
+    level: str,
+    box_length: float,
+    branch_penalty: int = 18,
+) -> Program:
+    """Build the per-pair SPE kernel at one Figure-5 optimization level."""
+    flags = OptimizationFlags.for_level(level)
+    body = _pair_body(flags, box_length, branch_penalty)
     program = Program(
         name=f"spe_md_{level}",
         segments=(Segment("pair", "pairs", tuple(body)),),
         inputs=("xi", "xj", "self_flag") + _CONSTANT_REGS,
         outputs=("acc_out", "pe_out"),
+    )
+    program.validate()
+    return program
+
+
+def _integrate_body(a: Asm) -> list[Node]:
+    """Leapfrog update of one row's own atom from its pair force.
+
+    ``acc_out`` carries (fx, fy, fz, junk); the junk lane is zeroed so
+    the velocity's padding lane stays clean, then one kick + one drift:
+    ``vi' = vi + a*dt``, ``xi' = xi + vi'*dt``.
+    """
+    return [
+        a.shufb("facc", "acc_out", "zero", (0, 1, 2, 4)),
+        a.fma("vi_out", "facc", "dt", "vi"),
+        a.fma("xi_out", "vi_out", "dt", "xi"),
+    ]
+
+
+def build_spe_timestep_kernel(
+    level: str,
+    box_length: float,
+    branch_penalty: int = 18,
+) -> Program:
+    """The whole-timestep SPE program: force segment + integration segment.
+
+    Each batch row is one independent pair system: the ``pair`` segment
+    computes its interaction force exactly as :func:`build_spe_kernel`,
+    and the ``integrate`` segment advances the row's own atom with it.
+    The force flows to the integrator through the ``acc_out`` register —
+    an SSA value under the ``fused`` backend (no ``env`` round trip), a
+    declared-output handoff under ``interp``/``compiled`` — which is
+    what makes this the cross-segment-fusion workload.
+    """
+    flags = OptimizationFlags.for_level(level)
+    a = Asm()
+    program = Program(
+        name=f"spe_md_timestep_{level}",
+        segments=(
+            Segment("pair", "pairs", tuple(_pair_body(flags, box_length, branch_penalty))),
+            Segment("integrate", "pairs", tuple(_integrate_body(a))),
+        ),
+        inputs=("xi", "xj", "self_flag", "vi", "dt", "zero") + _CONSTANT_REGS,
+        outputs=("acc_out", "pe_out", "xi_out", "vi_out"),
     )
     program.validate()
     return program

@@ -18,6 +18,7 @@ from typing import Any, Callable, Mapping
 
 from repro.experiments import (
     ablations,
+    ensemble,
     faultstorm,
     fig5_simd,
     fig6_launch,
@@ -52,6 +53,8 @@ class ExperimentSpec:
     accepts_force_path: bool = False
     #: the chaos experiment threads a serialized FaultPlan through.
     accepts_fault_plan: bool = False
+    #: the ensemble experiment threads a replica count through.
+    accepts_replicas: bool = False
 
     def params(
         self,
@@ -59,19 +62,24 @@ class ExperimentSpec:
         quick: bool = False,
         force_path: str | None = None,
         fault_plan: Mapping[str, Any] | None = None,
+        replicas: int | None = None,
     ) -> dict[str, Any]:
         """The resolved keyword arguments for one invocation.
 
         ``fault_plan`` is the JSON-native ``FaultPlan.to_dict()`` form —
         it must stay serializable because it lands in the job params and
         therefore in the cache key (a run under a different plan is a
-        different experiment).
+        different experiment).  ``replicas`` likewise lands in the job
+        params of the specs that accept it — an R-replica run and an
+        R'-replica run never share a cache entry.
         """
         resolved = dict(self.quick_params if quick else self.full_params)
         if self.accepts_force_path and force_path is not None:
             resolved["force_path"] = force_path
         if self.accepts_fault_plan and fault_plan is not None:
             resolved["fault_plan"] = dict(fault_plan)
+        if self.accepts_replicas and replicas is not None:
+            resolved["replicas"] = int(replicas)
         return resolved
 
     def resolve(self) -> Callable[..., Any]:
@@ -88,6 +96,7 @@ def _spec(
     full_params: Mapping[str, Any] | None = None,
     accepts_force_path: bool = False,
     accepts_fault_plan: bool = False,
+    accepts_replicas: bool = False,
 ) -> ExperimentSpec:
     return ExperimentSpec(
         experiment_id=experiment_id,
@@ -98,6 +107,7 @@ def _spec(
         quick_params=dict(quick_params),
         accepts_force_path=accepts_force_path,
         accepts_fault_plan=accepts_fault_plan,
+        accepts_replicas=accepts_replicas,
     )
 
 
@@ -213,6 +223,15 @@ EXPERIMENTS: tuple[ExperimentSpec, ...] = (
         quick_params={"n_atoms": 128, "n_steps": 6},
         full_params={"n_atoms": 256, "n_steps": 12},
         accepts_fault_plan=True,
+    ),
+    _spec(
+        "ensemble",
+        ensemble,
+        "run",
+        ensemble.DESCRIPTION,
+        quick_params={"n_rows": 128, "replicas": 4},
+        full_params={"n_rows": 256, "replicas": 8},
+        accepts_replicas=True,
     ),
 )
 

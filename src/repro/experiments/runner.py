@@ -129,6 +129,14 @@ def main(argv: list[str] | None = None) -> int:
         "path to a JSON plan file (applies to experiments that accept one)",
     )
     parser.add_argument(
+        "--replicas",
+        type=int,
+        default=None,
+        metavar="R",
+        help="replica count for the ensemble experiment (overrides the "
+        "roster default; applies to experiments that accept one)",
+    )
+    parser.add_argument(
         "--trace",
         action="store_true",
         help="observe every experiment, print an ASCII timeline, and write "
@@ -146,6 +154,9 @@ def main(argv: list[str] | None = None) -> int:
         help="observe every experiment and print its hardware-counter summary",
     )
     args = parser.parse_args(argv)
+
+    if args.replicas is not None and args.replicas < 1:
+        parser.error("--replicas must be >= 1")
 
     fault_plan = None
     if args.fault_plan is not None:
@@ -175,6 +186,7 @@ def main(argv: list[str] | None = None) -> int:
             quick=args.quick,
             force_path=args.force_path,
             fault_plan=fault_plan,
+            replicas=args.replicas,
             only=[args.only] if args.only else None,
             skip=args.skip,
             observe=observe,

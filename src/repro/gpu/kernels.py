@@ -26,6 +26,7 @@ from repro.vm.program import Node, Program, Segment
 
 __all__ = [
     "build_md_shader",
+    "build_gpu_timestep_shader",
     "shader_constants",
     "reduction_pass_count",
     "build_reduction_shader",
@@ -52,16 +53,10 @@ def shader_constants(potential: LennardJones, box_length: float) -> dict[str, fl
 _CONSTS = ("rc2", "sigma2", "c24eps", "c4eps", "shiftE", "one", "two", "boxL", "invL")
 
 
-def build_md_shader(box_length: float) -> ShaderProgram:
-    """The per-pair body of the MD fragment program.
-
-    Register contract (see :class:`repro.gpu.device.GpuPairSweep`):
-    ``xi`` is the output atom's position, ``xj`` the scanned partner
-    (fetched from the position texture), ``self_flag`` marks the
-    self-pair; the output ``acc_out`` carries (fx, fy, fz, pe).
-    """
-    a = Asm()
-    body: list[Node] = [
+def _pair_body(a: Asm) -> list[Node]:
+    """The per-pair force body shared by the MD shader and the
+    whole-timestep shader."""
+    return [
         a.texfetch("pj", "xj"),
         a.fs("d", "xi", "pj"),
         # minimum image, closed form: d -= L * round(d * (1/L))
@@ -94,9 +89,20 @@ def build_md_shader(box_length: float) -> ShaderProgram:
         # PE rides in the fourth component of the output
         a.shufb("acc_out", "fvec", "pe", (0, 1, 2, 4)),
     ]
+
+
+def build_md_shader(box_length: float) -> ShaderProgram:
+    """The per-pair body of the MD fragment program.
+
+    Register contract (see :class:`repro.gpu.device.GpuPairSweep`):
+    ``xi`` is the output atom's position, ``xj`` the scanned partner
+    (fetched from the position texture), ``self_flag`` marks the
+    self-pair; the output ``acc_out`` carries (fx, fy, fz, pe).
+    """
+    a = Asm()
     program = Program(
         name="gpu_md_shader",
-        segments=(Segment("pair", "pairs", tuple(body)),),
+        segments=(Segment("pair", "pairs", tuple(_pair_body(a))),),
         inputs=("xi", "xj", "self_flag", "zero", "tiny") + _CONSTS,
         outputs=("acc_out",),
     )
@@ -106,6 +112,37 @@ def build_md_shader(box_length: float) -> ShaderProgram:
         input_arrays=("xj",),
         output_register="acc_out",
     )
+
+
+def build_gpu_timestep_shader(box_length: float) -> Program:
+    """The whole-timestep GPU program: pair force pass + integration pass.
+
+    The two render passes of a GPU timestep (force shader, then the
+    pointwise integration shader over the acceleration texture) become
+    two segments of one program.  ``acc_out`` carries (fx, fy, fz, pe);
+    the integrator masks the PE lane to zero before the kick so the
+    velocity's padding lane stays clean, then ``vi' = vi + a*dt`` and
+    ``xi' = xi + vi'*dt``.  Under the ``fused`` backend the acceleration
+    never round-trips through a render target — the exact dispatch the
+    whole-timestep fusion removes.
+    """
+    a = Asm()
+    integrate: list[Node] = [
+        a.shufb("facc", "acc_out", "zero", (0, 1, 2, 4)),
+        a.fma("vi_out", "facc", "dt", "vi"),
+        a.fma("xi_out", "vi_out", "dt", "xi"),
+    ]
+    program = Program(
+        name="gpu_md_timestep",
+        segments=(
+            Segment("pair", "pairs", tuple(_pair_body(a))),
+            Segment("integrate", "pairs", tuple(integrate)),
+        ),
+        inputs=("xi", "xj", "self_flag", "vi", "dt", "zero", "tiny") + _CONSTS,
+        outputs=("acc_out", "xi_out", "vi_out"),
+    )
+    program.validate()
+    return program
 
 
 def reduction_pass_count(n_elements: int, fanin: int = 4) -> int:

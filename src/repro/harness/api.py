@@ -55,6 +55,7 @@ def jobs_from_registry(
     quick: bool = False,
     force_path: str | None = None,
     fault_plan: Mapping[str, Any] | None = None,
+    replicas: int | None = None,
     only: Iterable[str] | None = None,
     skip: Iterable[str] = (),
     observe: bool = False,
@@ -66,8 +67,10 @@ def jobs_from_registry(
     ``fault_plan`` (a JSON-native ``FaultPlan.to_dict()``) reaches the
     specs that accept it and lands in their job params — so it is part
     of the cache key, and runs under different plans never alias.
-    ``observe`` runs every job under an observation session: hardware
-    counters land in the result, trace documents in the run store.
+    ``replicas`` reaches the specs that accept it the same way (and is
+    likewise part of the cache key).  ``observe`` runs every job under
+    an observation session: hardware counters land in the result, trace
+    documents in the run store.
     """
     from repro.experiments.registry import EXPERIMENTS, spec_for
 
@@ -87,7 +90,10 @@ def jobs_from_registry(
                 module=spec.module,
                 func=spec.func,
                 params=spec.params(
-                    quick=quick, force_path=force_path, fault_plan=fault_plan
+                    quick=quick,
+                    force_path=force_path,
+                    fault_plan=fault_plan,
+                    replicas=replicas,
                 ),
                 observe=observe,
             )

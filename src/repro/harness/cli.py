@@ -85,6 +85,9 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="fault plan for the chaos experiment: 'storm', "
                      "'none', or a path to a JSON plan file; ships through "
                      "job params, so it IS part of the cache key")
+    run.add_argument("--replicas", type=int, default=None, metavar="R",
+                     help="replica count for the ensemble experiment; ships "
+                     "through job params, so it IS part of the cache key")
     _add_runs_dir(run)
 
     lst = sub.add_parser("list", help="list stored runs")
@@ -140,6 +143,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from repro.vm.machine import EXEC_ENV_VAR
 
         os.environ[EXEC_ENV_VAR] = args.vm_exec
+    if args.replicas is not None and args.replicas < 1:
+        print("error: --replicas must be >= 1", file=sys.stderr)
+        return 2
     fault_plan = None
     if args.fault_plan is not None:
         from repro.faults import load_plan_arg
@@ -155,6 +161,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             quick=args.quick,
             force_path=args.force_path,
             fault_plan=fault_plan,
+            replicas=args.replicas,
             only=args.only or None,
             skip=args.skip,
             observe=observe,
@@ -178,6 +185,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "force_path": args.force_path,
             "vm_exec": args.vm_exec,
             "fault_plan": args.fault_plan,
+            "replicas": args.replicas,
             "only": args.only,
             "skip": args.skip,
             "trace": args.trace,

@@ -22,12 +22,14 @@ from repro.mta.loopir import (
     Statement,
 )
 from repro.opteron.kernel import build_integration_program, build_opteron_kernel
-from repro.vm.program import Program
+from repro.vm.builder import Asm
+from repro.vm.program import Node, Program, Segment
 
 __all__ = [
     "MTA_ISSUE_SLOTS",
     "build_mta_pair_program",
     "build_mta_integration_program",
+    "build_mta_timestep_program",
     "md_kernel_ir",
 ]
 
@@ -47,6 +49,42 @@ def build_mta_pair_program(box_length: float) -> Program:
 def build_mta_integration_program() -> Program:
     """The O(N) integration program (steps 1/3/4/5)."""
     return build_integration_program()
+
+
+def build_mta_timestep_program(box_length: float) -> Program:
+    """The whole timestep as one two-segment program: force + integrate.
+
+    The MTA-2 runs both phases from the same C source with no kernel
+    relaunch between them, so the whole-timestep form is the natural
+    unit for its issue accounting — and for the ``fused`` VM backend,
+    where the integration consumes ``acc_out`` as an SSA value instead
+    of re-reading the acceleration array.  Each batch row is one
+    independent pair system, as in the SPE/GPU timestep kernels.
+    """
+    pair = build_opteron_kernel(box_length)
+    a = Asm()
+    integrate: list[Node] = [
+        a.lqd("vel", "vel"),
+        a.shufb("facc", "acc_out", "zero", (0, 1, 2, 4)),
+        a.fm("dv", "facc", "dt"),
+        a.fa("vel_s", "vel", "dv"),
+        a.lqd("posn", "posn"),
+        a.fm("dxv", "vel_s", "dt"),
+        a.fa("posn_s", "posn", "dxv"),
+        a.stqd("posn_s", "posn_s"),
+        a.stqd("vel_s", "vel_s"),
+    ]
+    program = Program(
+        name="mta_md_timestep",
+        segments=(
+            pair.segment("pair"),
+            Segment("integrate", "atoms", tuple(integrate)),
+        ),
+        inputs=pair.inputs + ("vel", "posn", "dt", "zero"),
+        outputs=("acc_out", "pe_out", "posn_s", "vel_s"),
+    )
+    program.validate()
+    return program
 
 
 def md_kernel_ir(fully_multithreaded: bool) -> tuple[LoopNest, ...]:

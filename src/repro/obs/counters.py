@@ -133,6 +133,11 @@ def _populate() -> None:
          "expected pipeline-flush cycles from taken branches", "Fig. 5"),
         # -- VM-measured branch statistics (vm-mode functional paths) --
         ("vm.segments", "count", "vm", "VM segment executions"),
+        ("vm.programs", "count", "vm",
+         "whole-program VM dispatches (one per fused timestep batch)"),
+        ("vm.replicas", "count", "vm",
+         "replica-steps executed through run_program (additive: a "
+         "batched R-replica run charges R, same as R sequential runs)"),
         ("vm.branch.*", "ratio", "vm",
          "measured branch statistics (…samples / …taken_rows)"),
         # -- GPU -------------------------------------------------------

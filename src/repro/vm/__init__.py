@@ -1,12 +1,19 @@
 """The batched SIMD virtual machine: ISA, programs, scheduler, executors.
 
-Execution comes in two interchangeable backends — the reference
-interpreter and the codegen backend in :mod:`repro.vm.compile` — chosen
-per :class:`Machine` (see :func:`resolve_exec_backend`).
+Execution comes in three interchangeable backends — the reference
+interpreter, the per-segment codegen backend, and the whole-program
+``fused`` backend with replica batching, all in
+:mod:`repro.vm.compile` — chosen per :class:`Machine` (see
+:func:`resolve_exec_backend`).
 """
 
 from repro.vm.builder import Asm
-from repro.vm.compile import CompiledSegment, VMCompileError, compiled_segment
+from repro.vm.compile import (
+    CompiledSegment,
+    VMCompileError,
+    compiled_program,
+    compiled_segment,
+)
 from repro.vm.isa import EVEN, ODD, OPS, CostTable, OpCost, OpSpec
 from repro.vm.machine import (
     EXEC_BACKENDS,
@@ -44,6 +51,7 @@ __all__ = [
     "Segment",
     "SegmentCycles",
     "VMCompileError",
+    "compiled_program",
     "compiled_segment",
     "estimate_cycles",
     "resolve_exec_backend",

@@ -25,12 +25,27 @@ from typing import Iterable
 
 import numpy as np
 
-from repro.cell.kernels import OPT_LEVELS, build_spe_kernel, kernel_constants
+from repro.cell.kernels import (
+    OPT_LEVELS,
+    build_spe_kernel,
+    build_spe_timestep_kernel,
+    kernel_constants,
+    timestep_constants,
+)
 from repro.gpu.kernels import build_md_shader, shader_constants
 from repro.md.lj import LennardJones
 from repro.vm.machine import Machine
 
-__all__ = ["KernelBench", "bench_kernels", "default_kernels", "speedups"]
+__all__ = [
+    "EnsembleBench",
+    "KernelBench",
+    "bench_ensemble",
+    "bench_kernels",
+    "default_kernels",
+    "ensemble_speedups",
+    "speedups",
+    "timestep_env",
+]
 
 BOX_LENGTH = 8.0
 
@@ -139,6 +154,120 @@ def bench_kernels(
                 best_seconds=best,
             ))
     return results
+
+
+@dataclasses.dataclass(frozen=True)
+class EnsembleBench:
+    """One (replica count, execution mode) whole-timestep measurement."""
+
+    mode: str  # "compiled-sequential" | "fused-batched"
+    replicas: int
+    rows_per_replica: int
+    repeats: int
+    best_seconds: float
+
+    @property
+    def replicas_per_second(self) -> float:
+        return self.replicas / self.best_seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "replicas": self.replicas,
+            "rows_per_replica": self.rows_per_replica,
+            "repeats": self.repeats,
+            "best_seconds": self.best_seconds,
+            "replicas_per_second": self.replicas_per_second,
+        }
+
+
+def timestep_env(
+    machine: Machine, batch: int, constants: dict[str, float]
+) -> dict[str, np.ndarray]:
+    """A whole-timestep env: ``batch`` independent dimer-pair rows."""
+    rng = np.random.default_rng(1)
+    xi = rng.uniform(0.0, BOX_LENGTH, size=(batch, 3)).astype(np.float32)
+    xj = (xi + rng.uniform(-1.5, 1.5, size=(batch, 3))).astype(np.float32)
+    vi = rng.uniform(-0.1, 0.1, size=(batch, 3)).astype(np.float32)
+    env = {
+        "xi": machine.load_vec3(xi),
+        "xj": machine.load_vec3(xj),
+        "vi": machine.load_vec3(vi),
+    }
+    for name, value in constants.items():
+        env[name] = machine.make_register(batch, float(value))
+    env["zero"] = machine.make_register(batch, 0.0)
+    env["self_flag"] = machine.make_register(batch, 0.0)
+    return env
+
+
+#: (mode label, exec backend) pairs the ensemble benchmark compares: the
+#: PR-3 compiled backend looping replica by replica, vs one fused
+#: whole-program closure over the replica-stacked batch.
+ENSEMBLE_MODES = (
+    ("compiled-sequential", "compiled"),
+    ("fused-batched", "fused"),
+)
+
+
+def bench_ensemble(
+    replica_counts: Iterable[int] = (1, 2, 4, 8, 16),
+    rows_per_replica: int = 256,
+    repeats: int = 3,
+) -> list[EnsembleBench]:
+    """Replicas/sec through one whole SPE timestep, per execution mode.
+
+    Each replica is ``rows_per_replica`` independent dimer systems; the
+    batch stacks R replicas along the row axis.  ``compiled-sequential``
+    is :meth:`Machine.run_program` on the compiled backend (loops
+    replica by replica over row slices — the PR-3 execution model);
+    ``fused-batched`` runs the same batch through one whole-program
+    closure.  Outputs are bit-identical (``tests/vm/test_fused.py``), so
+    the ratio is pure dispatch/vectorization win.
+    """
+    program = build_spe_timestep_kernel("simd_acceleration", BOX_LENGTH)
+    constants = timestep_constants(LennardJones(), dt=0.005)
+    results = []
+    for replicas in replica_counts:
+        batch = replicas * rows_per_replica
+        for mode, backend in ENSEMBLE_MODES:
+            machine = Machine(width=4, dtype=np.float32, exec_backend=backend)
+            env = timestep_env(machine, batch, constants)
+
+            def run():
+                # Fresh dict per call: replica merging rebinds output
+                # names; the input arrays themselves are never mutated.
+                return machine.run_program(program, dict(env), replicas=replicas)
+
+            run()  # warm-up: compile + pool allocation untimed
+            best = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                run()
+                best = min(best, time.perf_counter() - start)
+            results.append(EnsembleBench(
+                mode=mode,
+                replicas=replicas,
+                rows_per_replica=rows_per_replica,
+                repeats=repeats,
+                best_seconds=best,
+            ))
+    return results
+
+
+def ensemble_speedups(results: Iterable[EnsembleBench]) -> dict[int, float]:
+    """fused-batched / compiled-sequential replicas-per-second, per R."""
+    by_key = {(r.replicas, r.mode): r for r in results}
+    ratios = {}
+    for (replicas, mode), result in by_key.items():
+        if mode != "fused-batched":
+            continue
+        baseline = by_key.get((replicas, "compiled-sequential"))
+        if baseline is not None:
+            ratios[replicas] = (
+                result.replicas_per_second / baseline.replicas_per_second
+            )
+    return ratios
 
 
 def speedups(results: Iterable[KernelBench]) -> dict[str, float]:

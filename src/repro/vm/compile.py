@@ -27,15 +27,39 @@ module removes all of it by *compiling* a segment once:
    pool of ``(batch, width)`` scratch buffers via in-place ``out=``
    ufunc kernels; steady-state execution allocates nothing.
 6. **Emit Python source** for the whole segment body and ``exec`` it
-   once; the closure is cached per ``(program, segment, width, dtype)``.
+   once; the closure is cached per ``(program, scope, width, dtype)``
+   where *scope* distinguishes a per-segment compilation from a fused
+   whole-program one (the two must never alias a cache entry even when
+   a program has a single segment, or a segment name that collides with
+   the scope marker).
+
+Two compilation granularities share this pipeline:
+
+* :func:`compile_segment` lowers one named segment — the ``compiled``
+  backend's unit, dispatched per :meth:`Machine.run_segment` call.
+* :func:`compile_program` feeds *every* segment of a program through
+  one :class:`_Flattener` in declaration order, so values flow across
+  segment boundaries in SSA form (a force segment's ``acc_out`` is
+  consumed by the integration segment without ever touching ``env``)
+  and the liveness scan reuses buffer slots across those boundaries.
+  This is the ``fused`` backend's whole-timestep unit: one closure,
+  zero per-segment dispatch.
+
+Replica batching: the emitted closure takes a ``replicas`` count.  The
+arithmetic needs nothing special — every operation is elementwise along
+the row axis, so R replicas stacked along rows compute exactly what R
+sequential runs compute — but branch-probability *probes* must stay
+per-replica: the closure records one P(taken) sample per replica, in
+replica order, so ``Machine.branch_stats`` after a batched run is
+bit-identical to R sequential runs.
 
 The compiled closure is bit-identical to the interpreter on every
 declared output and records the same branch-probability samples in the
-same order (the differential suite in ``tests/vm/test_compile.py``
-enforces both).  Contract difference: only the program's *declared
-outputs* are written back to ``env``; interpreter intermediates stay in
-reused slots.  The cycle model is untouched — it reads the instruction
-stream, not the executor.
+same order (the differential suites in ``tests/vm/test_compile.py``
+and ``tests/vm/test_fused.py`` enforce both).  Contract difference:
+only the program's *declared outputs* are written back to ``env``;
+interpreter intermediates stay in reused slots.  The cycle model is
+untouched — it reads the instruction stream, not the executor.
 """
 
 from __future__ import annotations
@@ -50,7 +74,14 @@ from repro.vm.isa import OPS
 from repro.vm.machine import Machine, MachineError
 from repro.vm.program import IfBlock, Instr, Loop, Node, Program
 
-__all__ = ["VMCompileError", "CompiledSegment", "compiled_segment", "compile_segment"]
+__all__ = [
+    "VMCompileError",
+    "CompiledSegment",
+    "compiled_segment",
+    "compile_segment",
+    "compiled_program",
+    "compile_program",
+]
 
 
 class VMCompileError(MachineError):
@@ -484,13 +515,12 @@ def _emit_op(op: _Op, expr, width: int) -> list[str]:
     if op.kind == "probe":
         if op.sample is not None:  # constant condition, batch-independent
             return [
-                f"machine._record_branch({op.prob_key!r}, "
-                f"{op.sample!r} if batch else 0.0)"
+                f"_probe_const(machine, {op.prob_key!r}, {op.sample!r}, "
+                f"batch, replicas)"
             ]
         return [
-            f"_t = {expr(op.srcs[0])}.any(axis=-1)",
-            f"machine._record_branch({op.prob_key!r}, "
-            f"float(_t.mean()) if _t.size else 0.0)",
+            f"_probe(machine, {op.prob_key!r}, "
+            f"{expr(op.srcs[0])}.any(axis=-1), replicas)",
         ]
     raise VMCompileError(f"no codegen for op kind {op.kind!r}")  # pragma: no cover
 
@@ -504,8 +534,44 @@ def _load(env: dict, name: str) -> np.ndarray:
         ) from None
 
 
+def _probe(machine, key: str, taken_rows: np.ndarray, replicas: int) -> None:
+    """Record branch P(taken) — one sample per replica, in replica order.
+
+    With ``replicas == 1`` this is exactly the interpreter's single
+    sample.  With R replicas stacked along the row axis, each replica's
+    row range contributes its own sample, so the per-key sample sequence
+    (and therefore the float accumulation order in ``BranchStat``) is
+    identical to R sequential single-replica runs.
+    """
+    if replicas == 1:
+        machine._record_branch(
+            key, float(taken_rows.mean()) if taken_rows.size else 0.0
+        )
+        return
+    rows = taken_rows.shape[0] // replicas
+    for index in range(replicas):
+        sub = taken_rows[index * rows : (index + 1) * rows]
+        machine._record_branch(key, float(sub.mean()) if sub.size else 0.0)
+
+
+def _probe_const(machine, key: str, sample: float, batch: int, replicas: int) -> None:
+    """Constant-condition probe: batch-independent sample, per replica."""
+    if replicas == 1:
+        machine._record_branch(key, sample if batch else 0.0)
+        return
+    rows = batch // replicas
+    for _ in range(replicas):
+        machine._record_branch(key, sample if rows else 0.0)
+
+
 class CompiledSegment:
-    """One segment lowered to a fused closure plus its reusable buffers."""
+    """One compilation unit lowered to a fused closure plus its buffers.
+
+    The unit is either a single segment (the ``compiled`` backend) or a
+    whole program's segments fused end to end (the ``fused`` backend);
+    :attr:`segment_names` lists what went in, :attr:`segment_name` is
+    the ``+``-joined display form.
+    """
 
     def __init__(
         self,
@@ -519,9 +585,11 @@ class CompiledSegment:
         n_bool_slots: int,
         input_names: tuple[str, ...],
         n_kernel_calls: int,
+        segment_names: tuple[str, ...] | None = None,
     ) -> None:
         self.program_name = program_name
         self.segment_name = segment_name
+        self.segment_names = segment_names if segment_names is not None else (segment_name,)
         self.width = width
         self.dtype = dtype
         self.source = source
@@ -550,10 +618,15 @@ class CompiledSegment:
             self._pools[batch] = pool
         return pool
 
-    def __call__(self, env: dict[str, np.ndarray], machine) -> dict[str, np.ndarray]:
+    def __call__(
+        self,
+        env: dict[str, np.ndarray],
+        machine,
+        replicas: int = 1,
+    ) -> dict[str, np.ndarray]:
         batch = next(iter(env.values())).shape[0] if env else 0
         fpool, bpool = self._pool(batch)
-        self._fn(env, machine, fpool, bpool, batch)
+        self._fn(env, machine, fpool, bpool, batch, replicas)
         return env
 
 
@@ -564,10 +637,37 @@ def compile_segment(
     dtype: np.dtype | type = np.float32,
 ) -> CompiledSegment:
     """Lower one segment to a :class:`CompiledSegment` (uncached)."""
-    dtype = np.dtype(dtype)
-    segment = program.segment(segment_name)
+    program.segment(segment_name)  # raise early on unknown names
+    return _compile_unit(program, (segment_name,), width, np.dtype(dtype))
+
+
+def compile_program(
+    program: Program,
+    width: int,
+    dtype: np.dtype | type = np.float32,
+) -> CompiledSegment:
+    """Fuse *every* segment of ``program`` into one closure (uncached).
+
+    Segments flatten through one shared :class:`_Flattener` in
+    declaration order, so a register written by an earlier segment is
+    consumed by a later one as an SSA value — no ``env`` round trip, no
+    per-segment dispatch — and buffer slots are reused across segment
+    boundaries by the same liveness scan.  Declared outputs are written
+    back once, at the end of the whole program.
+    """
+    names = tuple(segment.name for segment in program.segments)
+    return _compile_unit(program, names, width, np.dtype(dtype))
+
+
+def _compile_unit(
+    program: Program,
+    segment_names: tuple[str, ...],
+    width: int,
+    dtype: np.dtype,
+) -> CompiledSegment:
     flat = _Flattener(width, dtype)
-    flat.flatten(segment.body, loop_indices=[])
+    for name in segment_names:
+        flat.flatten(program.segment(name).body, loop_indices=[])
 
     writebacks: list[tuple[str, _Val]] = []
     for name in program.outputs:
@@ -599,6 +699,8 @@ def compile_segment(
     namespace: dict[str, object] = {
         "np": np,
         "_load": _load,
+        "_probe": _probe,
+        "_probe_const": _probe_const,
         "_one": dtype.type(1.0),
         "_zrow": np.zeros((width,), dtype=dtype),
     }
@@ -619,7 +721,7 @@ def compile_segment(
         return f"_{pool}{index}"
 
     # -- assemble source -------------------------------------------------
-    lines = ["def _kernel(env, machine, _fpool, _bpool, batch):"]
+    lines = ["def _kernel(env, machine, _fpool, _bpool, batch, replicas):"]
     for index in range(counts["f"]):
         lines.append(f"    _f{index} = _fpool[{index}]")
     for index in range(counts["b"]):
@@ -646,11 +748,12 @@ def compile_segment(
     lines.extend("        " + line for line in body)
     source = "\n".join(lines) + "\n"
 
-    filename = f"<vm-compile:{program.name}/{segment_name}>"
+    display = "+".join(segment_names)
+    filename = f"<vm-compile:{program.name}/{display}>"
     exec(compile(source, filename, "exec"), namespace)  # noqa: S102 - own codegen
     return CompiledSegment(
         program_name=program.name,
-        segment_name=segment_name,
+        segment_name=display,
         width=width,
         dtype=dtype,
         fn=namespace["_kernel"],
@@ -659,15 +762,21 @@ def compile_segment(
         n_bool_slots=counts["b"],
         input_names=tuple(input_names),
         n_kernel_calls=n_kernel_calls,
+        segment_names=tuple(segment_names),
     )
 
 
 @functools.lru_cache(maxsize=256)
-def _compiled_segment_cached(
-    program: Program, fingerprint: str, segment_name: str, width: int,
+def _compiled_unit_cached(
+    program: Program, fingerprint: str, scope: tuple[str, ...], width: int,
     dtype_str: str,
 ) -> CompiledSegment:
-    return compile_segment(program, segment_name, width, np.dtype(dtype_str))
+    # ``scope`` is ("segment", name) or ("program", *segment_names): the
+    # leading discriminator keeps a fused whole-program closure from
+    # aliasing a per-segment entry of the same program — including the
+    # single-segment case, where the segment-name tuple alone would be
+    # identical under both backends.
+    return _compile_unit(program, scope[1:], width, np.dtype(dtype_str))
 
 
 #: id(program) -> (weakref, repr) — identity-keyed so equal-but-distinct
@@ -710,9 +819,25 @@ def compiled_segment(
     """
     dtype = np.dtype(dtype)
     try:
-        return _compiled_segment_cached(
-            program, _program_fingerprint(program), segment_name, width,
-            dtype.str,
+        return _compiled_unit_cached(
+            program, _program_fingerprint(program), ("segment", segment_name),
+            width, dtype.str,
         )
     except TypeError:
         return compile_segment(program, segment_name, width, dtype)
+
+
+def compiled_program(
+    program: Program,
+    width: int,
+    dtype: np.dtype | type = np.float32,
+) -> CompiledSegment:
+    """The cached whole-program entry point for the ``fused`` backend."""
+    dtype = np.dtype(dtype)
+    scope = ("program",) + tuple(segment.name for segment in program.segments)
+    try:
+        return _compiled_unit_cached(
+            program, _program_fingerprint(program), scope, width, dtype.str,
+        )
+    except TypeError:
+        return compile_program(program, width, dtype)

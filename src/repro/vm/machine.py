@@ -7,7 +7,7 @@ of ``batch`` iterations.  This gives real numerics (the device tests
 compare VM force output against the NumPy reference kernels) while the
 instruction stream stays exact for the cycle model.
 
-Two execution backends share the instruction semantics:
+Three execution backends share the instruction semantics:
 
 * ``interp`` — the per-instruction interpreter below: one dict dispatch
   and one fresh result array per instruction.  Every register the
@@ -18,6 +18,13 @@ Two execution backends share the instruction semantics:
   register slots liveness-reused via ``out=`` kernels) and caches it.
   Bit-identical results and branch statistics, several times faster;
   only the segment's *declared outputs* are written back to ``env``.
+* ``fused`` — whole-*program* compilation: :meth:`Machine.run_program`
+  executes every segment through one closure with no per-segment
+  dispatch, and a batched replica axis lets R independent replicas run
+  through a single vectorized call (:meth:`Machine.run_program` with
+  ``replicas=R``).  Per-segment execution (:meth:`run_segment`) under
+  ``fused`` falls back to the per-segment compiled closure — the two
+  granularities only differ when a caller hands over a whole program.
 
 The backend is chosen per :class:`Machine` via ``exec_backend``, with
 the ``REPRO_VM_EXEC`` environment variable filling in when the caller
@@ -51,7 +58,7 @@ __all__ = [
 ]
 
 #: Recognized execution backends.
-EXEC_BACKENDS = ("interp", "compiled")
+EXEC_BACKENDS = ("interp", "compiled", "fused")
 
 #: Environment variable consulted when ``exec_backend`` is not given.
 EXEC_ENV_VAR = "REPRO_VM_EXEC"
@@ -129,6 +136,11 @@ class Machine:
         self.exec_backend = resolve_exec_backend(exec_backend, default="interp")
         #: measured P(taken) per IfBlock prob_key, accumulated over runs
         self.branch_stats: dict[str, BranchStat] = {}
+        #: whole-program executions / replica-steps, accumulated over
+        #: :meth:`run_program` calls — the obs layer charges these to the
+        #: additive ``vm.programs`` / ``vm.replicas`` counters
+        self.programs_run = 0
+        self.replicas_run = 0
         #: optional fault session corrupting declared outputs post-segment
         self._fault_session = None
 
@@ -176,7 +188,7 @@ class Machine:
         """
         segment = program.segment(segment_name)
         self._check_env(env)
-        if self.exec_backend == "compiled":
+        if self.exec_backend in ("compiled", "fused"):
             from repro.vm.compile import compiled_segment
 
             compiled_segment(program, segment_name, self.width, self.dtype)(
@@ -187,6 +199,87 @@ class Machine:
         if self._fault_session is not None:
             self._fault_session.machine_bitflip(self, program.outputs, env)
         return env
+
+    def run_program(
+        self,
+        program: Program,
+        env: dict[str, np.ndarray],
+        replicas: int = 1,
+    ) -> dict[str, np.ndarray]:
+        """Execute *every* segment of ``program`` over the batch in ``env``.
+
+        Under the ``fused`` backend the whole program runs as one
+        compiled closure (no per-segment dispatch); under ``interp`` and
+        ``compiled`` the segments execute sequentially over the shared
+        ``env`` — same results, reference semantics.
+
+        ``replicas=R`` declares that the batch rows are R independent
+        replicas stacked along the row axis (row ``r*B .. (r+1)*B-1`` is
+        replica ``r``).  The ``fused`` backend executes all replicas in
+        one vectorized call; ``interp`` and ``compiled`` loop replica by
+        replica on row slices — the sequential reference the batched
+        path must match bit for bit, branch statistics included.  With
+        ``replicas > 1`` only the program's declared outputs are merged
+        back into ``env``.
+
+        An armed fault session fires once, after the whole program —
+        one potential bitflip per ``run_program`` call, landing in
+        exactly one replica's rows.
+        """
+        self._check_env(env)
+        if replicas < 1:
+            raise MachineError(f"replicas must be >= 1, got {replicas}")
+        batch = next(iter(env.values())).shape[0] if env else 0
+        if env and batch % replicas:
+            raise MachineError(
+                f"batch {batch} is not divisible into {replicas} replicas"
+            )
+        if replicas == 1 or self.exec_backend == "fused":
+            self._run_program_once(program, env, replicas)
+        else:
+            rows = batch // replicas
+            merged: dict[str, list[np.ndarray]] = {
+                name: [] for name in program.outputs
+            }
+            for index in range(replicas):
+                sub = {
+                    name: reg[index * rows : (index + 1) * rows]
+                    for name, reg in env.items()
+                }
+                self._run_program_once(program, sub, 1)
+                for name in program.outputs:
+                    merged[name].append(sub[name])
+            for name, parts in merged.items():
+                env[name] = np.concatenate(parts, axis=0)
+        self.programs_run += 1
+        self.replicas_run += replicas
+        if self._fault_session is not None:
+            self._fault_session.machine_bitflip(self, program.outputs, env)
+        return env
+
+    def _run_program_once(
+        self,
+        program: Program,
+        env: dict[str, np.ndarray],
+        replicas: int,
+    ) -> None:
+        """All segments, no fault hook (``run_program`` applies it once)."""
+        if self.exec_backend == "fused":
+            from repro.vm.compile import compiled_program
+
+            compiled_program(program, self.width, self.dtype)(
+                env, self, replicas=replicas
+            )
+        elif self.exec_backend == "compiled":
+            from repro.vm.compile import compiled_segment
+
+            for segment in program.segments:
+                compiled_segment(program, segment.name, self.width, self.dtype)(
+                    env, self
+                )
+        else:
+            for segment in program.segments:
+                self._exec_nodes(segment.body, env, loop_indices=[])
 
     def install_fault_session(self, session) -> None:
         """Arm instruction-level fault injection (``vm.bitflip``).

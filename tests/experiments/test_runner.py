@@ -10,7 +10,7 @@ from repro.experiments import runner
 class TestRoster:
     def test_full_roster_covers_every_artifact(self):
         factories = runner.all_experiments(quick=False)
-        assert len(factories) == 15
+        assert len(factories) == 16
 
     def test_quick_roster_same_length(self):
         assert len(runner.all_experiments(quick=True)) == len(
@@ -45,6 +45,76 @@ class TestCli:
             assert eid in out
         assert "SIMD optimization ladder" in out
         assert "PASS" not in out  # listing must not execute experiments
+
+
+class TestVmExecFlag:
+    def test_fused_is_an_accepted_backend_value(self, capsys, monkeypatch):
+        import os
+
+        from repro.vm.machine import EXEC_ENV_VAR
+
+        # setenv (not delenv) so teardown always restores the var even
+        # when it started out absent — the CLI writes os.environ
+        monkeypatch.setenv(EXEC_ENV_VAR, "compiled")
+        # --list exits before running anything, but --vm-exec has
+        # already been applied: cheap way to observe the env hand-off
+        assert runner.main(["--list", "--vm-exec", "fused"]) == 0
+        assert os.environ[EXEC_ENV_VAR] == "fused"
+
+    def test_flag_overrides_inherited_env_var(self, capsys, monkeypatch):
+        import os
+
+        from repro.vm.machine import EXEC_ENV_VAR
+
+        monkeypatch.setenv(EXEC_ENV_VAR, "interp")
+        assert runner.main(["--list", "--vm-exec", "fused"]) == 0
+        assert os.environ[EXEC_ENV_VAR] == "fused"
+
+    def test_invalid_backend_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            runner.main(["--list", "--vm-exec", "vectorised"])
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_env_var_alone_reaches_machines(self, monkeypatch):
+        from repro.vm.machine import EXEC_ENV_VAR, Machine
+
+        monkeypatch.setenv(EXEC_ENV_VAR, "fused")
+        assert Machine(width=4).exec_backend == "fused"
+
+
+class TestReplicasFlag:
+    def test_replicas_below_one_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            runner.main(["--quick", "--replicas", "0"])
+        assert "--replicas must be >= 1" in capsys.readouterr().err
+
+    def test_non_integer_replicas_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            runner.main(["--quick", "--replicas", "two"])
+
+    def test_replicas_reaches_the_ensemble_experiment(self, capsys, monkeypatch):
+        from repro.vm.machine import EXEC_ENV_VAR
+
+        monkeypatch.setenv(EXEC_ENV_VAR, "interp")  # CLI overwrites it;
+        # setenv registers the undo delenv would skip for an absent var
+        exit_code = runner.main(
+            ["--quick", "--only", "ensemble", "--replicas", "2",
+             "--vm-exec", "fused"]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "2 replicas" in out  # the override landed in the title
+        assert "bit-identical to sequential runs" in out
+        assert "FAIL" not in out
+
+    def test_replicas_is_a_registry_param_only_where_accepted(self):
+        from repro.experiments.registry import EXPERIMENTS
+
+        by_id = {spec.experiment_id: spec for spec in EXPERIMENTS}
+        ensemble = by_id["ensemble"].params(quick=True, replicas=3)
+        assert ensemble["replicas"] == 3
+        other = by_id["fig5"].params(quick=True, replicas=3)
+        assert "replicas" not in other
 
 
 class TestCrashIsolation:
