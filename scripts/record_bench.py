@@ -20,6 +20,11 @@ backend's sequential replica loop, writing ``BENCH_vm2.json``.  Its
 ``--check`` gate requires fused-batched to reach
 ``--min-ensemble-speedup`` (default 2x) at every measured replica count
 >= 8.
+
+Either mode refuses (exit 3) to overwrite an existing BENCH file when
+the new table regresses any stored speedup by more than
+``--regress-tolerance`` (default 0.15) — pass ``--force`` to overwrite
+anyway.  ``scripts/assert_bench_schema.py`` validates the files.
 """
 
 from __future__ import annotations
@@ -47,6 +52,71 @@ from repro.vm.bench import (  # noqa: E402
 #: minimum speedup).
 GATE_REPLICAS = 8
 
+#: ``--regress-tolerance`` default: a new table may undercut the stored
+#: one by this fraction before the overwrite is refused (benchmarks on
+#: shared CI runners jitter; a real regression moves further than this).
+REGRESS_TOLERANCE = 0.15
+
+#: Exit code for "refusing to overwrite with a regressed table" —
+#: distinct from the speed-gate failure (1) and usage errors (2).
+EXIT_REGRESSED = 3
+
+
+def regressed_speedups(
+    old: dict, new: dict, tolerance: float
+) -> dict[str, tuple[float, float]]:
+    """Keys measured in both tables where new < old * (1 - tolerance)."""
+    if tolerance < 0.0:
+        raise ValueError("tolerance must be >= 0")
+    slow: dict[str, tuple[float, float]] = {}
+    for key, prev in old.items():
+        cur = new.get(key)
+        if cur is not None and float(cur) < float(prev) * (1.0 - tolerance):
+            slow[key] = (float(prev), float(cur))
+    return slow
+
+
+def _existing_record(out: Path, schema: str) -> dict | None:
+    """The stored record at ``out`` iff it parses and matches ``schema``."""
+    try:
+        existing = json.loads(out.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    return existing if existing.get("schema") == schema else None
+
+
+def _write_record(
+    args: argparse.Namespace, out: Path, record: dict, speedup_field: str
+) -> int:
+    """Write ``record``, refusing to clobber a faster stored table.
+
+    The BENCH files are the repo's perf history — one accidental run on
+    a loaded machine must not silently rewrite it downward.  ``--force``
+    overrides (e.g. after an intentional trade-off).
+    """
+    existing = _existing_record(out, record["schema"])
+    if existing is not None and not args.force:
+        old = {
+            k: v for k, v in (existing.get(speedup_field) or {}).items()
+            if isinstance(v, (int, float))
+        }
+        slow = regressed_speedups(
+            old, record[speedup_field], args.regress_tolerance
+        )
+        if slow:
+            print(
+                f"REFUSED: new table regresses {out.name} beyond "
+                f"{args.regress_tolerance:.0%} on {len(slow)} speedup(s); "
+                "re-run on an idle machine or pass --force:",
+                file=sys.stderr,
+            )
+            for key in sorted(slow):
+                prev, cur = slow[key]
+                print(f"  {key}: {prev:.2f}x -> {cur:.2f}x", file=sys.stderr)
+            return EXIT_REGRESSED
+    out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return 0
+
 
 def _host() -> dict:
     return {
@@ -72,7 +142,9 @@ def _run_kernels(args: argparse.Namespace, out: Path) -> int:
         "results": [r.to_dict() for r in results],
         "speedup_compiled_over_interp": ratios,
     }
-    out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    rc = _write_record(args, out, record, "speedup_compiled_over_interp")
+    if rc:
+        return rc
 
     width = max(len(r.kernel) for r in results)
     for r in results:
@@ -132,7 +204,11 @@ def _run_ensemble(args: argparse.Namespace, out: Path) -> int:
             str(r): ratio for r, ratio in sorted(ratios.items())
         },
     }
-    out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    rc = _write_record(
+        args, out, record, "speedup_fused_over_compiled_sequential"
+    )
+    if rc:
+        return rc
 
     for r in results:
         print(f"R={r.replicas:<3} {r.mode:<20} "
@@ -185,7 +261,17 @@ def main(argv: list[str] | None = None) -> int:
                         help="minimum fused-batched/compiled-sequential "
                         f"replicas-per-second ratio at R >= {GATE_REPLICAS} "
                         "for --ensemble --check")
+    parser.add_argument("--regress-tolerance", type=float,
+                        default=REGRESS_TOLERANCE, metavar="FRAC",
+                        help="overwrite refusal threshold: refuse when any "
+                        "stored speedup drops by more than this fraction "
+                        f"(default {REGRESS_TOLERANCE})")
+    parser.add_argument("--force", action="store_true",
+                        help="overwrite the stored table even if the new "
+                        "one regresses it")
     args = parser.parse_args(argv)
+    if args.regress_tolerance < 0.0:
+        parser.error("--regress-tolerance must be >= 0")
 
     if args.ensemble:
         out = args.out or REPO_ROOT / "BENCH_vm2.json"

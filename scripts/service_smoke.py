@@ -1,0 +1,178 @@
+#!/usr/bin/env python
+"""CI smoke for ``repro.service``: boot a real node, drive it, verify.
+
+Usage::
+
+    python scripts/service_smoke.py [--runs-dir DIR] [--log FILE]
+                                    [--experiment ID] [--timeout S]
+
+Spawns ``python -m repro.service --port 0`` as a subprocess (ephemeral
+port parsed from its first output line), then drives it with the
+Python client through the full lifecycle the service exists for:
+
+1. a fresh quick experiment runs to ``succeeded`` through
+   ``queued -> running -> succeeded`` transitions,
+2. an identical resubmission is served from the content-addressed
+   cache (``cached: true``) without re-executing,
+3. a queued job is cancelled and settles as ``cancelled``,
+4. ``/v1/stats`` accounts for all of it (cache hits, completions).
+
+The server's combined stdout/stderr goes to ``--log`` so CI can upload
+it as an artifact.  Exits non-zero on any violated expectation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.service.client import ServiceClient, ServiceError  # noqa: E402
+
+_LISTENING = re.compile(r"listening on http://[\w.\-]+:(?P<port>\d+)")
+
+
+class SmokeFailure(AssertionError):
+    pass
+
+
+def expect(condition: bool, message: str) -> None:
+    if not condition:
+        raise SmokeFailure(message)
+
+
+def wait_for_port(log_path: Path, proc: subprocess.Popen,
+                  deadline_seconds: float) -> int:
+    deadline = time.monotonic() + deadline_seconds
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise SmokeFailure(
+                f"service exited early (rc={proc.returncode}); see log"
+            )
+        match = _LISTENING.search(log_path.read_text())
+        if match:
+            return int(match.group("port"))
+        time.sleep(0.1)
+    raise SmokeFailure("service never printed its listening address")
+
+
+def drive(client: ServiceClient, experiment: str, timeout: float) -> None:
+    health = client.healthz()
+    expect(health["ok"] is True, "healthz not ok")
+    print(f"healthz ok (run {health['run_id']})")
+
+    # 1. fresh submission runs to success
+    fresh = client.submit(experiment, quick=True, tenant="smoke")
+    expect(fresh["status"] in ("queued", "succeeded"),
+           f"unexpected submit status {fresh['status']}")
+    final = client.wait(fresh["id"], timeout=timeout)
+    expect(final["status"] == "succeeded",
+           f"fresh job ended {final['status']}: "
+           f"{final.get('traceback', '')[:400]}")
+    statuses = [event["status"] for event in final["events"]]
+    expect(statuses == ["queued", "running", "succeeded"],
+           f"unexpected transition sequence {statuses}")
+    print(f"fresh {experiment} succeeded via {' -> '.join(statuses)}")
+
+    # 2. identical resubmission is a cache hit, no re-execution
+    dup = client.submit(experiment, quick=True, tenant="smoke-b")
+    expect(dup["status"] == "succeeded", "duplicate did not short-circuit")
+    expect(dup["cached"] is True, "duplicate was not served from cache")
+    dup_statuses = [event["status"] for event in dup["events"]]
+    expect("running" not in dup_statuses,
+           f"duplicate re-executed: {dup_statuses}")
+    print("duplicate served from cache without re-execution")
+
+    # 3. cancel a job; accept either the queued or the cooperative path
+    doomed = client.submit("longrun", quick=True, tenant="smoke",
+                           priority=50)
+    cancel = client.cancel(doomed["id"])
+    doomed_final = client.wait(doomed["id"], timeout=timeout)
+    expect(doomed_final["status"] == "cancelled",
+           f"cancelled job ended {doomed_final['status']}")
+    kind = "queued" if cancel.get("cancelled") else "running (cooperative)"
+    print(f"cancelled a {kind} job -> status cancelled")
+
+    # 4. stats account for everything above
+    stats = client.stats()
+    counters = stats["counters"]
+    expect(counters["service.jobs.cache_hits"] >= 1.0, "no cache hit counted")
+    expect(counters["service.jobs.completed"] >= 2.0,
+           "completions not counted")
+    expect(counters["service.jobs.cancelled"] >= 1.0,
+           "cancellation not counted")
+    expect(stats["jobs"]["succeeded"] >= 2, "stats lost succeeded jobs")
+    expect(stats["jobs"]["cancelled"] >= 1, "stats lost the cancelled job")
+    print(f"stats ok: {stats['jobs']}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--runs-dir", default=None,
+                        help="run-store root (default: a temp dir)")
+    parser.add_argument("--log", type=Path,
+                        default=Path("service_smoke.log"),
+                        help="file capturing the server's output")
+    parser.add_argument("--experiment", default="fig5",
+                        help="quick experiment to submit (default fig5)")
+    parser.add_argument("--timeout", type=float, default=300.0,
+                        help="per-job wait timeout in seconds")
+    args = parser.parse_args(argv)
+
+    tmp = None
+    runs_dir = args.runs_dir
+    if runs_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="service-smoke-")
+        runs_dir = tmp.name
+
+    proc = None
+    try:
+        env = dict(os.environ)
+        src = str(REPO_ROOT / "src")
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src if not existing else src + os.pathsep + existing
+        )
+        with args.log.open("w") as log:
+            proc = subprocess.Popen(
+                [sys.executable, "-m", "repro.service",
+                 "--port", "0", "--concurrency", "1",
+                 "--runs-dir", runs_dir],
+                stdout=log, stderr=subprocess.STDOUT,
+                cwd=REPO_ROOT, env=env,
+            )
+        port = wait_for_port(args.log, proc, deadline_seconds=30.0)
+        print(f"service up on port {port}; log -> {args.log}")
+        client = ServiceClient(port=port, timeout=args.timeout)
+        drive(client, args.experiment, args.timeout)
+        print("SERVICE SMOKE OK")
+        return 0
+    except (SmokeFailure, ServiceError, OSError) as exc:
+        print(f"SERVICE SMOKE FAILED: {exc}", file=sys.stderr)
+        if args.log.exists():
+            print("---- service log tail ----", file=sys.stderr)
+            print("\n".join(args.log.read_text().splitlines()[-40:]),
+                  file=sys.stderr)
+        return 1
+    finally:
+        if proc is not None and proc.poll() is None:
+            proc.terminate()
+            try:
+                proc.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=15)
+        if tmp is not None:
+            tmp.cleanup()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,7 @@ from repro.experiments import (
     fig7_gpu,
     fig8_mta,
     fig9_scaling,
+    longrun,
     table1_perf,
 )
 
@@ -55,6 +56,11 @@ class ExperimentSpec:
     accepts_fault_plan: bool = False
     #: the ensemble experiment threads a replica count through.
     accepts_replicas: bool = False
+    #: longrun persists/resumes a checkpoint file.  The path is *not*
+    #: part of :meth:`params` — it must never land in the cache key, so
+    #: the service injects it into the job payload after the key is
+    #: computed (derived from that key, in fact).
+    accepts_checkpoint: bool = False
 
     def params(
         self,
@@ -97,6 +103,7 @@ def _spec(
     accepts_force_path: bool = False,
     accepts_fault_plan: bool = False,
     accepts_replicas: bool = False,
+    accepts_checkpoint: bool = False,
 ) -> ExperimentSpec:
     return ExperimentSpec(
         experiment_id=experiment_id,
@@ -108,6 +115,7 @@ def _spec(
         accepts_force_path=accepts_force_path,
         accepts_fault_plan=accepts_fault_plan,
         accepts_replicas=accepts_replicas,
+        accepts_checkpoint=accepts_checkpoint,
     )
 
 
@@ -232,6 +240,15 @@ EXPERIMENTS: tuple[ExperimentSpec, ...] = (
         quick_params={"n_rows": 128, "replicas": 4},
         full_params={"n_rows": 256, "replicas": 8},
         accepts_replicas=True,
+    ),
+    _spec(
+        "longrun",
+        longrun,
+        "run",
+        longrun.DESCRIPTION,
+        quick_params={"n_atoms": 128, "n_steps": 8, "checkpoint_interval": 3},
+        full_params={"n_atoms": 256, "n_steps": 24, "checkpoint_interval": 5},
+        accepts_checkpoint=True,
     ),
 )
 

@@ -9,9 +9,13 @@ Subcommands::
     list  [--runs-dir DIR]            # stored runs, oldest first
     show  RUN_ID [--render] [--runs-dir DIR]
     diff  RUN_A RUN_B [--runs-dir DIR]   # shape-band regressions
+    gc    [--keep K] [--prune-cache] [--dry-run] [--runs-dir DIR]
 
 ``run`` exits non-zero when any job failed to finish or finished
 outside its paper-shape bands; ``diff`` exits non-zero on regressions.
+``gc`` keeps the newest K runs (default 20) and sweeps orphaned
+traces, stale ``*.tmp`` files, and satisfied checkpoints; with
+``--prune-cache`` it also drops cache entries no kept run references.
 """
 
 from __future__ import annotations
@@ -103,6 +107,15 @@ def _build_parser() -> argparse.ArgumentParser:
     diff.add_argument("run_a")
     diff.add_argument("run_b")
     _add_runs_dir(diff)
+
+    gc = sub.add_parser("gc", help="prune old runs and orphaned artifacts")
+    gc.add_argument("--keep", type=int, default=20, metavar="K",
+                    help="newest runs to keep (default 20)")
+    gc.add_argument("--prune-cache", action="store_true",
+                    help="also drop cache entries no kept run references")
+    gc.add_argument("--dry-run", action="store_true",
+                    help="report what would be removed without removing it")
+    _add_runs_dir(gc)
     return parser
 
 
@@ -273,6 +286,28 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     return 1 if regressions else 0
 
 
+def _cmd_gc(args: argparse.Namespace) -> int:
+    store = RunStore(args.runs_dir)
+    try:
+        removed = store.gc(
+            keep_runs=args.keep,
+            prune_cache=args.prune_cache,
+            dry_run=args.dry_run,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    verb = "would remove" if args.dry_run else "removed"
+    print(
+        f"{verb}: {removed['runs_removed']} run(s), "
+        f"{removed['orphan_traces_removed']} orphan trace(s), "
+        f"{removed['tmp_files_removed']} tmp file(s), "
+        f"{removed['checkpoints_removed']} satisfied checkpoint(s), "
+        f"{removed['cache_entries_removed']} unreferenced cache entr(ies)"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     return {
@@ -280,6 +315,7 @@ def main(argv: list[str] | None = None) -> int:
         "list": _cmd_list,
         "show": _cmd_show,
         "diff": _cmd_diff,
+        "gc": _cmd_gc,
     }[args.command](args)
 
 

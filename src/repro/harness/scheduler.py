@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import signal
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
@@ -40,6 +41,20 @@ __all__ = ["run_jobs"]
 
 #: Minimum poll interval while waiting on deadlines/backoff (seconds).
 _MIN_WAIT = 0.05
+
+
+def _worker_init() -> None:
+    """Reset signal plumbing inherited across ``fork``.
+
+    Pool workers are forked from whatever front-end drives the harness.
+    An asyncio parent (e.g. ``repro.service``) registers its signal
+    handlers through a wakeup fd, and that fd survives the fork — so a
+    SIGTERM aimed at a *worker* (pool teardown/rebuild) would be relayed
+    straight into the parent's event loop and shut the server down.
+    """
+    signal.set_wakeup_fd(-1)
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(sig, signal.SIG_DFL)
 
 
 @dataclasses.dataclass
@@ -132,14 +147,18 @@ class _Pool:
 
     def __init__(self, max_workers: int):
         self.max_workers = max_workers
-        self._executor = ProcessPoolExecutor(max_workers=max_workers)
+        self._executor = ProcessPoolExecutor(
+            max_workers=max_workers, initializer=_worker_init
+        )
 
     def submit(self, fn: Callable, payload: Mapping[str, Any]) -> Future:
         return self._executor.submit(fn, payload)
 
     def rebuild(self) -> None:
         self.terminate()
-        self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
+        self._executor = ProcessPoolExecutor(
+            max_workers=self.max_workers, initializer=_worker_init
+        )
 
     def terminate(self) -> None:
         processes = getattr(self._executor, "_processes", None) or {}

@@ -4,6 +4,7 @@ Layout::
 
     runs/
       cache/<cache_key>.json     # content-addressed successful records
+      checkpoints/<cache_key>.ckpt.json   # resumable-job snapshots
       <run_id>/
         manifest.json            # run metadata + per-job summary rows
         jobs/<job_id>.json       # full per-job records (incl. cached replays)
@@ -18,6 +19,8 @@ have been invalidated since.
 from __future__ import annotations
 
 import json
+import os
+import shutil
 import time
 import uuid
 from pathlib import Path
@@ -30,12 +33,17 @@ DEFAULT_RUNS_DIR = "runs"
 _CACHE_DIR = "cache"
 _JOBS_DIR = "jobs"
 _TRACES_DIR = "traces"
+_CHECKPOINTS_DIR = "checkpoints"
 _MANIFEST = "manifest.json"
+_CKPT_SUFFIX = ".ckpt.json"
 
 
 def _dump(path: Path, data: Mapping[str, Any]) -> None:
     path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_suffix(path.suffix + ".tmp")
+    # The temp name must be unique per writer: the service makes the
+    # store multi-client, and two processes writing the same target
+    # through one shared ".tmp" would race each other's rename.
+    tmp = path.with_name(f"{path.name}.{os.getpid()}-{uuid.uuid4().hex[:8]}.tmp")
     tmp.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
     tmp.replace(path)
 
@@ -134,6 +142,35 @@ class RunStore:
             for p in traces_dir.glob("*.trace.json")
         )
 
+    # -- checkpoint artifacts -----------------------------------------
+
+    def checkpoint_path(self, cache_key: str) -> Path:
+        """Where a resumable job persists its last good snapshot.
+
+        Keyed by the job's content-addressed cache key, so identical
+        submissions share one resume point and different configurations
+        can never resume from each other's state.
+        """
+        return self.root / _CHECKPOINTS_DIR / f"{cache_key}{_CKPT_SUFFIX}"
+
+    def discard_checkpoint(self, cache_key: str) -> bool:
+        """Drop a job's persisted checkpoint; True if one existed."""
+        try:
+            self.checkpoint_path(cache_key).unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
+    def list_checkpoints(self) -> list[str]:
+        """Cache keys with a persisted checkpoint, sorted."""
+        ckpt_dir = self.root / _CHECKPOINTS_DIR
+        if not ckpt_dir.is_dir():
+            return []
+        return sorted(
+            p.name[: -len(_CKPT_SUFFIX)]
+            for p in ckpt_dir.glob(f"*{_CKPT_SUFFIX}")
+        )
+
     # -- result cache --------------------------------------------------
 
     def _cache_path(self, cache_key: str) -> Path:
@@ -176,3 +213,95 @@ class RunStore:
             path.unlink(missing_ok=True)
             dropped += 1
         return dropped
+
+    # -- store pruning -------------------------------------------------
+
+    def _referenced_cache_keys(self, run_ids: Iterator[str] | list[str]) -> set[str]:
+        keys: set[str] = set()
+        for run_id in run_ids:
+            jobs_dir = self.run_dir(run_id) / _JOBS_DIR
+            if not jobs_dir.is_dir():
+                continue
+            for path in jobs_dir.glob("*.json"):
+                try:
+                    record = _load(path)
+                except (OSError, json.JSONDecodeError):
+                    continue
+                key = record.get("cache_key")
+                if key:
+                    keys.add(key)
+        return keys
+
+    def gc(
+        self,
+        *,
+        keep_runs: int = 20,
+        prune_cache: bool = False,
+        dry_run: bool = False,
+    ) -> dict[str, int]:
+        """Prune the store so a long-running service node doesn't fill
+        its disk.  Returns what was (or with ``dry_run`` would be)
+        removed.
+
+        * all but the newest ``keep_runs`` run directories are deleted,
+        * traces with no matching job record in the surviving runs are
+          deleted (orphans of partially-written or hand-edited runs),
+        * stale atomic-write temp files are deleted,
+        * checkpoints whose cache key already has a successful cached
+          record are deleted (the job finished; nothing will resume),
+        * with ``prune_cache``, cache entries referenced by no surviving
+          run are deleted too.
+        """
+        if keep_runs < 0:
+            raise ValueError("keep_runs must be >= 0")
+        counts = {
+            "runs_removed": 0,
+            "orphan_traces_removed": 0,
+            "tmp_files_removed": 0,
+            "checkpoints_removed": 0,
+            "cache_entries_removed": 0,
+        }
+        runs = self.list_runs()  # oldest first
+        doomed = runs[: max(0, len(runs) - keep_runs)]
+        kept = runs[len(doomed):]
+        for run_id in doomed:
+            counts["runs_removed"] += 1
+            if not dry_run:
+                shutil.rmtree(self.run_dir(run_id), ignore_errors=True)
+
+        for run_id in kept:
+            jobs_dir = self.run_dir(run_id) / _JOBS_DIR
+            known = (
+                {p.name[: -len(".json")] for p in jobs_dir.glob("*.json")}
+                if jobs_dir.is_dir()
+                else set()
+            )
+            for job_id in self.list_traces(run_id):
+                if job_id not in known:
+                    counts["orphan_traces_removed"] += 1
+                    if not dry_run:
+                        self.trace_path(run_id, job_id).unlink(missing_ok=True)
+
+        if self.root.is_dir():
+            for tmp in self.root.rglob("*.tmp"):
+                counts["tmp_files_removed"] += 1
+                if not dry_run:
+                    tmp.unlink(missing_ok=True)
+
+        for key in self.list_checkpoints():
+            record = self.cache_get(key)
+            if record is not None and record.get("status") == "ok":
+                counts["checkpoints_removed"] += 1
+                if not dry_run:
+                    self.discard_checkpoint(key)
+
+        if prune_cache:
+            cache_dir = self.root / _CACHE_DIR
+            if cache_dir.is_dir():
+                referenced = self._referenced_cache_keys(kept)
+                for path in cache_dir.glob("*.json"):
+                    if path.name[: -len(".json")] not in referenced:
+                        counts["cache_entries_removed"] += 1
+                        if not dry_run:
+                            path.unlink(missing_ok=True)
+        return counts

@@ -169,6 +169,27 @@ def _populate() -> None:
          "hardware stream slots per step (utilization denominator)", "Fig. 8"),
         ("mta.fullempty.updates", "count", "mta",
          "serialized readfe/writeef update pairs on the PE word", "sec 5.3"),
+        # -- service (repro.service job API) ---------------------------
+        ("service.jobs.submitted", "count", "service",
+         "submissions accepted by POST /v1/jobs"),
+        ("service.jobs.rejected", "count", "service",
+         "submissions shed by backpressure (tenant quota or queue depth)"),
+        ("service.jobs.completed", "count", "service",
+         "jobs that finished ok (cache replays included)"),
+        ("service.jobs.failed", "count", "service",
+         "jobs that exhausted their attempts without an ok record"),
+        ("service.jobs.cancelled", "count", "service",
+         "jobs cancelled while queued or running"),
+        ("service.jobs.cache_hits", "count", "service",
+         "submissions served from the content-addressed result cache"),
+        ("service.jobs.attempts", "count", "service",
+         "scheduler attempts consumed (retries push this above one per job)"),
+        ("service.queue.enqueued", "count", "service",
+         "jobs admitted to the priority queue"),
+        ("service.queue.dequeued", "count", "service",
+         "jobs handed from the queue to a worker"),
+        ("service.events.emitted", "count", "service",
+         "job status-transition events appended"),
         # -- Opteron ---------------------------------------------------
         ("opteron.kernel.cycles", "cycles", "opteron",
          "scheduled K8 kernel cycles", "Fig. 9"),

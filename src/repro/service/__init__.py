@@ -1,0 +1,34 @@
+"""``repro.service`` — async simulation-as-a-service over the harness.
+
+A stdlib-only asyncio HTTP/JSON front-end that promotes the one-shot
+harness CLI into a long-running job service: priority queues with
+per-tenant quotas and bounded backpressure, a worker bridge onto the
+process-pool scheduler (timeouts, retries, crash isolation), instant
+replay of identical submissions from the content-addressed cache, and
+checkpoint-based resume for long jobs whose worker dies mid-run.
+
+Start a node with ``python -m repro.service``; talk to it with
+:class:`repro.service.client.ServiceClient` or plain ``curl``.
+"""
+
+from repro.service.app import Service, ServiceConfig
+from repro.service.client import ServiceClient
+from repro.service.models import ServiceJob, SubmitRequest
+from repro.service.queue import (
+    PriorityJobQueue,
+    QueueFull,
+    QueueRejection,
+    TenantQuotaExceeded,
+)
+
+__all__ = [
+    "Service",
+    "ServiceConfig",
+    "ServiceClient",
+    "ServiceJob",
+    "SubmitRequest",
+    "PriorityJobQueue",
+    "QueueRejection",
+    "QueueFull",
+    "TenantQuotaExceeded",
+]

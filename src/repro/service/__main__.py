@@ -1,0 +1,111 @@
+"""``python -m repro.service`` — run one simulation-service node.
+
+Example::
+
+    python -m repro.service --port 8642 --concurrency 2 --retries 1
+
+    curl -s localhost:8642/v1/healthz
+    curl -s -X POST localhost:8642/v1/jobs \\
+         -d '{"experiment": "fig5", "quick": true, "tenant": "me"}'
+    curl -sN localhost:8642/v1/jobs/<id>/events
+    curl -s localhost:8642/v1/jobs/<id>/result
+
+``--port 0`` binds an ephemeral port; the node prints the bound address
+as its first output line (machine-parsable: ``repro.service listening
+on http://HOST:PORT``), which is how the CI smoke driver finds it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import signal
+import sys
+
+from repro.harness.store import DEFAULT_RUNS_DIR
+from repro.service.app import Service, ServiceConfig
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8642,
+                        help="listen port (0 = ephemeral, printed at boot)")
+    parser.add_argument("--concurrency", type=int, default=2, metavar="N",
+                        help="parallel jobs (each runs in its own worker process)")
+    parser.add_argument("--queue-depth", type=int, default=64, metavar="N",
+                        help="total queued jobs before 503 load shedding")
+    parser.add_argument("--tenant-quota", type=int, default=8, metavar="N",
+                        help="max in-flight jobs per tenant before 429")
+    parser.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="per-attempt job timeout in seconds")
+    parser.add_argument("--retries", type=int, default=1, metavar="N",
+                        help="extra attempts after a failed/killed one "
+                        "(checkpoint-aware jobs resume, not restart)")
+    parser.add_argument("--backoff", type=float, default=0.25, metavar="S",
+                        help="base retry backoff (doubles per attempt)")
+    parser.add_argument("--runs-dir", default=DEFAULT_RUNS_DIR, metavar="DIR",
+                        help=f"run-store root (default: ./{DEFAULT_RUNS_DIR})")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="never read or write the content-addressed cache")
+    return parser
+
+
+async def _serve(config: ServiceConfig) -> int:
+    service = Service(config)
+    await service.start()
+    print(
+        f"repro.service listening on http://{config.host}:{service.port} "
+        f"(run {service.run_id}, {config.concurrency} worker(s))",
+        flush=True,
+    )
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError):  # pragma: no cover
+            loop.add_signal_handler(sig, stop.set)
+    serve_task = asyncio.create_task(service.serve_forever())
+    stop_task = asyncio.create_task(stop.wait())
+    try:
+        await asyncio.wait(
+            {serve_task, stop_task}, return_when=asyncio.FIRST_COMPLETED
+        )
+    finally:
+        for task in (serve_task, stop_task):
+            task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
+        await service.shutdown()
+        print("repro.service stopped", flush=True)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        concurrency=args.concurrency,
+        queue_depth=args.queue_depth,
+        tenant_quota=args.tenant_quota,
+        timeout=args.timeout,
+        retries=args.retries,
+        backoff=args.backoff,
+        runs_dir=args.runs_dir,
+        use_cache=not args.no_cache,
+    )
+    try:
+        return asyncio.run(_serve(config))
+    except KeyboardInterrupt:  # pragma: no cover - direct ^C fallback
+        return 130
+
+
+if __name__ == "__main__":
+    sys.exit(main())

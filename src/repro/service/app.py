@@ -1,0 +1,737 @@
+"""The asyncio HTTP/JSON front-end: router, state machine, persistence.
+
+One :class:`Service` owns the whole serving stack:
+
+* the **experiment catalog** (the registry roster by default; tests
+  inject stub specs),
+* the **priority queue** (per-tenant quotas, bounded backpressure),
+* the **worker pool** bridging onto the harness process-pool scheduler,
+* the **run store** — every finished job's record lands in
+  ``runs/<run_id>/jobs/`` under the service's boot run id, successful
+  records are cached content-addressed (an identical submission is
+  served instantly from cache), traces go to ``runs/<run_id>/traces/``,
+* **service counters** registered in the :mod:`repro.obs` spec registry
+  (``service.jobs.*`` / ``service.queue.*``), surfaced by ``/v1/stats``.
+
+Endpoints (all JSON)::
+
+    POST /v1/jobs                submit; 202 queued, 200 cache hit,
+                                 429/503 + Retry-After on backpressure
+    GET  /v1/jobs                all jobs, submission order
+    GET  /v1/jobs/{id}           status document (events included)
+    GET  /v1/jobs/{id}/events    chunked ndjson stream of transitions
+    GET  /v1/jobs/{id}/result    ExperimentResult document
+    GET  /v1/jobs/{id}/counters  hardware counters of an observed job
+    GET  /v1/jobs/{id}/trace     Chrome trace document of an observed job
+    POST /v1/jobs/{id}/cancel    200 cancelled (queued), 202 cancel
+                                 requested (running), 409 already done
+    GET  /v1/healthz             liveness
+    GET  /v1/stats               queue/jobs/counters snapshot
+
+The HTTP layer is deliberately minimal stdlib asyncio: one request per
+connection (``Connection: close``), chunked transfer-encoding only for
+the event stream.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import re
+import time
+from typing import Any, Mapping
+
+from repro.harness.fingerprint import code_fingerprint
+from repro.harness.jobs import STATUS_OK, Job, job_cache_key
+from repro.harness.store import DEFAULT_RUNS_DIR, RunStore
+from repro.obs.counters import COUNTER_SPECS, CounterSet
+from repro.service.models import (
+    STATUS_CANCELLED,
+    STATUS_FAILED,
+    STATUS_QUEUED,
+    STATUS_RUNNING,
+    STATUS_SUCCEEDED,
+    ServiceJob,
+    SubmitRequest,
+    ValidationError,
+    new_job_id,
+)
+from repro.service.queue import PriorityJobQueue, QueueRejection
+from repro.service.workers import WorkerPool
+
+__all__ = ["ServiceConfig", "Service"]
+
+_MAX_BODY_BYTES = 1_048_576
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one service node."""
+
+    host: str = "127.0.0.1"
+    port: int = 8642  # 0 = ephemeral (bound port on Service.port)
+    concurrency: int = 2
+    queue_depth: int = 64
+    tenant_quota: int = 8
+    timeout: float | None = None  # per-attempt job timeout (seconds)
+    retries: int = 1  # extra attempts after a failed/killed one
+    backoff: float = 0.25
+    runs_dir: str = DEFAULT_RUNS_DIR
+    use_cache: bool = True
+    drain_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+
+
+@dataclasses.dataclass(frozen=True)
+class _Request:
+    method: str
+    path: str
+    query: str
+    headers: Mapping[str, str]
+    body: bytes
+
+    def json(self) -> Any:
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"request body is not valid JSON: {exc}")
+
+
+class Service:
+    """The simulation-as-a-service node."""
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        specs: Mapping[str, Any] | None = None,
+        store: RunStore | None = None,
+        fingerprint: str | None = None,
+    ):
+        self.config = config or ServiceConfig()
+        if specs is None:
+            from repro.experiments.registry import EXPERIMENTS
+
+            specs = {spec.experiment_id: spec for spec in EXPERIMENTS}
+        self.specs = dict(specs)
+        self.store = store or RunStore(self.config.runs_dir)
+        self.fingerprint = fingerprint or code_fingerprint()
+        self.jobs: dict[str, ServiceJob] = {}  # submission order (3.7+)
+        # Pre-charge every service counter with zero so /v1/stats always
+        # exposes the full set, not just the ones that have fired.
+        self.counters = CounterSet(
+            {name: 0 for name in COUNTER_SPECS if name.startswith("service.")}
+        )
+        self.queue = PriorityJobQueue(
+            max_depth=self.config.queue_depth,
+            tenant_quota=self.config.tenant_quota,
+            concurrency=self.config.concurrency,
+        )
+        self.workers = WorkerPool(self)
+        self._events_cond = asyncio.Condition()
+        self._server: asyncio.AbstractServer | None = None
+        self.run_id: str | None = None
+        self.port: int | None = None
+        self._started_unix = time.time()
+        self._started_monotonic = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Open the run, start workers, bind the listening socket."""
+        self.run_id = self.store.new_run_id()
+        self._started_unix = time.time()
+        self._started_monotonic = time.monotonic()
+        self._write_manifest()
+        await self.workers.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def shutdown(self) -> None:
+        """Stop accepting, drain in-flight work, settle queued jobs."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.workers.stop(drain_seconds=self.config.drain_seconds)
+        for job in self.jobs.values():
+            if not job.terminal:
+                await self.queue.cancel(job)
+                await self._settle(
+                    job, STATUS_CANCELLED, detail="service shutdown"
+                )
+                self.counters.add("service.jobs.cancelled", 1)
+        self._write_manifest()
+
+    @property
+    def uptime_seconds(self) -> float:
+        return time.monotonic() - self._started_monotonic
+
+    # ------------------------------------------------------------------
+    # submission / cancellation (the state machine's entry points)
+    # ------------------------------------------------------------------
+
+    async def submit(self, request: SubmitRequest) -> tuple[int, ServiceJob]:
+        """Admit one submission; returns ``(http_status, job)``.
+
+        Raises :exc:`ValidationError` (400 / unknown experiment) and
+        :exc:`~repro.service.queue.QueueRejection` (429 / 503).
+        """
+        spec = self.specs.get(request.experiment)
+        if spec is None:
+            raise ValidationError(
+                f"unknown experiment {request.experiment!r}; known: "
+                + ", ".join(sorted(self.specs))
+            )
+        fault_plan = self._resolve_fault_plan(request.fault_plan)
+        params = spec.params(
+            quick=request.quick,
+            force_path=request.force_path,
+            fault_plan=fault_plan,
+            replicas=request.replicas,
+        )
+        harness_job = Job(
+            job_id=new_job_id(),
+            experiment_id=spec.experiment_id,
+            module=spec.module,
+            func=spec.func,
+            params=params,
+            observe=request.observe,
+        )
+        cache_key = job_cache_key(harness_job, self.fingerprint)
+        payload = harness_job.payload(cache_key=cache_key)
+        if getattr(spec, "accepts_checkpoint", False):
+            # Injected *after* the cache key is fixed: the checkpoint
+            # location is derived from the key, so identical submissions
+            # share both the cache entry and the resume point, and the
+            # path itself never perturbs content addressing.
+            payload["params"]["checkpoint_path"] = str(
+                self.store.checkpoint_path(cache_key)
+            )
+        job = ServiceJob(
+            job_id=harness_job.job_id,
+            tenant=request.tenant,
+            priority=request.priority,
+            experiment_id=spec.experiment_id,
+            payload=payload,
+            cache_key=cache_key,
+            observe=request.observe,
+        )
+        self.counters.add("service.jobs.submitted", 1)
+
+        cached = self.cache_lookup(job)
+        if cached is not None:
+            self.jobs[job.job_id] = job
+            await self._emit(job, STATUS_QUEUED, detail="accepted")
+            await self.finish_cached(job, cached)
+            return 200, job
+
+        try:
+            await self.queue.put(job)
+        except QueueRejection:
+            self.counters.add("service.jobs.rejected", 1)
+            raise
+        self.jobs[job.job_id] = job
+        self.counters.add("service.queue.enqueued", 1)
+        await self._emit(job, STATUS_QUEUED, detail="accepted")
+        return 202, job
+
+    async def cancel(self, job: ServiceJob) -> tuple[int, dict[str, Any]]:
+        if job.terminal:
+            return 409, {
+                "error": f"job is already {job.status}",
+                "job": job.to_doc(),
+            }
+        if await self.queue.cancel(job):
+            await self._settle(job, STATUS_CANCELLED, detail="cancelled while queued")
+            self.counters.add("service.jobs.cancelled", 1)
+            return 200, {"cancelled": True, "job": job.to_doc()}
+        # Already handed to a worker: cancellation is cooperative — the
+        # record of the in-flight attempt is discarded when it returns.
+        job.cancel_requested = True
+        return 202, {
+            "cancelled": False,
+            "cancel_requested": True,
+            "job": job.to_doc(),
+        }
+
+    # ------------------------------------------------------------------
+    # worker-side transitions (called by WorkerPool on the loop)
+    # ------------------------------------------------------------------
+
+    def cache_lookup(self, job: ServiceJob) -> dict[str, Any] | None:
+        if not self.config.use_cache:
+            return None
+        record = self.store.cache_get(job.cache_key)
+        if record is not None and record.get("status") == STATUS_OK:
+            return record
+        return None
+
+    async def mark_running(self, job: ServiceJob) -> None:
+        job.status = STATUS_RUNNING
+        job.started_unix = time.time()
+        self.counters.add("service.queue.dequeued", 1)
+        await self._emit(job, STATUS_RUNNING)
+
+    async def finish_cached(self, job: ServiceJob, record: Mapping[str, Any]) -> None:
+        replay = dict(record)
+        replay["cached"] = True
+        replay["job_id"] = job.job_id
+        job.record = replay
+        job.cached = True
+        job.attempts = int(replay.get("attempts", 1) or 1)
+        self.counters.add("service.jobs.cache_hits", 1)
+        self.counters.add("service.jobs.completed", 1)
+        self._persist(job)
+        await self._settle(job, STATUS_SUCCEEDED, detail="cache hit")
+
+    async def finish(
+        self, job: ServiceJob, record: dict[str, Any], seconds: float
+    ) -> None:
+        record = dict(record)
+        record["cached"] = False
+        job.record = record
+        job.attempts = int(record.get("attempts", 1) or 1)
+        self.counters.add("service.jobs.attempts", max(1, job.attempts))
+        if job.cancel_requested:
+            status, detail = STATUS_CANCELLED, "cancelled while running"
+            self.counters.add("service.jobs.cancelled", 1)
+            self.store.discard_checkpoint(job.cache_key)
+        elif record.get("status") == STATUS_OK:
+            status = STATUS_SUCCEEDED
+            detail = (
+                "bands ok" if record.get("all_passed")
+                else "outside paper-shape bands"
+            )
+            self.counters.add("service.jobs.completed", 1)
+            if self.config.use_cache:
+                self.store.cache_put(job.cache_key, record)
+            self.store.discard_checkpoint(job.cache_key)
+        else:
+            status = STATUS_FAILED
+            detail = str(record.get("status", "failed"))
+            self.counters.add("service.jobs.failed", 1)
+            # the checkpoint (if any) survives: a resubmission resumes
+        self._persist(job)
+        await self._settle(job, status, detail=detail)
+
+    async def settle_cancelled(self, job: ServiceJob) -> None:
+        """A dequeued-but-not-started job whose cancel raced the worker."""
+        self.counters.add("service.queue.dequeued", 1)
+        self.counters.add("service.jobs.cancelled", 1)
+        await self._settle(job, STATUS_CANCELLED, detail="cancelled while queued")
+
+    async def settle_worker_error(self, job: ServiceJob, exc: Exception) -> None:
+        job.record = {
+            "job_id": job.job_id,
+            "experiment_id": job.experiment_id,
+            "status": "failed",
+            "result": None,
+            "all_passed": None,
+            "traceback": f"service worker error: {exc!r}",
+            "attempts": job.attempts,
+            "cached": False,
+        }
+        self.counters.add("service.jobs.failed", 1)
+        self._persist(job)
+        await self._settle(job, STATUS_FAILED, detail=f"worker error: {exc!r}")
+
+    async def _settle(self, job: ServiceJob, status: str, detail: str = "") -> None:
+        job.status = status
+        job.finished_unix = time.time()
+        self._write_manifest()
+        await self._emit(job, status, detail=detail)
+
+    async def _emit(self, job: ServiceJob, status: str, detail: str = "") -> None:
+        job.add_event(status, detail=detail)
+        self.counters.add("service.events.emitted", 1)
+        async with self._events_cond:
+            self._events_cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def _persist(self, job: ServiceJob) -> None:
+        if self.run_id is None or job.record is None:
+            return
+        self.store.write_job_record(self.run_id, job.record)
+        if job.record.get("trace"):
+            self.store.write_trace(self.run_id, job.job_id, job.record["trace"])
+
+    def _manifest_row(self, job: ServiceJob) -> dict[str, Any]:
+        record = job.record or {}
+        return {
+            "job_id": job.job_id,
+            "experiment_id": job.experiment_id,
+            "cache_key": job.cache_key,
+            "status": job.status,
+            "cached": job.cached,
+            "attempts": job.attempts or record.get("attempts", 0),
+            "wall_seconds": record.get("wall_seconds", 0.0),
+            "all_passed": record.get("all_passed"),
+            "tenant": job.tenant,
+            "priority": job.priority,
+        }
+
+    def _write_manifest(self) -> None:
+        if self.run_id is None:
+            return
+        done = [job for job in self.jobs.values() if job.terminal]
+        manifest = {
+            "run_id": self.run_id,
+            "created": time.strftime(
+                "%Y-%m-%dT%H:%M:%SZ", time.gmtime(self._started_unix)
+            ),
+            "code_fingerprint": self.fingerprint,
+            "meta": {
+                "service": True,
+                "host": self.config.host,
+                "concurrency": self.config.concurrency,
+                "queue_depth": self.config.queue_depth,
+                "tenant_quota": self.config.tenant_quota,
+            },
+            "jobs": [self._manifest_row(job) for job in done],
+            "job_count": len(done),
+            "cached_count": sum(1 for job in done if job.cached),
+            "not_ok_count": sum(
+                1 for job in done if job.status == STATUS_FAILED
+            ),
+            "band_failure_count": sum(
+                1
+                for job in done
+                if (job.record or {}).get("all_passed") is False
+            ),
+            "failures": sum(
+                1
+                for job in done
+                if job.status == STATUS_FAILED
+                or (job.record or {}).get("all_passed") is False
+            ),
+            "wall_seconds_total": self.uptime_seconds,
+        }
+        self.store.write_manifest(self.run_id, manifest)
+
+    def _resolve_fault_plan(
+        self, plan: str | Mapping[str, Any] | None
+    ) -> dict[str, Any] | None:
+        if plan is None:
+            return None
+        if isinstance(plan, str):
+            from repro.faults import load_plan_arg
+
+            try:
+                return load_plan_arg(plan).to_dict()
+            except (ValueError, OSError) as exc:
+                raise ValidationError(f"bad fault_plan: {exc}")
+        return dict(plan)
+
+    # ------------------------------------------------------------------
+    # documents
+    # ------------------------------------------------------------------
+
+    def health_doc(self) -> dict[str, Any]:
+        return {
+            "ok": True,
+            "status": "serving",
+            "run_id": self.run_id,
+            "uptime_seconds": self.uptime_seconds,
+            "workers": self.config.concurrency,
+            "queue_depth": self.queue.depth,
+        }
+
+    def stats_doc(self) -> dict[str, Any]:
+        by_status: dict[str, int] = {}
+        for job in self.jobs.values():
+            by_status[job.status] = by_status.get(job.status, 0) + 1
+        return {
+            "run_id": self.run_id,
+            "uptime_seconds": self.uptime_seconds,
+            "queue": {
+                "depth": self.queue.depth,
+                "running": self.queue.running,
+                "max_depth": self.queue.max_depth,
+                "tenant_quota": self.queue.tenant_quota,
+                "tenants": self.queue.tenant_loads(),
+                "avg_job_seconds": self.queue.avg_job_seconds,
+                "retry_after": self.queue.retry_after(),
+            },
+            "jobs": {"total": len(self.jobs), **dict(sorted(by_status.items()))},
+            "counters": self.counters.as_dict(),
+        }
+
+    # ------------------------------------------------------------------
+    # HTTP layer
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is not None:
+                await self._dispatch(request, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request/response
+        except Exception as exc:  # a handler bug must not kill the server
+            try:
+                self._write_json(writer, 500, {"error": f"internal error: {exc!r}"})
+                await writer.drain()
+            except ConnectionError:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> _Request | None:
+        line = await reader.readline()
+        if not line:
+            return None
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            raise ValueError(f"malformed request line: {line!r}")
+        method, target, _version = parts
+        headers: dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or 0)
+        if length > _MAX_BODY_BYTES:
+            raise ValueError(f"request body too large ({length} bytes)")
+        body = await reader.readexactly(length) if length > 0 else b""
+        path, _, query = target.partition("?")
+        return _Request(
+            method=method.upper(),
+            path=path,
+            query=query,
+            headers=headers,
+            body=body,
+        )
+
+    _ROUTES: tuple[tuple[str, re.Pattern[str], str], ...] = tuple(
+        (method, re.compile(pattern), handler)
+        for method, pattern, handler in (
+            ("GET", r"^/v1/healthz$", "_h_health"),
+            ("GET", r"^/v1/stats$", "_h_stats"),
+            ("POST", r"^/v1/jobs$", "_h_submit"),
+            ("GET", r"^/v1/jobs$", "_h_list_jobs"),
+            ("GET", r"^/v1/jobs/(?P<id>[\w.-]+)$", "_h_job"),
+            ("GET", r"^/v1/jobs/(?P<id>[\w.-]+)/result$", "_h_result"),
+            ("GET", r"^/v1/jobs/(?P<id>[\w.-]+)/counters$", "_h_counters"),
+            ("GET", r"^/v1/jobs/(?P<id>[\w.-]+)/trace$", "_h_trace"),
+            ("POST", r"^/v1/jobs/(?P<id>[\w.-]+)/cancel$", "_h_cancel"),
+        )
+    )
+
+    async def _dispatch(
+        self, request: _Request, writer: asyncio.StreamWriter
+    ) -> None:
+        events = re.match(r"^/v1/jobs/(?P<id>[\w.-]+)/events$", request.path)
+        if events is not None:
+            if request.method != "GET":
+                self._write_json(writer, 405, {"error": "use GET"})
+                await writer.drain()
+                return
+            await self._stream_events(events.group("id"), writer)
+            return
+
+        matched_path = False
+        for method, pattern, handler_name in self._ROUTES:
+            match = pattern.match(request.path)
+            if match is None:
+                continue
+            matched_path = True
+            if method != request.method:
+                continue
+            handler = getattr(self, handler_name)
+            try:
+                status, payload, extra = await handler(request, match)
+            except ValidationError as exc:
+                message = str(exc)
+                code = 404 if message.startswith("unknown experiment") else 400
+                status, payload, extra = code, {"error": message}, {}
+            except QueueRejection as exc:
+                status = exc.status_code
+                payload = {
+                    "error": str(exc),
+                    "retry_after_seconds": exc.retry_after,
+                }
+                extra = {"Retry-After": str(exc.retry_after)}
+            self._write_json(writer, status, payload, extra)
+            await writer.drain()
+            return
+        if matched_path:
+            self._write_json(writer, 405, {"error": "method not allowed"})
+        else:
+            self._write_json(
+                writer, 404, {"error": f"no route for {request.path}"}
+            )
+        await writer.drain()
+
+    # -- handlers ------------------------------------------------------
+
+    def _job_or_none(self, match: re.Match[str]) -> ServiceJob | None:
+        return self.jobs.get(match.group("id"))
+
+    async def _h_health(self, request: _Request, match: re.Match[str]):
+        return 200, self.health_doc(), {}
+
+    async def _h_stats(self, request: _Request, match: re.Match[str]):
+        return 200, self.stats_doc(), {}
+
+    async def _h_submit(self, request: _Request, match: re.Match[str]):
+        submit = SubmitRequest.from_dict(request.json())
+        status, job = await self.submit(submit)
+        return status, job.to_doc(), {}
+
+    async def _h_list_jobs(self, request: _Request, match: re.Match[str]):
+        return 200, {"jobs": [job.to_doc() for job in self.jobs.values()]}, {}
+
+    async def _h_job(self, request: _Request, match: re.Match[str]):
+        job = self._job_or_none(match)
+        if job is None:
+            return 404, {"error": "no such job"}, {}
+        return 200, job.to_doc(), {}
+
+    async def _h_result(self, request: _Request, match: re.Match[str]):
+        job = self._job_or_none(match)
+        if job is None:
+            return 404, {"error": "no such job"}, {}
+        if not job.terminal or job.record is None:
+            return 404, {
+                "error": f"job is {job.status}; no result yet",
+                "status": job.status,
+            }, {}
+        return 200, {
+            "id": job.job_id,
+            "status": job.status,
+            "cached": job.cached,
+            "result": job.record.get("result"),
+            "all_passed": job.record.get("all_passed"),
+            "traceback": job.record.get("traceback"),
+        }, {}
+
+    async def _h_counters(self, request: _Request, match: re.Match[str]):
+        job = self._job_or_none(match)
+        if job is None:
+            return 404, {"error": "no such job"}, {}
+        counters = ((job.record or {}).get("result") or {}).get("counters") or {}
+        if not counters:
+            return 404, {
+                "error": "no counters recorded (submit with observe=true "
+                "and wait for completion)",
+                "status": job.status,
+            }, {}
+        return 200, {"id": job.job_id, "counters": counters}, {}
+
+    async def _h_trace(self, request: _Request, match: re.Match[str]):
+        job = self._job_or_none(match)
+        if job is None:
+            return 404, {"error": "no such job"}, {}
+        trace = (job.record or {}).get("trace")
+        if not trace:
+            return 404, {
+                "error": "no trace recorded (submit with observe=true "
+                "and wait for completion)",
+                "status": job.status,
+            }, {}
+        return 200, trace, {}
+
+    async def _h_cancel(self, request: _Request, match: re.Match[str]):
+        job = self._job_or_none(match)
+        if job is None:
+            return 404, {"error": "no such job"}, {}
+        status, payload = await self.cancel(job)
+        return status, payload, {}
+
+    # -- wire helpers --------------------------------------------------
+
+    def _write_json(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Mapping[str, Any],
+        extra_headers: Mapping[str, str] | None = None,
+    ) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        lines = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        for name, value in (extra_headers or {}).items():
+            lines.append(f"{name}: {value}")
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode() + body)
+
+    async def _stream_events(
+        self, job_id: str, writer: asyncio.StreamWriter
+    ) -> None:
+        job = self.jobs.get(job_id)
+        if job is None:
+            self._write_json(writer, 404, {"error": "no such job"})
+            await writer.drain()
+            return
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Transfer-Encoding: chunked\r\n"
+            b"Cache-Control: no-store\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        sent = 0
+        while True:
+            while sent < len(job.events):
+                data = (
+                    json.dumps(job.events[sent].to_dict(), sort_keys=True)
+                    + "\n"
+                ).encode()
+                writer.write(f"{len(data):x}\r\n".encode() + data + b"\r\n")
+                sent += 1
+            await writer.drain()
+            if job.terminal and sent == len(job.events):
+                break
+            async with self._events_cond:
+                await self._events_cond.wait_for(
+                    lambda: job.terminal or len(job.events) > sent
+                )
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()

@@ -1,0 +1,222 @@
+"""A small synchronous Python client for ``repro.service``.
+
+Stdlib only (:mod:`http.client`): one connection per request, matching
+the server's ``Connection: close`` policy.  The event stream is exposed
+as a generator — ``http.client`` dechunks transparently, so iteration
+yields one decoded status-transition dict per line as it arrives.
+
+    >>> client = ServiceClient(port=8642)
+    >>> job = client.submit("fig5", quick=True, tenant="ci")
+    >>> final = client.wait(job["id"])
+    >>> final["status"]
+    'succeeded'
+
+Backpressure surfaces as typed exceptions carrying the server's
+``Retry-After`` estimate, so callers can implement honest retry loops::
+
+    try:
+        client.submit("table1", tenant="burst")
+    except QuotaExceeded as exc:
+        time.sleep(exc.retry_after)
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Iterator, Mapping
+
+__all__ = [
+    "ServiceError",
+    "QuotaExceeded",
+    "ServiceUnavailable",
+    "JobNotFound",
+    "WaitTimeout",
+    "ServiceClient",
+]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response; carries status code and decoded payload."""
+
+    def __init__(self, status: int, payload: Any):
+        message = payload.get("error") if isinstance(payload, Mapping) else None
+        super().__init__(message or f"service returned HTTP {status}")
+        self.status = status
+        self.payload = payload
+
+
+class _Backpressure(ServiceError):
+    def __init__(self, status: int, payload: Any, retry_after: int):
+        super().__init__(status, payload)
+        self.retry_after = retry_after
+
+
+class QuotaExceeded(_Backpressure):
+    """HTTP 429 — the tenant is at its in-flight quota."""
+
+
+class ServiceUnavailable(_Backpressure):
+    """HTTP 503 — the queue is full; the node is shedding load."""
+
+
+class JobNotFound(ServiceError):
+    """HTTP 404 for a job id (or a not-yet-available artifact)."""
+
+
+class WaitTimeout(TimeoutError):
+    """``wait`` ran out of time before the job reached a terminal state."""
+
+
+class ServiceClient:
+    """Blocking client; safe to use from scripts, tests, and CI."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8642,
+        timeout: float = 60.0,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------
+
+    def _connection(self, timeout: float | None = None) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout or self.timeout
+        )
+
+    def _raise_for_status(self, status: int, payload: Any, headers) -> None:
+        if 200 <= status < 300:
+            return
+        retry_after = int(headers.get("Retry-After", "1") or 1)
+        if status == 429:
+            raise QuotaExceeded(status, payload, retry_after)
+        if status == 503:
+            raise ServiceUnavailable(status, payload, retry_after)
+        if status == 404:
+            raise JobNotFound(status, payload)
+        raise ServiceError(status, payload)
+
+    def _request(self, method: str, path: str, body: Any = None) -> Any:
+        conn = self._connection()
+        try:
+            payload = None if body is None else json.dumps(body)
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            decoded = json.loads(raw) if raw else {}
+            self._raise_for_status(response.status, decoded, response.headers)
+            return decoded
+        finally:
+            conn.close()
+
+    # -- job lifecycle -------------------------------------------------
+
+    def submit(
+        self,
+        experiment: str,
+        *,
+        tenant: str = "default",
+        priority: int = 10,
+        quick: bool = False,
+        force_path: str | None = None,
+        fault_plan: str | Mapping[str, Any] | None = None,
+        replicas: int | None = None,
+        observe: bool = False,
+    ) -> dict[str, Any]:
+        """Submit one job; returns its status document.
+
+        A submission that hits the content-addressed cache comes back
+        already ``succeeded`` with ``cached: true``.
+        """
+        body: dict[str, Any] = {
+            "experiment": experiment,
+            "tenant": tenant,
+            "priority": priority,
+            "quick": quick,
+            "observe": observe,
+        }
+        if force_path is not None:
+            body["force_path"] = force_path
+        if fault_plan is not None:
+            body["fault_plan"] = fault_plan
+        if replicas is not None:
+            body["replicas"] = replicas
+        return self._request("POST", "/v1/jobs", body)
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self) -> list[dict[str, Any]]:
+        return self._request("GET", "/v1/jobs")["jobs"]
+
+    def result(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}/result")
+
+    def counters(self, job_id: str) -> dict[str, float]:
+        return self._request("GET", f"/v1/jobs/{job_id}/counters")["counters"]
+
+    def trace(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}/trace")
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        return self._request("POST", f"/v1/jobs/{job_id}/cancel")
+
+    def healthz(self) -> dict[str, Any]:
+        return self._request("GET", "/v1/healthz")
+
+    def stats(self) -> dict[str, Any]:
+        return self._request("GET", "/v1/stats")
+
+    # -- streaming -----------------------------------------------------
+
+    def events(
+        self, job_id: str, timeout: float | None = None
+    ) -> Iterator[dict[str, Any]]:
+        """Stream a job's status transitions as they happen.
+
+        Replays every past event first, then yields live ones; the
+        stream ends when the job reaches a terminal status.
+        """
+        conn = self._connection(timeout=timeout)
+        try:
+            conn.request("GET", f"/v1/jobs/{job_id}/events")
+            response = conn.getresponse()
+            if response.status != 200:
+                raw = response.read()
+                decoded = json.loads(raw) if raw else {}
+                self._raise_for_status(
+                    response.status, decoded, response.headers
+                )
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            conn.close()
+
+    def wait(self, job_id: str, timeout: float = 120.0) -> dict[str, Any]:
+        """Block until the job is terminal; returns its final document."""
+        deadline = time.monotonic() + timeout
+        doc = self.job(job_id)
+        while doc["status"] not in ("succeeded", "failed", "cancelled"):
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise WaitTimeout(
+                    f"job {job_id} still {doc['status']} after {timeout:g}s"
+                )
+            try:
+                for _event in self.events(job_id, timeout=remaining):
+                    pass  # the stream closes itself at a terminal status
+            except (http.client.HTTPException, OSError):
+                time.sleep(min(0.2, max(0.0, deadline - time.monotonic())))
+            doc = self.job(job_id)
+        return doc

@@ -1,0 +1,255 @@
+"""Typed request/response models for ``repro.service``.
+
+Everything that crosses the HTTP boundary is described here as a
+dataclass with an explicit JSON-native projection, so the server, the
+client, and the tests all agree on one wire contract:
+
+* :class:`SubmitRequest` — the ``POST /v1/jobs`` body, validated field
+  by field (:exc:`ValidationError` carries a client-readable message).
+* :class:`JobEvent` — one status transition; the ordered event list is
+  both the audit log and the payload of the ``/events`` stream.
+* :class:`ServiceJob` — the server-side job object: submission data,
+  the harness payload it resolves to, and the lifecycle bookkeeping.
+
+Job lifecycle::
+
+    queued ──► running ──► succeeded | failed
+       │                       ▲
+       └──► cancelled ◄────────┘  (cancel of a running job applies
+                                   when its worker returns)
+
+A cache hit at submission time short-circuits straight to
+``succeeded`` (with ``cached=true``) without ever entering the queue.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+import uuid
+from typing import Any, Mapping
+
+__all__ = [
+    "STATUS_QUEUED",
+    "STATUS_RUNNING",
+    "STATUS_SUCCEEDED",
+    "STATUS_FAILED",
+    "STATUS_CANCELLED",
+    "TERMINAL_STATUSES",
+    "DEFAULT_PRIORITY",
+    "MIN_PRIORITY",
+    "MAX_PRIORITY",
+    "DEFAULT_TENANT",
+    "ValidationError",
+    "SubmitRequest",
+    "JobEvent",
+    "ServiceJob",
+    "new_job_id",
+]
+
+STATUS_QUEUED = "queued"
+STATUS_RUNNING = "running"
+STATUS_SUCCEEDED = "succeeded"
+STATUS_FAILED = "failed"
+STATUS_CANCELLED = "cancelled"
+
+#: Statuses a job never leaves.
+TERMINAL_STATUSES = frozenset(
+    {STATUS_SUCCEEDED, STATUS_FAILED, STATUS_CANCELLED}
+)
+
+#: Smaller numbers run sooner (``0`` is the most urgent slot).
+MIN_PRIORITY = 0
+MAX_PRIORITY = 99
+DEFAULT_PRIORITY = 10
+
+DEFAULT_TENANT = "default"
+
+
+class ValidationError(ValueError):
+    """A submission body the service refuses; message is client-facing."""
+
+
+def new_job_id() -> str:
+    return f"job-{uuid.uuid4().hex[:12]}"
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValidationError(message)
+
+
+@dataclasses.dataclass(frozen=True)
+class SubmitRequest:
+    """The validated body of ``POST /v1/jobs``."""
+
+    experiment: str
+    tenant: str = DEFAULT_TENANT
+    priority: int = DEFAULT_PRIORITY
+    quick: bool = False
+    force_path: str | None = None
+    fault_plan: str | Mapping[str, Any] | None = None
+    replicas: int | None = None
+    observe: bool = False
+
+    _KNOWN_FIELDS = frozenset(
+        {
+            "experiment",
+            "tenant",
+            "priority",
+            "quick",
+            "force_path",
+            "fault_plan",
+            "replicas",
+            "observe",
+        }
+    )
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "SubmitRequest":
+        _require(isinstance(data, Mapping), "request body must be a JSON object")
+        unknown = sorted(set(data) - cls._KNOWN_FIELDS)
+        _require(not unknown, f"unknown field(s): {', '.join(unknown)}")
+
+        experiment = data.get("experiment")
+        _require(
+            isinstance(experiment, str) and bool(experiment),
+            "'experiment' is required and must be a non-empty string",
+        )
+
+        tenant = data.get("tenant", DEFAULT_TENANT)
+        _require(
+            isinstance(tenant, str) and bool(tenant.strip()),
+            "'tenant' must be a non-empty string",
+        )
+
+        priority = data.get("priority", DEFAULT_PRIORITY)
+        _require(
+            isinstance(priority, int) and not isinstance(priority, bool),
+            "'priority' must be an integer",
+        )
+        _require(
+            MIN_PRIORITY <= priority <= MAX_PRIORITY,
+            f"'priority' must be in [{MIN_PRIORITY}, {MAX_PRIORITY}] "
+            "(smaller runs sooner)",
+        )
+
+        quick = data.get("quick", False)
+        _require(isinstance(quick, bool), "'quick' must be a boolean")
+        observe = data.get("observe", False)
+        _require(isinstance(observe, bool), "'observe' must be a boolean")
+
+        force_path = data.get("force_path")
+        _require(
+            force_path is None or isinstance(force_path, str),
+            "'force_path' must be a string",
+        )
+
+        fault_plan = data.get("fault_plan")
+        _require(
+            fault_plan is None
+            or isinstance(fault_plan, (str, Mapping)),
+            "'fault_plan' must be 'storm', 'none', or a plan object",
+        )
+
+        replicas = data.get("replicas")
+        if replicas is not None:
+            _require(
+                isinstance(replicas, int)
+                and not isinstance(replicas, bool)
+                and replicas >= 1,
+                "'replicas' must be an integer >= 1",
+            )
+
+        return cls(
+            experiment=experiment,
+            tenant=tenant.strip(),
+            priority=priority,
+            quick=quick,
+            force_path=force_path,
+            fault_plan=fault_plan,
+            replicas=replicas,
+            observe=observe,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class JobEvent:
+    """One status transition of one job."""
+
+    seq: int
+    status: str
+    at_unix: float
+    detail: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        doc: dict[str, Any] = {
+            "seq": self.seq,
+            "status": self.status,
+            "at_unix": self.at_unix,
+        }
+        if self.detail:
+            doc["detail"] = self.detail
+        return doc
+
+
+@dataclasses.dataclass
+class ServiceJob:
+    """Server-side state of one submitted job."""
+
+    job_id: str
+    tenant: str
+    priority: int
+    experiment_id: str
+    #: the harness payload shipped to worker processes (already carries
+    #: the content-addressed ``cache_key`` and any checkpoint path)
+    payload: dict[str, Any]
+    cache_key: str
+    observe: bool = False
+    status: str = STATUS_QUEUED
+    cached: bool = False
+    cancel_requested: bool = False
+    attempts: int = 0
+    created_unix: float = dataclasses.field(default_factory=time.time)
+    started_unix: float | None = None
+    finished_unix: float | None = None
+    #: the full harness record once the job finishes (or replays)
+    record: dict[str, Any] | None = None
+    events: list[JobEvent] = dataclasses.field(default_factory=list)
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL_STATUSES
+
+    def add_event(self, status: str, detail: str = "") -> JobEvent:
+        event = JobEvent(
+            seq=len(self.events), status=status, at_unix=time.time(),
+            detail=detail,
+        )
+        self.events.append(event)
+        return event
+
+    def to_doc(self) -> dict[str, Any]:
+        """The ``GET /v1/jobs/{id}`` status document."""
+        record = self.record or {}
+        doc: dict[str, Any] = {
+            "id": self.job_id,
+            "experiment": self.experiment_id,
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "status": self.status,
+            "cached": self.cached,
+            "cancel_requested": self.cancel_requested,
+            "cache_key": self.cache_key,
+            "attempts": self.attempts or record.get("attempts", 0),
+            "created_unix": self.created_unix,
+            "started_unix": self.started_unix,
+            "finished_unix": self.finished_unix,
+            "events": [event.to_dict() for event in self.events],
+        }
+        if self.terminal and record:
+            doc["all_passed"] = record.get("all_passed")
+            doc["wall_seconds"] = record.get("wall_seconds")
+            if record.get("traceback"):
+                doc["traceback"] = record["traceback"]
+        return doc

@@ -1,0 +1,212 @@
+"""Priority queues with per-tenant quotas and bounded backpressure.
+
+The service admits work through one :class:`PriorityJobQueue`:
+
+* **Ordering** — a binary heap on ``(priority, submission seq)``:
+  smaller priority values run sooner, ties run FIFO.
+* **Per-tenant quotas** — each tenant may hold at most ``tenant_quota``
+  jobs in flight (queued + running).  The quota keeps one chatty tenant
+  from starving the rest; an over-quota submission is rejected with
+  :exc:`TenantQuotaExceeded` (HTTP 429 + ``Retry-After``).
+* **Bounded depth** — the queue holds at most ``max_depth`` jobs in
+  total.  Beyond that the service is genuinely overloaded and sheds
+  load with :exc:`QueueFull` (HTTP 503 + ``Retry-After``).
+
+``Retry-After`` is an honest estimate, not a constant: an exponential
+moving average of recent job durations times the backlog a new job
+would sit behind, divided by worker concurrency.
+
+Cancellation is lazy: a cancelled job's quota/depth accounting is
+released immediately, but its heap entry stays until :meth:`get` pops
+and discards it — O(1) cancel, no heap surgery.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+import math
+from collections import Counter
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.models import ServiceJob
+
+__all__ = [
+    "QueueRejection",
+    "TenantQuotaExceeded",
+    "QueueFull",
+    "PriorityJobQueue",
+]
+
+#: Starting duration estimate before any job has completed (seconds).
+_INITIAL_AVG_SECONDS = 2.0
+#: EWMA weight of the most recent job duration.
+_EWMA_ALPHA = 0.3
+
+
+class QueueRejection(Exception):
+    """A submission the queue refused; maps onto one HTTP response."""
+
+    status_code = 503
+
+    def __init__(self, message: str, retry_after: int):
+        super().__init__(message)
+        self.retry_after = max(1, int(retry_after))
+
+
+class TenantQuotaExceeded(QueueRejection):
+    """The tenant already holds its full quota of in-flight jobs."""
+
+    status_code = 429
+
+
+class QueueFull(QueueRejection):
+    """The queue is at ``max_depth``; the service is shedding load."""
+
+    status_code = 503
+
+
+class PriorityJobQueue:
+    """Asyncio priority queue with quotas, depth bound, lazy cancel."""
+
+    def __init__(
+        self,
+        *,
+        max_depth: int = 64,
+        tenant_quota: int = 8,
+        concurrency: int = 1,
+    ):
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if tenant_quota < 1:
+            raise ValueError("tenant_quota must be >= 1")
+        if concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        self.max_depth = max_depth
+        self.tenant_quota = tenant_quota
+        self.concurrency = concurrency
+        self._heap: list[tuple[int, int, "ServiceJob"]] = []
+        self._seq = itertools.count()
+        self._queued_ids: set[str] = set()
+        self._queued_by_tenant: Counter[str] = Counter()
+        self._running_by_tenant: Counter[str] = Counter()
+        self._cond = asyncio.Condition()
+        self._closed = False
+        self._avg_seconds = _INITIAL_AVG_SECONDS
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Jobs waiting to run (cancelled stragglers excluded)."""
+        return len(self._queued_ids)
+
+    @property
+    def running(self) -> int:
+        return sum(self._running_by_tenant.values())
+
+    def tenant_load(self, tenant: str) -> int:
+        """Jobs the tenant holds in flight (queued + running)."""
+        return self._queued_by_tenant[tenant] + self._running_by_tenant[tenant]
+
+    def tenant_loads(self) -> dict[str, int]:
+        tenants = set(self._queued_by_tenant) | set(self._running_by_tenant)
+        return {
+            t: self.tenant_load(t)
+            for t in sorted(tenants)
+            if self.tenant_load(t)
+        }
+
+    @property
+    def avg_job_seconds(self) -> float:
+        return self._avg_seconds
+
+    def retry_after(self, backlog: int | None = None) -> int:
+        """Seconds a client should wait before resubmitting.
+
+        ``backlog`` defaults to everything currently in flight — the
+        work a freshly admitted job would queue behind.
+        """
+        if backlog is None:
+            backlog = self.depth + self.running
+        estimate = self._avg_seconds * (backlog + 1) / self.concurrency
+        return max(1, min(600, math.ceil(estimate)))
+
+    # -- producer side -------------------------------------------------
+
+    async def put(self, job: "ServiceJob") -> None:
+        """Admit ``job`` or raise a :class:`QueueRejection`."""
+        async with self._cond:
+            if self.depth >= self.max_depth:
+                raise QueueFull(
+                    f"queue is full ({self.depth}/{self.max_depth} jobs "
+                    "queued); retry later",
+                    self.retry_after(),
+                )
+            load = self.tenant_load(job.tenant)
+            if load >= self.tenant_quota:
+                raise TenantQuotaExceeded(
+                    f"tenant {job.tenant!r} already has {load} job(s) in "
+                    f"flight (quota {self.tenant_quota}); retry later",
+                    self.retry_after(backlog=load),
+                )
+            heapq.heappush(self._heap, (job.priority, next(self._seq), job))
+            self._queued_ids.add(job.job_id)
+            self._queued_by_tenant[job.tenant] += 1
+            self._cond.notify_all()
+
+    async def cancel(self, job: "ServiceJob") -> bool:
+        """Release a queued job's accounting; True if it was queued.
+
+        The heap entry is left behind and discarded by :meth:`get`.
+        """
+        async with self._cond:
+            if job.job_id not in self._queued_ids:
+                return False
+            self._queued_ids.discard(job.job_id)
+            self._queued_by_tenant[job.tenant] -= 1
+            return True
+
+    # -- consumer side -------------------------------------------------
+
+    async def get(self) -> "ServiceJob | None":
+        """Next job by (priority, FIFO); ``None`` once the queue closes.
+
+        A closed queue stops handing out work immediately — jobs still
+        queued stay in their submitted state for the service to settle
+        (it marks them cancelled at shutdown).
+        """
+        async with self._cond:
+            while True:
+                if self._closed:
+                    return None
+                while self._heap:
+                    _prio, _seq, job = heapq.heappop(self._heap)
+                    if job.job_id not in self._queued_ids:
+                        continue  # cancelled while queued; already released
+                    self._queued_ids.discard(job.job_id)
+                    self._queued_by_tenant[job.tenant] -= 1
+                    self._running_by_tenant[job.tenant] += 1
+                    return job
+                await self._cond.wait()
+
+    async def release(self, job: "ServiceJob", seconds: float | None) -> None:
+        """Return a dequeued job's slot; feed its duration to the EWMA."""
+        async with self._cond:
+            self._running_by_tenant[job.tenant] -= 1
+            if seconds is not None and seconds > 0.0:
+                self._avg_seconds = (
+                    _EWMA_ALPHA * seconds
+                    + (1.0 - _EWMA_ALPHA) * self._avg_seconds
+                )
+            # a freed quota slot may unblock nothing directly (putters
+            # fail fast, they don't wait), but workers may be idling
+            self._cond.notify_all()
+
+    async def close(self) -> None:
+        """Stop the queue: every waiting consumer receives ``None``."""
+        async with self._cond:
+            self._closed = True
+            self._cond.notify_all()

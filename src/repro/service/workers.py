@@ -1,0 +1,136 @@
+"""Bridging the asyncio loop onto the existing process-pool scheduler.
+
+Each worker is one asyncio task in a pull loop: take the next job off
+the priority queue, hand its payload to
+:func:`repro.harness.scheduler.run_jobs` on a thread (``run_jobs``
+blocks), and settle the outcome back on the loop.  Every job runs with
+``max_workers=1`` — its own single-process pool — so the harness's
+whole failure-containment ladder applies per service job:
+
+* an experiment exception comes back as a ``failed`` record,
+* a timeout terminates the worker process and retries on backoff,
+* a hard worker death (SIGKILL, OOM) surfaces as ``BrokenProcessPool``,
+  consumes an attempt, and retries — and because checkpoint-aware
+  experiments persist their last snapshot under the job's cache key,
+  the retry *resumes* instead of starting over.
+
+The thread pool is sized to the service's concurrency, so at most
+``concurrency`` harness pools exist at once; queue ordering and tenant
+quotas stay enforced because workers only ever pull from the queue.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING
+
+from repro.harness.scheduler import run_jobs
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.app import Service
+    from repro.service.models import ServiceJob
+
+__all__ = ["WorkerPool"]
+
+
+class WorkerPool:
+    """N asyncio pull-loops feeding the blocking harness scheduler."""
+
+    def __init__(self, service: "Service"):
+        self._service = service
+        self._tasks: list[asyncio.Task] = []
+        self._executor: ThreadPoolExecutor | None = None
+
+    @property
+    def started(self) -> bool:
+        return bool(self._tasks)
+
+    async def start(self) -> None:
+        if self._tasks:
+            raise RuntimeError("worker pool already started")
+        concurrency = self._service.config.concurrency
+        self._executor = ThreadPoolExecutor(
+            max_workers=concurrency, thread_name_prefix="repro-service"
+        )
+        self._tasks = [
+            asyncio.create_task(self._worker_loop(), name=f"service-worker-{i}")
+            for i in range(concurrency)
+        ]
+
+    async def stop(self, drain_seconds: float = 30.0) -> None:
+        """Stop pulling work; wait up to ``drain_seconds`` for in-flight
+        jobs, then cancel whatever is left."""
+        await self._service.queue.close()
+        if self._tasks:
+            done, pending = await asyncio.wait(
+                self._tasks, timeout=drain_seconds
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+            self._tasks = []
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    async def _worker_loop(self) -> None:
+        while True:
+            job = await self._service.queue.get()
+            if job is None:
+                return
+            try:
+                await self._run_one(job)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # keep the loop alive; settle the job
+                await self._service.settle_worker_error(job, exc)
+                await self._service.queue.release(job, None)
+
+    async def _run_one(self, job: "ServiceJob") -> None:
+        service = self._service
+        if job.cancel_requested:
+            # cancelled in the gap between dequeue and execution
+            await service.settle_cancelled(job)
+            await service.queue.release(job, None)
+            return
+        # Late cache check: a duplicate that queued behind its twin
+        # completes from the twin's freshly cached record, not by
+        # re-executing the experiment.
+        cached = service.cache_lookup(job)
+        if cached is not None:
+            await service.finish_cached(job, cached)
+            await service.queue.release(job, None)
+            return
+
+        await service.mark_running(job)
+        config = service.config
+        call = functools.partial(
+            run_jobs,
+            [job.payload],
+            max_workers=1,
+            timeout=config.timeout,
+            retries=config.retries,
+            backoff=config.backoff,
+        )
+        started = time.monotonic()
+        loop = asyncio.get_running_loop()
+        records = await loop.run_in_executor(self._executor, call)
+        seconds = time.monotonic() - started
+        record = records.get(job.job_id)
+        if record is None:  # pragma: no cover - run_jobs always records
+            record = {
+                "job_id": job.job_id,
+                "experiment_id": job.experiment_id,
+                "status": "failed",
+                "result": None,
+                "all_passed": None,
+                "traceback": "scheduler returned no record for this job",
+                "attempts": 0,
+                "wall_seconds": seconds,
+            }
+        await service.finish(job, record, seconds)
+        await service.queue.release(job, seconds)

@@ -1,0 +1,103 @@
+"""The checkpoint-resumable ``longrun`` experiment."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import longrun
+from repro.experiments.registry import spec_for
+
+
+def rows_of(result) -> dict:
+    return {key: value for key, value in result.rows}
+
+
+QUICK = {"n_atoms": 128, "n_steps": 8, "checkpoint_interval": 3}
+
+
+class TestFreshRun:
+    def test_quick_run_passes_bands(self):
+        result = longrun.run(**QUICK)
+        assert result.all_passed
+        rows = rows_of(result)
+        assert rows["steps_completed"] == QUICK["n_steps"]
+        assert rows["resumed_from_step"] == -1
+        assert rows["checkpoints_written"] == 0  # no path -> no persistence
+        assert "fresh" in result.title
+
+    def test_determinism(self):
+        a = rows_of(longrun.run(**QUICK))
+        b = rows_of(longrun.run(**QUICK))
+        assert a["final_positions_sha256"] == b["final_positions_sha256"]
+        assert a["final_total_energy"] == b["final_total_energy"]
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"n_steps": 0}, {"checkpoint_interval": 0}]
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            longrun.run(**{**QUICK, **kwargs})
+
+
+class TestCheckpointing:
+    def test_checkpoints_written_at_interval(self, tmp_path):
+        path = tmp_path / "run.ckpt.json"
+        result = longrun.run(**QUICK, checkpoint_path=str(path))
+        rows = rows_of(result)
+        # steps 3 and 6 of 8 with interval 3
+        assert rows["checkpoints_written"] == 2
+        assert path.exists()
+        snapshot = json.loads(path.read_text())
+        assert snapshot["step"] == 6
+        assert list(tmp_path.glob("*.tmp")) == []  # atomic writes
+
+    def test_resume_is_bit_identical_to_uninterrupted(self, tmp_path):
+        clean = rows_of(longrun.run(**QUICK))
+        path = tmp_path / "run.ckpt.json"
+        # partial run persists its progress...
+        longrun.run(**{**QUICK, "n_steps": 6}, checkpoint_path=str(path))
+        # ...and a new process-equivalent invocation picks it up
+        resumed = longrun.run(**QUICK, checkpoint_path=str(path))
+        rows = rows_of(resumed)
+        assert rows["resumed_from_step"] == 6
+        assert rows["final_positions_sha256"] == clean["final_positions_sha256"]
+        assert rows["final_total_energy"] == clean["final_total_energy"]
+        assert "resumed from step 6" in resumed.title
+
+    def test_corrupt_checkpoint_restarts_fresh(self, tmp_path):
+        path = tmp_path / "run.ckpt.json"
+        path.write_text("{torn mid-wri")
+        result = longrun.run(**QUICK, checkpoint_path=str(path))
+        rows = rows_of(result)
+        assert rows["resumed_from_step"] == -1
+        assert result.all_passed
+
+    def test_checkpoint_beyond_n_steps_is_ignored(self, tmp_path):
+        path = tmp_path / "run.ckpt.json"
+        longrun.run(**QUICK, checkpoint_path=str(path))  # snapshot at 6
+        short = longrun.run(
+            **{**QUICK, "n_steps": 4}, checkpoint_path=str(path)
+        )
+        rows = rows_of(short)
+        assert rows["resumed_from_step"] == -1  # 6 > 4: not resumable
+        assert rows["steps_completed"] == 4
+
+
+class TestRegistryEntry:
+    def test_longrun_is_registered_with_checkpoint_flag(self):
+        spec = spec_for("longrun")
+        assert spec.accepts_checkpoint is True
+        assert spec.func == "run"
+        quick = spec.params(quick=True)
+        assert quick["checkpoint_interval"] >= 1
+        # the checkpoint path must NOT be a registry param: it is
+        # injected post-cache-key by the service only
+        assert "checkpoint_path" not in quick
+        assert "checkpoint_path" not in spec.params(quick=False)
+        assert "crash_at_step" not in quick  # never shipped by default
+
+    def test_other_specs_do_not_accept_checkpoints(self):
+        assert spec_for("fig5").accepts_checkpoint is False
+        assert spec_for("ensemble").accepts_checkpoint is False

@@ -1,0 +1,173 @@
+"""RunStore.gc and the ``repro.harness gc`` subcommand."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness.cli import main as cli_main
+from repro.harness.store import RunStore
+
+
+def seed_run(
+    store: RunStore,
+    run_id: str,
+    job_ids: tuple[str, ...] = ("job-a",),
+    cache_keys: dict[str, str] | None = None,
+) -> None:
+    cache_keys = cache_keys or {}
+    for job_id in job_ids:
+        store.write_job_record(
+            run_id,
+            {
+                "job_id": job_id,
+                "status": "ok",
+                "cache_key": cache_keys.get(job_id, f"key-{job_id}"),
+            },
+        )
+    store.write_manifest(
+        run_id,
+        {"run_id": run_id, "jobs": [{"job_id": j} for j in job_ids],
+         "job_count": len(job_ids), "cached_count": 0, "failures": 0,
+         "created": "2026-01-01T00:00:00Z"},
+    )
+
+
+class TestKeepLastK:
+    def test_prunes_oldest_runs_beyond_keep(self, tmp_path):
+        store = RunStore(tmp_path)
+        run_ids = [f"2026010{i}-000000000000-aaaaaa" for i in range(1, 6)]
+        for run_id in run_ids:
+            seed_run(store, run_id)
+        removed = store.gc(keep_runs=2)
+        assert removed["runs_removed"] == 3
+        assert store.list_runs() == run_ids[-2:]
+
+    def test_keep_zero_removes_everything(self, tmp_path):
+        store = RunStore(tmp_path)
+        seed_run(store, "20260101-000000000000-aaaaaa")
+        removed = store.gc(keep_runs=0)
+        assert removed["runs_removed"] == 1
+        assert store.list_runs() == []
+
+    def test_fewer_runs_than_keep_removes_nothing(self, tmp_path):
+        store = RunStore(tmp_path)
+        seed_run(store, "20260101-000000000000-aaaaaa")
+        assert store.gc(keep_runs=20)["runs_removed"] == 0
+        assert len(store.list_runs()) == 1
+
+    def test_negative_keep_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="keep_runs"):
+            RunStore(tmp_path).gc(keep_runs=-1)
+
+
+class TestOrphanSweeps:
+    def test_orphan_trace_removed_matching_trace_kept(self, tmp_path):
+        store = RunStore(tmp_path)
+        run_id = "20260101-000000000000-aaaaaa"
+        seed_run(store, run_id, job_ids=("job-a",))
+        store.write_trace(run_id, "job-a", {"traceEvents": []})
+        store.write_trace(run_id, "job-ghost", {"traceEvents": []})
+        removed = store.gc(keep_runs=20)
+        assert removed["orphan_traces_removed"] == 1
+        assert store.list_traces(run_id) == ["job-a"]
+
+    def test_stale_tmp_files_swept(self, tmp_path):
+        store = RunStore(tmp_path)
+        run_id = "20260101-000000000000-aaaaaa"
+        seed_run(store, run_id)
+        stale = store.run_dir(run_id) / "jobs" / "x.json.123-deadbeef.tmp"
+        stale.write_text("{half a reco")
+        removed = store.gc(keep_runs=20)
+        assert removed["tmp_files_removed"] == 1
+        assert not stale.exists()
+
+    def test_satisfied_checkpoints_removed_pending_kept(self, tmp_path):
+        store = RunStore(tmp_path)
+        done = store.checkpoint_path("key-done")
+        done.parent.mkdir(parents=True, exist_ok=True)
+        done.write_text("{}")
+        pending = store.checkpoint_path("key-pending")
+        pending.write_text("{}")
+        store.cache_put("key-done", {"job_id": "j", "status": "ok"})
+        removed = store.gc(keep_runs=20)
+        assert removed["checkpoints_removed"] == 1
+        assert store.list_checkpoints() == ["key-pending"]
+
+
+class TestCachePruning:
+    def test_unreferenced_cache_entries_pruned_only_on_request(self, tmp_path):
+        store = RunStore(tmp_path)
+        run_id = "20260102-000000000000-aaaaaa"
+        seed_run(store, run_id, job_ids=("job-a",),
+                 cache_keys={"job-a": "key-live"})
+        store.cache_put("key-live", {"job_id": "job-a", "status": "ok"})
+        store.cache_put("key-dead", {"job_id": "job-z", "status": "ok"})
+
+        untouched = store.gc(keep_runs=20)
+        assert untouched["cache_entries_removed"] == 0
+        assert store.cache_get("key-dead") is not None
+
+        removed = store.gc(keep_runs=20, prune_cache=True)
+        assert removed["cache_entries_removed"] == 1
+        assert store.cache_get("key-dead") is None
+        assert store.cache_get("key-live") is not None
+
+    def test_pruning_respects_kept_runs_only(self, tmp_path):
+        store = RunStore(tmp_path)
+        old, new = (
+            "20260101-000000000000-aaaaaa",
+            "20260105-000000000000-aaaaaa",
+        )
+        seed_run(store, old, cache_keys={"job-a": "key-old"})
+        seed_run(store, new, cache_keys={"job-a": "key-new"})
+        store.cache_put("key-old", {"job_id": "job-a", "status": "ok"})
+        store.cache_put("key-new", {"job_id": "job-a", "status": "ok"})
+        removed = store.gc(keep_runs=1, prune_cache=True)
+        assert removed["runs_removed"] == 1
+        # the pruned run's cache entry went with it
+        assert store.cache_get("key-old") is None
+        assert store.cache_get("key-new") is not None
+
+
+class TestDryRun:
+    def test_dry_run_counts_without_removing(self, tmp_path):
+        store = RunStore(tmp_path)
+        run_ids = [f"2026010{i}-000000000000-aaaaaa" for i in range(1, 4)]
+        for run_id in run_ids:
+            seed_run(store, run_id)
+        store.write_trace(run_ids[-1], "job-ghost", {"traceEvents": []})
+        counted = store.gc(keep_runs=1, dry_run=True)
+        assert counted["runs_removed"] == 2
+        assert counted["orphan_traces_removed"] == 1
+        assert store.list_runs() == run_ids  # nothing actually touched
+        assert store.list_traces(run_ids[-1]) == ["job-ghost"]
+
+
+class TestCLI:
+    def test_gc_subcommand_prints_summary(self, tmp_path, capsys):
+        store = RunStore(tmp_path)
+        for i in range(1, 4):
+            seed_run(store, f"2026010{i}-000000000000-aaaaaa")
+        rc = cli_main(["gc", "--keep", "1", "--runs-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "removed: 2 run(s)" in out
+        assert len(store.list_runs()) == 1
+
+    def test_gc_dry_run_says_would(self, tmp_path, capsys):
+        store = RunStore(tmp_path)
+        seed_run(store, "20260101-000000000000-aaaaaa")
+        rc = cli_main(
+            ["gc", "--keep", "0", "--dry-run", "--runs-dir", str(tmp_path)]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert out.startswith("would remove:")
+        assert len(store.list_runs()) == 1
+
+    def test_gc_negative_keep_is_usage_error(self, tmp_path, capsys):
+        rc = cli_main(["gc", "--keep", "-1", "--runs-dir", str(tmp_path)])
+        assert rc == 2
+        assert "keep_runs" in capsys.readouterr().err

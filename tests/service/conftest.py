@@ -1,0 +1,75 @@
+"""Shared helpers for the service tests.
+
+No pytest-asyncio in the toolchain: every test is a plain sync function
+wrapping ``asyncio.run(...)``.  :func:`running_service` boots a real
+:class:`~repro.service.app.Service` on an ephemeral port inside the
+test's event loop; blocking :class:`ServiceClient` calls are pushed
+onto the default executor via :func:`call` so they don't stall the loop
+the server is running on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from typing import Any, AsyncIterator, Callable, Mapping
+
+from repro.experiments.registry import ExperimentSpec
+from repro.service.app import Service, ServiceConfig
+
+STUB_MODULE = "tests.harness.stub_jobs"
+
+
+def stub_spec(
+    experiment_id: str,
+    func: str = "ok_job",
+    accepts_checkpoint: bool = False,
+    **params: Any,
+) -> ExperimentSpec:
+    """A registry-shaped spec pointing at the harness stub jobs."""
+    return ExperimentSpec(
+        experiment_id=experiment_id,
+        module=STUB_MODULE,
+        func=func,
+        description=f"stub {func}",
+        full_params=dict(params),
+        quick_params=dict(params),
+        accepts_checkpoint=accepts_checkpoint,
+    )
+
+
+def default_specs() -> dict[str, ExperimentSpec]:
+    return {
+        "ok": stub_spec("ok", "ok_job"),
+        "nap": stub_spec("nap", "napping_job", seconds=0.15),
+        "boom": stub_spec("boom", "boom_job"),
+    }
+
+
+@contextlib.asynccontextmanager
+async def running_service(
+    runs_dir: str,
+    *,
+    specs: Mapping[str, ExperimentSpec] | None = None,
+    **config_overrides: Any,
+) -> AsyncIterator[Service]:
+    """Boot a service on an ephemeral port; always shuts it down."""
+    defaults: dict[str, Any] = {
+        "port": 0,
+        "concurrency": 1,
+        "runs_dir": runs_dir,
+        "drain_seconds": 20.0,
+    }
+    config = ServiceConfig(**{**defaults, **config_overrides})
+    service = Service(config, specs=dict(specs or default_specs()))
+    await service.start()
+    try:
+        yield service
+    finally:
+        await service.shutdown()
+
+
+async def call(fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
+    """Run a blocking client call without stalling the server's loop."""
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, lambda: fn(*args, **kwargs))

@@ -1,0 +1,153 @@
+"""Wire-contract tests for the service request/response models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.models import (
+    DEFAULT_PRIORITY,
+    DEFAULT_TENANT,
+    STATUS_CANCELLED,
+    STATUS_FAILED,
+    STATUS_QUEUED,
+    STATUS_RUNNING,
+    STATUS_SUCCEEDED,
+    TERMINAL_STATUSES,
+    JobEvent,
+    ServiceJob,
+    SubmitRequest,
+    ValidationError,
+    new_job_id,
+)
+
+
+def make_job(**overrides) -> ServiceJob:
+    fields = dict(
+        job_id="job-abc",
+        tenant="t",
+        priority=10,
+        experiment_id="ok",
+        payload={"job_id": "job-abc", "params": {}},
+        cache_key="deadbeef",
+    )
+    fields.update(overrides)
+    return ServiceJob(**fields)
+
+
+class TestSubmitRequest:
+    def test_minimal_body_gets_defaults(self):
+        req = SubmitRequest.from_dict({"experiment": "fig5"})
+        assert req.experiment == "fig5"
+        assert req.tenant == DEFAULT_TENANT
+        assert req.priority == DEFAULT_PRIORITY
+        assert req.quick is False and req.observe is False
+        assert req.replicas is None and req.fault_plan is None
+
+    def test_full_body_round_trips(self):
+        req = SubmitRequest.from_dict(
+            {
+                "experiment": "ensemble",
+                "tenant": "  team-a  ",
+                "priority": 0,
+                "quick": True,
+                "observe": True,
+                "replicas": 4,
+                "fault_plan": "storm",
+                "force_path": "cell",
+            }
+        )
+        assert req.tenant == "team-a"  # whitespace stripped
+        assert req.priority == 0
+        assert req.replicas == 4
+
+    def test_rejects_non_object_body(self):
+        with pytest.raises(ValidationError, match="JSON object"):
+            SubmitRequest.from_dict([1, 2])
+
+    def test_rejects_unknown_fields(self):
+        with pytest.raises(ValidationError, match="unknown field.*timeout"):
+            SubmitRequest.from_dict({"experiment": "x", "timeout": 5})
+
+    def test_requires_experiment(self):
+        with pytest.raises(ValidationError, match="experiment"):
+            SubmitRequest.from_dict({})
+        with pytest.raises(ValidationError, match="experiment"):
+            SubmitRequest.from_dict({"experiment": ""})
+
+    @pytest.mark.parametrize("priority", [-1, 100, "5", 5.0, True])
+    def test_rejects_out_of_band_priorities(self, priority):
+        with pytest.raises(ValidationError, match="priority"):
+            SubmitRequest.from_dict({"experiment": "x", "priority": priority})
+
+    @pytest.mark.parametrize("replicas", [0, -2, "4", True])
+    def test_rejects_bad_replicas(self, replicas):
+        with pytest.raises(ValidationError, match="replicas"):
+            SubmitRequest.from_dict({"experiment": "x", "replicas": replicas})
+
+    def test_rejects_blank_tenant(self):
+        with pytest.raises(ValidationError, match="tenant"):
+            SubmitRequest.from_dict({"experiment": "x", "tenant": "   "})
+
+    def test_rejects_non_bool_flags(self):
+        with pytest.raises(ValidationError, match="quick"):
+            SubmitRequest.from_dict({"experiment": "x", "quick": 1})
+        with pytest.raises(ValidationError, match="observe"):
+            SubmitRequest.from_dict({"experiment": "x", "observe": "yes"})
+
+
+class TestJobEvent:
+    def test_detail_omitted_when_empty(self):
+        bare = JobEvent(seq=0, status=STATUS_QUEUED, at_unix=1.0)
+        assert "detail" not in bare.to_dict()
+        rich = JobEvent(seq=1, status=STATUS_FAILED, at_unix=2.0, detail="x")
+        assert rich.to_dict()["detail"] == "x"
+
+
+class TestServiceJob:
+    def test_new_job_ids_are_unique_and_routable(self):
+        ids = {new_job_id() for _ in range(64)}
+        assert len(ids) == 64
+        assert all(jid.startswith("job-") for jid in ids)
+
+    def test_event_log_is_ordered(self):
+        job = make_job()
+        job.add_event(STATUS_QUEUED, detail="accepted")
+        job.add_event(STATUS_RUNNING)
+        assert [e.seq for e in job.events] == [0, 1]
+        assert [e.status for e in job.events] == [
+            STATUS_QUEUED,
+            STATUS_RUNNING,
+        ]
+
+    def test_terminal_statuses(self):
+        job = make_job()
+        assert not job.terminal
+        for status in TERMINAL_STATUSES:
+            job.status = status
+            assert job.terminal
+        job.status = STATUS_RUNNING
+        assert not job.terminal
+
+    def test_doc_hides_result_fields_until_terminal(self):
+        job = make_job(record={"all_passed": True, "wall_seconds": 1.5})
+        assert "all_passed" not in job.to_doc()
+        job.status = STATUS_SUCCEEDED
+        doc = job.to_doc()
+        assert doc["all_passed"] is True
+        assert doc["wall_seconds"] == 1.5
+        assert "traceback" not in doc  # only present when recorded
+
+    def test_doc_carries_traceback_of_failed_jobs(self):
+        job = make_job(
+            status=STATUS_FAILED,
+            record={"traceback": "Boom", "all_passed": None},
+        )
+        assert job.to_doc()["traceback"] == "Boom"
+
+    def test_doc_events_are_wire_dicts(self):
+        job = make_job()
+        job.add_event(STATUS_QUEUED)
+        job.status = STATUS_CANCELLED
+        doc = job.to_doc()
+        assert doc["events"][0]["status"] == STATUS_QUEUED
+        assert doc["status"] == STATUS_CANCELLED

@@ -1,0 +1,188 @@
+"""PriorityJobQueue: ordering, quotas, backpressure, lazy cancel."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.service.models import ServiceJob
+from repro.service.queue import (
+    PriorityJobQueue,
+    QueueFull,
+    TenantQuotaExceeded,
+)
+
+
+def job(job_id: str, tenant: str = "t", priority: int = 10) -> ServiceJob:
+    return ServiceJob(
+        job_id=job_id,
+        tenant=tenant,
+        priority=priority,
+        experiment_id="stub",
+        payload={},
+        cache_key=f"key-{job_id}",
+    )
+
+
+class TestOrdering:
+    def test_smaller_priority_dequeues_first(self):
+        async def scenario():
+            q = PriorityJobQueue()
+            await q.put(job("low", priority=50))
+            await q.put(job("urgent", priority=0))
+            await q.put(job("mid", priority=10))
+            return [(await q.get()).job_id for _ in range(3)]
+
+        assert asyncio.run(scenario()) == ["urgent", "mid", "low"]
+
+    def test_equal_priorities_run_fifo(self):
+        async def scenario():
+            q = PriorityJobQueue()
+            for i in range(5):
+                await q.put(job(f"j{i}", priority=10))
+            return [(await q.get()).job_id for _ in range(5)]
+
+        assert asyncio.run(scenario()) == [f"j{i}" for i in range(5)]
+
+    def test_get_blocks_until_put(self):
+        async def scenario():
+            q = PriorityJobQueue()
+            getter = asyncio.create_task(q.get())
+            await asyncio.sleep(0.01)
+            assert not getter.done()
+            await q.put(job("late"))
+            return (await asyncio.wait_for(getter, 5)).job_id
+
+        assert asyncio.run(scenario()) == "late"
+
+
+class TestBackpressure:
+    def test_depth_bound_rejects_with_503(self):
+        async def scenario():
+            q = PriorityJobQueue(max_depth=2, tenant_quota=8)
+            await q.put(job("a"))
+            await q.put(job("b"))
+            with pytest.raises(QueueFull) as exc:
+                await q.put(job("c"))
+            assert exc.value.status_code == 503
+            assert exc.value.retry_after >= 1
+
+        asyncio.run(scenario())
+
+    def test_tenant_quota_rejects_with_429(self):
+        async def scenario():
+            q = PriorityJobQueue(max_depth=64, tenant_quota=2)
+            await q.put(job("a", tenant="greedy"))
+            await q.put(job("b", tenant="greedy"))
+            with pytest.raises(TenantQuotaExceeded) as exc:
+                await q.put(job("c", tenant="greedy"))
+            assert exc.value.status_code == 429
+            assert exc.value.retry_after >= 1
+            # other tenants are unaffected
+            await q.put(job("d", tenant="patient"))
+
+        asyncio.run(scenario())
+
+    def test_quota_counts_running_jobs_too(self):
+        async def scenario():
+            q = PriorityJobQueue(tenant_quota=1)
+            await q.put(job("a", tenant="x"))
+            dequeued = await q.get()
+            assert q.tenant_load("x") == 1  # running, not queued
+            with pytest.raises(TenantQuotaExceeded):
+                await q.put(job("b", tenant="x"))
+            await q.release(dequeued, 0.1)
+            await q.put(job("b", tenant="x"))  # slot freed
+
+        asyncio.run(scenario())
+
+    def test_retry_after_scales_with_backlog(self):
+        async def scenario():
+            q = PriorityJobQueue(concurrency=1)
+            idle = q.retry_after()
+            for i in range(10):
+                await q.put(job(f"j{i}", tenant=f"t{i}"))
+            assert q.retry_after() > idle
+            assert 1 <= q.retry_after() <= 600
+
+        asyncio.run(scenario())
+
+    def test_ewma_tracks_job_durations(self):
+        async def scenario():
+            q = PriorityJobQueue()
+            before = q.avg_job_seconds
+            await q.put(job("a"))
+            got = await q.get()
+            await q.release(got, 100.0)
+            assert q.avg_job_seconds > before
+
+        asyncio.run(scenario())
+
+
+class TestCancelAndClose:
+    def test_cancel_releases_accounting_and_get_skips_it(self):
+        async def scenario():
+            q = PriorityJobQueue()
+            doomed = job("doomed", priority=0)
+            await q.put(doomed)
+            await q.put(job("survivor", priority=50))
+            assert await q.cancel(doomed) is True
+            assert q.depth == 1
+            assert q.tenant_load("t") == 1
+            got = await q.get()
+            assert got.job_id == "survivor"
+
+        asyncio.run(scenario())
+
+    def test_cancel_unknown_job_is_false(self):
+        async def scenario():
+            q = PriorityJobQueue()
+            assert await q.cancel(job("never-queued")) is False
+
+        asyncio.run(scenario())
+
+    def test_cancel_is_idempotent(self):
+        async def scenario():
+            q = PriorityJobQueue()
+            doomed = job("doomed")
+            await q.put(doomed)
+            assert await q.cancel(doomed) is True
+            assert await q.cancel(doomed) is False
+            assert q.depth == 0
+
+        asyncio.run(scenario())
+
+    def test_closed_queue_returns_none_immediately(self):
+        async def scenario():
+            q = PriorityJobQueue()
+            await q.put(job("stranded"))
+            await q.close()
+            # close wins even with work still queued: shutdown settles it
+            assert await asyncio.wait_for(q.get(), 5) is None
+
+        asyncio.run(scenario())
+
+    def test_close_wakes_blocked_consumers(self):
+        async def scenario():
+            q = PriorityJobQueue()
+            getters = [asyncio.create_task(q.get()) for _ in range(3)]
+            await asyncio.sleep(0.01)
+            await q.close()
+            return await asyncio.wait_for(asyncio.gather(*getters), 5)
+
+        assert asyncio.run(scenario()) == [None, None, None]
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_depth": 0},
+            {"tenant_quota": 0},
+            {"concurrency": 0},
+        ],
+    )
+    def test_constructor_bounds(self, kwargs):
+        with pytest.raises(ValueError):
+            PriorityJobQueue(**kwargs)
