@@ -7,7 +7,8 @@ Usage::
     python scripts/assert_bench_schema.py BENCH_vm.json   # explicit files
 
 Checks each file against its declared schema (``repro.bench_vm/1`` for
-per-kernel tables, ``repro.bench_vm2/1`` for ensemble tables): required
+per-kernel tables, ``repro.bench_vm2/1`` for ensemble tables,
+``repro.bench_tune/1`` for autotuner tables): required
 top-level keys, per-result row fields and types, and that every
 recorded speedup is a positive finite number.  Exits 1 with one line
 per violation, so CI catches a hand-edited or truncated table before
@@ -47,6 +48,24 @@ SCHEMAS: dict[str, tuple[str, dict[str, type]]] = {
             "repeats": int,
             "best_seconds": float,
             "replicas_per_second": float,
+        },
+    ),
+    "repro.bench_tune/1": (
+        "speedup_tuned_over_default",
+        {
+            "scenario": str,
+            "experiment": str,
+            "device": str,
+            "n": int,
+            "metric": str,
+            "objective": str,
+            "default_per_second": float,
+            "tuned_per_second": float,
+            "speedup": float,
+            "winner": dict,
+            "source": str,
+            "probes": int,
+            "pareto": list,
         },
     ),
 }
@@ -97,7 +116,9 @@ def validate_record(record: object) -> list[str]:
                 problems.append(f"results[{i}] missing {field!r}")
             elif kind is float and not _is_number(value):
                 problems.append(f"results[{i}].{field} is not a number")
-            elif kind in (int, str) and not isinstance(value, kind):
+            elif kind is int and isinstance(value, bool):
+                problems.append(f"results[{i}].{field} is not int")
+            elif kind in (int, str, dict, list) and not isinstance(value, kind):
                 problems.append(
                     f"results[{i}].{field} is not {kind.__name__}"
                 )
@@ -133,7 +154,11 @@ def main(argv: list[str] | None = None) -> int:
         paths = [Path(arg) for arg in argv]
         missing_is_error = True
     else:
-        paths = [REPO_ROOT / "BENCH_vm.json", REPO_ROOT / "BENCH_vm2.json"]
+        paths = [
+            REPO_ROOT / "BENCH_vm.json",
+            REPO_ROOT / "BENCH_vm2.json",
+            REPO_ROOT / "BENCH_tune.json",
+        ]
         missing_is_error = False
 
     failures = 0

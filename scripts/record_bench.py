@@ -6,6 +6,7 @@ Usage::
     python scripts/record_bench.py [--quick] [--out BENCH_vm.json]
     python scripts/record_bench.py --quick --check
     python scripts/record_bench.py --ensemble [--quick] [--check]
+    python scripts/record_bench.py --tune [--quick] [--check]
 
 Default mode measures pairs/sec for every shipped pair kernel (the fig5
 SPE ladder plus the GPU MD shader) under both VM execution backends and
@@ -20,6 +21,17 @@ backend's sequential replica loop, writing ``BENCH_vm2.json``.  Its
 ``--check`` gate requires fused-batched to reach
 ``--min-ensemble-speedup`` (default 2x) at every measured replica count
 >= 8.
+
+``--tune`` runs the closed-loop autotuner over every scenario in
+:data:`repro.tune.probe.SCENARIOS` (persisting winning configs under
+``runs/tuned/`` for later runs to auto-load) and writes
+``BENCH_tune.json`` with the tuned-vs-default speedup per scenario plus
+each scenario's accuracy-tolerance × speed Pareto front.  Its
+``--check`` gate requires tuned >= default on *every* (experiment,
+device) cell — true by construction, since a candidate that does not
+measurably beat the defaults is never adopted — and a per-device
+speedup geomean >= ``--min-tune-geomean`` (default 1.3x) on at least
+one device.
 
 Either mode refuses (exit 3) to overwrite an existing BENCH file when
 the new table regresses any stored speedup by more than
@@ -241,6 +253,120 @@ def _run_ensemble(args: argparse.Namespace, out: Path) -> int:
     return 0
 
 
+def _geomean(values: list[float]) -> float:
+    if not values:
+        return 0.0
+    return float(np.exp(np.mean(np.log(np.asarray(values, dtype=float)))))
+
+
+def _run_tune(args: argparse.Namespace, out: Path) -> int:
+    from repro.reporting.pareto import pareto_front, render_pareto
+    from repro.tune.artifact import TunedStore
+    from repro.tune.search import tune_scenarios
+
+    budget = args.budget
+    repeats = 2 if args.quick else 3
+    # force=True: the bench always re-measures — a stale cached artifact
+    # must never masquerade as today's numbers.  The persisted artifacts
+    # still land under runs/tuned/ for subsequent runs to auto-load.
+    store = TunedStore(REPO_ROOT / "runs")
+    outcomes = tune_scenarios(
+        quick=args.quick,
+        budget=budget,
+        repeats=repeats,
+        store=store,
+        force=True,
+    )
+
+    rows = []
+    ratios: dict[str, float] = {}
+    for sid, outcome in sorted(outcomes.items()):
+        art = outcome.artifact
+        front = pareto_front(art.trials)
+        rows.append(
+            {
+                "scenario": art.scenario_id,
+                "experiment": art.experiment_id,
+                "device": art.device,
+                "n": art.n,
+                "metric": art.metric,
+                "objective": art.objective,
+                "default_per_second": art.default_metric,
+                "tuned_per_second": art.best_metric,
+                "speedup": art.speedup,
+                "winner": dict(art.values),
+                "source": art.source,
+                "probes": art.probes_run,
+                "pareto": [
+                    {
+                        "values": dict(t.get("values", {})),
+                        "per_second": t.get("per_second"),
+                        "accuracy": t.get("accuracy"),
+                    }
+                    for t in front
+                ],
+            }
+        )
+        ratios[sid] = art.speedup
+    record = {
+        "schema": "repro.bench_tune/1",
+        "recorded_unix": time.time(),
+        "host": _host(),
+        "config": {"budget": budget, "repeats": repeats, "quick": args.quick},
+        "results": rows,
+        "speedup_tuned_over_default": ratios,
+    }
+    rc = _write_record(args, out, record, "speedup_tuned_over_default")
+    if rc:
+        return rc
+
+    width = max(len(r["scenario"]) for r in rows)
+    for r in rows:
+        winner = r["winner"] or "(defaults)"
+        print(
+            f"{r['scenario']:<{width}}  {r['device']:<7} "
+            f"{r['speedup']:6.2f}x  {winner}"
+        )
+    for r in rows:
+        art = outcomes[r["scenario"]].artifact
+        print()
+        print(render_pareto(
+            art.trials,
+            title=f"pareto [{r['scenario']}]: accuracy tolerance vs speed",
+        ))
+    print(f"\nwrote {out}; tuned artifacts under {store.dir}")
+
+    if args.check:
+        slower = {
+            sid: round(v, 3) for sid, v in ratios.items() if v < 0.999
+        }
+        if slower:
+            print(
+                f"FAIL: tuned below default on {sorted(slower)}: {slower}",
+                file=sys.stderr,
+            )
+            return 1
+        by_device: dict[str, list[float]] = {}
+        for r in rows:
+            by_device.setdefault(r["device"], []).append(r["speedup"])
+        geomeans = {d: _geomean(v) for d, v in by_device.items()}
+        best_device = max(geomeans, key=geomeans.get)
+        if geomeans[best_device] < args.min_tune_geomean:
+            print(
+                "FAIL: no device reaches a tuned/default speedup geomean "
+                f">= {args.min_tune_geomean:.2f}x; best is {best_device} at "
+                f"{geomeans[best_device]:.2f}x ({geomeans})",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            "gate ok: tuned >= default on every (experiment, device) cell; "
+            f"{best_device} geomean = {geomeans[best_device]:.2f}x "
+            f">= {args.min_tune_geomean:.2f}x"
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", type=Path, default=None,
@@ -253,6 +379,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--ensemble", action="store_true",
                         help="measure batched-replica whole-timestep "
                         "throughput instead of per-kernel pairs/sec")
+    parser.add_argument("--tune", action="store_true",
+                        help="run the autotuner over every scenario and "
+                        "record tuned-vs-default speedups")
+    parser.add_argument("--budget", type=int, default=16,
+                        help="max probes per scenario for --tune "
+                        "(default 16; covers every shipped grid)")
+    parser.add_argument("--min-tune-geomean", type=float, default=1.3,
+                        help="minimum per-device tuned/default speedup "
+                        "geomean (on the best device) for --tune --check")
     parser.add_argument("--gate-kernel", default="spe:simd_acceleration",
                         help="kernel the kernel-mode --check gate applies to")
     parser.add_argument("--min-speedup", type=float, default=1.0,
@@ -273,6 +408,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.regress_tolerance < 0.0:
         parser.error("--regress-tolerance must be >= 0")
 
+    if args.ensemble and args.tune:
+        parser.error("--ensemble and --tune are mutually exclusive")
+    if args.tune:
+        out = args.out or REPO_ROOT / "BENCH_tune.json"
+        return _run_tune(args, out)
     if args.ensemble:
         out = args.out or REPO_ROOT / "BENCH_vm2.json"
         return _run_ensemble(args, out)

@@ -96,6 +96,10 @@ class Device(abc.ABC):
     #: feasible (the *simulated* cost model is unchanged — it prices the
     #: paper's kernel from the step's measured metrics either way).
     force_path: str = "all-pairs"
+    #: scope under which this device reads tuned knob values — a tuned
+    #: config key ``"<tune_family>/<knob>"`` applies only to devices of
+    #: that family (see :mod:`repro.tune.context`)
+    tune_family: str = "host"
 
     @abc.abstractmethod
     def force_backend(self, sim_box, potential):
@@ -110,12 +114,20 @@ class Device(abc.ABC):
 
         The concrete devices' NumPy-level ("fast") force paths all
         delegate here, so every device honors a ``force_path`` override;
-        instruction-level VM paths ignore it by design.
+        instruction-level VM paths ignore it by design.  Active tuned
+        knob values for this device's :attr:`tune_family` become factory
+        options; with no tuning in effect the factory defaults apply
+        unchanged.
         """
-        from repro.md.forcefield import make_force_backend
+        from repro.md.forcefield import make_force_backend, tuned_backend_options
 
+        options = tuned_backend_options(self.force_path, self.tune_family)
         return make_force_backend(
-            self.force_path, sim_box, potential, dtype=np.dtype(self.precision)
+            self.force_path,
+            sim_box,
+            potential,
+            dtype=np.dtype(self.precision),
+            **options,
         )
 
     @abc.abstractmethod

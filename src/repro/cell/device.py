@@ -30,6 +30,7 @@ from repro.arch.device import Device
 from repro.arch.profilecounts import KernelMetrics
 from repro.cell.dma import MDTrafficPlan, make_dma_engine
 from repro.cell.kernels import OPT_LEVELS, build_spe_kernel, kernel_constants
+from repro.cell.partition import RowPartition
 from repro.cell.ppe import PPE
 from repro.cell.scheduler import LaunchStrategy, SpeThreadScheduler
 from repro.cell.spe import SPE, SPE_COST_TABLE, SpePairSweep
@@ -76,6 +77,7 @@ class CellDevice(Device):
     """1-8 SPEs + PPE host, at a chosen Figure-5 optimization level."""
 
     precision = "float32"
+    tune_family = "cell"
 
     def __init__(
         self,
@@ -84,6 +86,7 @@ class CellDevice(Device):
         strategy: LaunchStrategy = LaunchStrategy.LAUNCH_ONCE,
         mode: str = "fast",
         force_path: str = "all-pairs",
+        partition: RowPartition | str | None = None,
     ) -> None:
         if not 1 <= n_spes <= cal.CELL_N_SPES:
             raise ValueError(
@@ -93,6 +96,12 @@ class CellDevice(Device):
             raise ValueError(f"unknown optimization level {opt_level!r}")
         if mode not in ("fast", "vm"):
             raise ValueError(f"mode must be 'fast' or 'vm', got {mode!r}")
+        if isinstance(partition, str):
+            partition = RowPartition(partition)
+        #: explicit constructor choice; None defers to the tuned config
+        #: (resolved per run in :meth:`prepare`), falling back to BLOCK
+        self._explicit_partition = partition
+        self.partition = partition or RowPartition.BLOCK
         self.n_spes = n_spes
         self.opt_level = opt_level
         self.strategy = strategy
@@ -192,6 +201,23 @@ class CellDevice(Device):
         self._box_length = config.make_box().length
         self.active_spes = self.n_spes  # crashed SPEs stay dead per run
         self._vm_window = {"segments": 0, "branches": {}}
+        if self._explicit_partition is not None:
+            self.partition = self._explicit_partition
+        else:
+            from repro.tune.context import tuned_value
+
+            tuned = tuned_value("cell.partition", self.tune_family)
+            self.partition = (
+                RowPartition(tuned) if tuned is not None else RowPartition.BLOCK
+            )
+
+    def _traffic(self, n_atoms: int) -> MDTrafficPlan:
+        """This run's per-SPE DMA plan under the active row partition."""
+        return MDTrafficPlan(
+            n_atoms=n_atoms,
+            n_spes=self.active_spes,
+            scatter_out=self.partition is RowPartition.CYCLIC,
+        )
 
     def workers(self) -> int:
         return self.active_spes
@@ -213,7 +239,7 @@ class CellDevice(Device):
         self, metrics: KernelMetrics, step_index: int
     ) -> dict[str, float]:
         program = self._program(self._box_length)
-        traffic = MDTrafficPlan(n_atoms=metrics.n_atoms, n_spes=self.active_spes)
+        traffic = self._traffic(metrics.n_atoms)
         layout = traffic.layout(self.spes[0].local_store)
         kernel_seconds = self.spes[0].kernel_seconds(program, metrics.as_dict())
         session = self.fault_session
@@ -237,7 +263,7 @@ class CellDevice(Device):
         step_index: int,
     ) -> None:
         active = self.active_spes
-        traffic = MDTrafficPlan(n_atoms=metrics.n_atoms, n_spes=active)
+        traffic = self._traffic(metrics.n_atoms)
         layout = traffic.layout(self.spes[0].local_store)
         obs.charge_many({
             "cell.dma.bytes_in": active * traffic.bytes_in,
@@ -381,6 +407,7 @@ class PPEOnlyDevice(Device):
 
     precision = "float32"
     name = "cell-ppe-only"
+    tune_family = "cell"
 
     def __init__(self, force_path: str = "all-pairs") -> None:
         self.ppe = PPE()

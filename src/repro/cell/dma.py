@@ -56,6 +56,10 @@ class MDTrafficPlan:
 
     n_atoms: int
     n_spes: int
+    #: a cyclic row partition owns non-contiguous output rows, so the
+    #: acceleration write-back degrades from chunked bursts to one DMA
+    #: command per row (a DMA-list scatter); bytes moved are unchanged
+    scatter_out: bool = False
 
     def __post_init__(self) -> None:
         if self.n_atoms < 1:
@@ -128,7 +132,10 @@ class MDTrafficPlan:
         tile.  This is the ``cell.dma.transactions`` hardware counter.
         """
         chunk = cal.EIB_DMA_MAX_TRANSFER_BYTES
-        out_cmds = -(-self.bytes_out // chunk)
+        if self.scatter_out:
+            out_cmds = self.rows_per_spe
+        else:
+            out_cmds = -(-self.bytes_out // chunk)
         if plan.resident:
             in_cmds = -(-self.bytes_in // chunk)
         else:
@@ -145,7 +152,12 @@ class MDTrafficPlan:
         tile; the overlap with compute is priced separately by
         :meth:`exposed_dma_seconds`.
         """
-        out_time = engine.transfer_time(self.bytes_out)
+        if self.scatter_out:
+            out_time = self.rows_per_spe * engine.transfer_time(
+                cal.VEC4_F32_BYTES
+            )
+        else:
+            out_time = engine.transfer_time(self.bytes_out)
         if plan is None or plan.resident:
             return engine.transfer_time(self.bytes_in) + out_time
         tile_bytes = min(self.bytes_in, plan.tile_atoms * cal.VEC4_F32_BYTES)

@@ -26,6 +26,7 @@ import enum
 import numpy as np
 
 from repro.cell.spe import SPE_COST_TABLE
+from repro.tune.spec import TunableSpec, register_tunable
 from repro.vm.program import Program
 from repro.vm.schedule import estimate_cycles
 
@@ -35,6 +36,21 @@ __all__ = ["RowPartition", "partition_rows", "PartitionTiming", "partitioned_ker
 class RowPartition(enum.Enum):
     BLOCK = "block"
     CYCLIC = "cyclic"
+
+
+# Purely a work-distribution choice: every pair is still examined by
+# exactly one SPE, so the physics is unchanged; only load balance and
+# the DMA pattern of the output rows move.
+register_tunable(TunableSpec(
+    name="cell.partition",
+    backend="cell",
+    kind="choice",
+    default=RowPartition.BLOCK.value,
+    candidates=(RowPartition.BLOCK.value, RowPartition.CYCLIC.value),
+    description="SPE row-partition strategy (block vs cyclic)",
+    effect="cyclic balances inhomogeneous systems but scatters the "
+           "acceleration write-back into per-row DMA commands",
+))
 
 
 def partition_rows(

@@ -114,7 +114,9 @@ class SpePairSweep:
         self.machine = Machine(
             width=width,
             dtype=np.float32,
-            exec_backend=resolve_exec_backend(exec_backend, default="compiled"),
+            exec_backend=resolve_exec_backend(
+                exec_backend, default="compiled", device="cell"
+            ),
         )
         self._env_cache: dict[int, dict[str, np.ndarray]] = {}
         self._env_constants: tuple | None = None

@@ -27,6 +27,7 @@ from repro.experiments import (
     fig9_scaling,
     longrun,
     table1_perf,
+    tunesweep,
 )
 
 __all__ = ["ExperimentSpec", "EXPERIMENTS", "spec_for", "experiment_ids"]
@@ -249,6 +250,14 @@ EXPERIMENTS: tuple[ExperimentSpec, ...] = (
         quick_params={"n_atoms": 128, "n_steps": 8, "checkpoint_interval": 3},
         full_params={"n_atoms": 256, "n_steps": 24, "checkpoint_interval": 5},
         accepts_checkpoint=True,
+    ),
+    _spec(
+        "tunesweep",
+        tunesweep,
+        "run",
+        tunesweep.DESCRIPTION,
+        quick_params={"quick": True, "repeats": 1},
+        full_params={"quick": False, "repeats": 2},
     ),
 )
 

@@ -153,6 +153,13 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="observe every experiment and print its hardware-counter summary",
     )
+    parser.add_argument(
+        "--tuned",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="auto-load tuned configs from runs/tuned/ (default on; "
+        "--no-tuned runs everything at backend defaults)",
+    )
     args = parser.parse_args(argv)
 
     if args.replicas is not None and args.replicas < 1:
@@ -193,6 +200,9 @@ def main(argv: list[str] | None = None) -> int:
         )
     except KeyError as exc:
         parser.error(exc.args[0])
+
+    if args.tuned:
+        jobs = api.attach_tuned(jobs, quick=args.quick)
 
     trace_dir = None
     if args.trace:

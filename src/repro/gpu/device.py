@@ -24,10 +24,29 @@ from repro.md.forces import ForceResult, compute_forces
 from repro.md.lj import LennardJones
 from repro.md.simulation import MDConfig
 from repro.obs.observe import Observation
+from repro.tune.context import tuned_value
+from repro.tune.spec import TunableSpec, register_tunable
 from repro.vm.machine import Machine, resolve_exec_backend
 from repro.vm.schedule import count_issues
 
 __all__ = ["GpuDevice", "GpuPairSweep", "make_pcie_bus"]
+
+# The pair-batch width of the functional rasterization: how many output
+# rows each driver dispatch materializes as an (rows x N) pair batch.
+# Purely a batching choice — every (i, j) pair still contributes exactly
+# once, so results are bit-identical across widths.
+register_tunable(TunableSpec(
+    name="gpu.row_block",
+    backend="gpu",
+    kind="int",
+    default=128,
+    candidates=(32, 64, 128, 256, 512),
+    low=1,
+    high=4096,
+    description="output rows per GPU pair-batch dispatch",
+    effect="wider batches cut dispatch overhead until the pair batch "
+           "overflows cache; narrow batches waste closure setup",
+))
 
 
 def make_pcie_bus() -> PCIeBus:
@@ -60,11 +79,21 @@ class GpuPairSweep:
         self.machine = Machine(
             width=width,
             dtype=np.float32,
-            exec_backend=resolve_exec_backend(exec_backend, default="compiled"),
+            exec_backend=resolve_exec_backend(
+                exec_backend, default="compiled", device="gpu"
+            ),
         )
         self._env_cache: dict[int, dict[str, np.ndarray]] = {}
         self._env_constants: tuple | None = None
         self._replica_env_cache: dict[tuple, dict[str, np.ndarray]] = {}
+
+    @staticmethod
+    def _resolve_row_block(row_block: int | None) -> int:
+        """Explicit argument > tuned ``gpu.row_block`` > 128."""
+        if row_block is not None:
+            return row_block
+        tuned = tuned_value("gpu.row_block", "gpu")
+        return int(tuned) if tuned is not None else 128
 
     def _block_env(self, batch: int, constants: dict[str, float]) -> dict[str, np.ndarray]:
         """Constant/zero/tiny/self_flag registers per batch size, reused
@@ -92,9 +121,10 @@ class GpuPairSweep:
         self,
         positions: np.ndarray,
         constants: dict[str, float],
-        row_block: int = 128,
+        row_block: int | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Returns (accelerations (n, 3), pe contribution per atom (n,))."""
+        row_block = self._resolve_row_block(row_block)
         positions32 = np.asarray(positions, dtype=np.float32)
         n = positions32.shape[0]
         machine = self.machine
@@ -160,7 +190,7 @@ class GpuPairSweep:
         self,
         positions: np.ndarray,
         constants,
-        row_block: int = 128,
+        row_block: int | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Batched multi-replica rasterization: R position sets at once.
 
@@ -172,6 +202,7 @@ class GpuPairSweep:
         other backends loop per replica with bit-identical results.
         Returns ``(acc (R, n, 3), pe (R, n))``.
         """
+        row_block = self._resolve_row_block(row_block)
         positions32 = np.asarray(positions, dtype=np.float32)
         if positions32.ndim != 3:
             raise ValueError(
@@ -221,6 +252,7 @@ class GpuDevice(Device):
     """GeForce 7900GTX-class streaming GPU + host CPU."""
 
     precision = "float32"
+    tune_family = "gpu"
 
     def __init__(self, mode: str = "fast", force_path: str = "all-pairs") -> None:
         if mode not in ("fast", "vm"):

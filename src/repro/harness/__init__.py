@@ -9,6 +9,7 @@ persists every run under ``runs/<run_id>/`` for replay, ``show`` and
 
 from repro.harness.api import (
     RunOutcome,
+    attach_tuned,
     diff_runs,
     jobs_from_registry,
     manifest_essence,
@@ -24,6 +25,7 @@ __all__ = [
     "Job",
     "RunOutcome",
     "RunStore",
+    "attach_tuned",
     "code_fingerprint",
     "diff_runs",
     "execute_job",

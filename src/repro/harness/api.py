@@ -19,6 +19,7 @@ from repro.harness.store import RunStore
 
 __all__ = [
     "RunOutcome",
+    "attach_tuned",
     "jobs_from_registry",
     "run_roster",
     "diff_runs",
@@ -99,6 +100,57 @@ def jobs_from_registry(
             )
         )
     return jobs
+
+
+def attach_tuned(
+    jobs: Sequence[Job],
+    *,
+    tuned_store: Any | None = None,
+    quick: bool = False,
+    fingerprint: str | None = None,
+) -> list[Job]:
+    """Attach persisted tuned configs to the jobs they were tuned for.
+
+    For each job, the tuned store is consulted for artifacts matching
+    (experiment id, quick, code fingerprint); when any apply, the
+    merged values ride along in ``Job.tuned`` — the worker applies them
+    ambiently around the experiment function, the tuned-config
+    fingerprint joins the cache key, and the run record shows exactly
+    what was applied.  Jobs with no matching artifact (or whose
+    artifacts carry empty winning values, i.e. the defaults won) pass
+    through untouched, so their cache keys stay byte-identical to
+    untuned runs.
+    """
+    from repro.tune.artifact import TunedStore, merge_for_experiment
+
+    if tuned_store is None:
+        tuned_store = TunedStore()
+    fingerprint = fingerprint or code_fingerprint()
+    assignments: dict[str, Any] = {}
+    out: list[Job] = []
+    for job in jobs:
+        if job.experiment_id not in assignments:
+            assignments[job.experiment_id] = merge_for_experiment(
+                tuned_store,
+                job.experiment_id,
+                quick=quick,
+                code_fingerprint=fingerprint,
+            )
+        assignment = assignments[job.experiment_id]
+        if assignment is None or not assignment.values:
+            out.append(job)
+            continue
+        out.append(
+            dataclasses.replace(
+                job,
+                tuned={
+                    "values": dict(assignment.values),
+                    "fingerprint": assignment.fingerprint,
+                    "keys": list(assignment.keys),
+                },
+            )
+        )
+    return out
 
 
 def _summary_row(record: Mapping[str, Any]) -> dict[str, Any]:

@@ -5,17 +5,25 @@ Subcommands::
     run   [--quick] [--jobs N] [--only ID ...] [--skip ID ...]
           [--force-path NAME] [--fault-plan PLAN] [--timeout S]
           [--retries N] [--no-cache] [--invalidate ID ...]
-          [--trace] [--counters] [--runs-dir DIR] [--list]
+          [--trace] [--counters] [--no-tuned] [--runs-dir DIR] [--list]
+    tune  [--quick] [--only SCENARIO ...] [--budget N] [--repeats N]
+          [--force-tune] [--counters] [--runs-dir DIR] [--list]
     list  [--runs-dir DIR]            # stored runs, oldest first
     show  RUN_ID [--render] [--runs-dir DIR]
     diff  RUN_A RUN_B [--runs-dir DIR]   # shape-band regressions
-    gc    [--keep K] [--prune-cache] [--dry-run] [--runs-dir DIR]
+    gc    [--keep K] [--prune-cache] [--prune-tuned] [--dry-run]
+          [--runs-dir DIR]
 
 ``run`` exits non-zero when any job failed to finish or finished
 outside its paper-shape bands; ``diff`` exits non-zero on regressions.
+``tune`` searches each scenario's knob space with short measured
+probes and persists the winning config under ``runs/tuned/``; later
+``run``s auto-load matching configs (``--no-tuned`` opts out).
 ``gc`` keeps the newest K runs (default 20) and sweeps orphaned
 traces, stale ``*.tmp`` files, and satisfied checkpoints; with
-``--prune-cache`` it also drops cache entries no kept run references.
+``--prune-cache`` it also drops cache entries no kept run references,
+and with ``--prune-tuned`` it drops tuned configs that are stale
+(other code tree, referenced by nothing).
 """
 
 from __future__ import annotations
@@ -92,7 +100,34 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--replicas", type=int, default=None, metavar="R",
                      help="replica count for the ensemble experiment; ships "
                      "through job params, so it IS part of the cache key")
+    run.add_argument("--tuned", action=argparse.BooleanOptionalAction,
+                     default=True,
+                     help="auto-load tuned configs from runs/tuned/ for "
+                     "experiments with a matching artifact (default on; "
+                     "--no-tuned runs everything at backend defaults)")
     _add_runs_dir(run)
+
+    tune = sub.add_parser(
+        "tune", help="search the knob space and persist tuned configs")
+    tune.add_argument("--quick", action="store_true",
+                      help="small probe systems, single-repeat timing")
+    tune.add_argument("--only", action="append", default=[],
+                      metavar="SCENARIO",
+                      help="tune only this scenario id (repeatable)")
+    tune.add_argument("--budget", type=int, default=16, metavar="N",
+                      help="max probes per scenario, defaults baseline "
+                      "included (default 16)")
+    tune.add_argument("--repeats", type=int, default=2, metavar="N",
+                      help="timed repetitions per wall-clock probe; best "
+                      "is kept (default 2)")
+    tune.add_argument("--force-tune", action="store_true",
+                      help="re-search even when an artifact already "
+                      "satisfies the scenario key")
+    tune.add_argument("--counters", action="store_true",
+                      help="collect and print the tune.* counter summary")
+    tune.add_argument("--list", action="store_true",
+                      help="list tuning scenarios and their knobs, then exit")
+    _add_runs_dir(tune)
 
     lst = sub.add_parser("list", help="list stored runs")
     _add_runs_dir(lst)
@@ -113,6 +148,9 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="newest runs to keep (default 20)")
     gc.add_argument("--prune-cache", action="store_true",
                     help="also drop cache entries no kept run references")
+    gc.add_argument("--prune-tuned", action="store_true",
+                    help="also drop stale tuned configs (tuned against "
+                    "another code tree and referenced by no kept record)")
     gc.add_argument("--dry-run", action="store_true",
                     help="report what would be removed without removing it")
     _add_runs_dir(gc)
@@ -183,6 +221,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
     store = RunStore(args.runs_dir)
+    if args.tuned:
+        from repro.tune.artifact import TunedStore
+
+        jobs = api.attach_tuned(
+            jobs, tuned_store=TunedStore(args.runs_dir), quick=args.quick
+        )
+        for job in jobs:
+            if job.tuned:
+                print(
+                    f"[{job.job_id}] tuned config "
+                    f"{job.tuned['fingerprint'][:16]}… "
+                    f"({len(job.tuned['values'])} knob(s))"
+                )
     outcome = api.run_roster(
         jobs,
         store=store,
@@ -203,6 +254,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "skip": args.skip,
             "trace": args.trace,
             "counters": args.counters,
+            "tuned": args.tuned,
         },
         on_record=lambda record: print(_status_line(record), flush=True),
     )
@@ -226,6 +278,77 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"({m['wall_seconds_total']:.2f}s)"
     )
     return outcome.exit_code
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.tune.artifact import TunedStore
+    from repro.tune.probe import SCENARIOS
+    from repro.tune.search import tune_scenarios
+
+    if args.list:
+        width = max(len(s.scenario_id) for s in SCENARIOS)
+        for s in SCENARIOS:
+            print(
+                f"{s.scenario_id:<{width}}  {s.experiment_id} on {s.device} "
+                f"(n={s.n}, objective={s.objective}): {', '.join(s.knobs)}"
+            )
+        return 0
+    known = {s.scenario_id for s in SCENARIOS}
+    for sid in args.only:
+        if sid not in known:
+            print(
+                f"error: unknown scenario {sid!r}; known: {sorted(known)}",
+                file=sys.stderr,
+            )
+            return 2
+    store = TunedStore(args.runs_dir)
+
+    def report(scenario, outcome) -> None:
+        art = outcome.artifact
+        if outcome.cached:
+            line = "cached artifact, 0 probes"
+        else:
+            line = f"{outcome.probes_run} probe(s), source={art.source}"
+        winner = art.values or "(defaults)"
+        print(
+            f"[{scenario.scenario_id}] {line} — winner {winner} "
+            f"({art.speedup:.2f}x over defaults)",
+            flush=True,
+        )
+
+    def search() -> dict[str, Any]:
+        return tune_scenarios(
+            args.only or None,
+            quick=args.quick,
+            budget=args.budget,
+            repeats=args.repeats,
+            store=store,
+            force=args.force_tune,
+            on_outcome=report,
+        )
+
+    if args.counters:
+        from repro.obs.context import collect
+
+        with collect() as session:
+            outcomes = search()
+        counters = session.merged_counters()
+        if counters:
+            print("\ntuning counters:")
+            width = max(len(name) for name in counters)
+            for name in sorted(counters):
+                print(f"  {name:<{width}}  {counters[name]:.6g}")
+    else:
+        outcomes = search()
+    adopted = sum(
+        1 for o in outcomes.values() if o.artifact.values and not o.cached
+    )
+    cached = sum(1 for o in outcomes.values() if o.cached)
+    print(
+        f"tuned {len(outcomes)} scenario(s): {adopted} new non-default "
+        f"config(s), {cached} already tuned — artifacts under {store.dir}"
+    )
+    return 0
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -292,6 +415,7 @@ def _cmd_gc(args: argparse.Namespace) -> int:
         removed = store.gc(
             keep_runs=args.keep,
             prune_cache=args.prune_cache,
+            prune_tuned=args.prune_tuned,
             dry_run=args.dry_run,
         )
     except ValueError as exc:
@@ -303,7 +427,8 @@ def _cmd_gc(args: argparse.Namespace) -> int:
         f"{removed['orphan_traces_removed']} orphan trace(s), "
         f"{removed['tmp_files_removed']} tmp file(s), "
         f"{removed['checkpoints_removed']} satisfied checkpoint(s), "
-        f"{removed['cache_entries_removed']} unreferenced cache entr(ies)"
+        f"{removed['cache_entries_removed']} unreferenced cache entr(ies), "
+        f"{removed['tuned_artifacts_removed']} stale tuned artifact(s)"
     )
     return 0
 
@@ -312,6 +437,7 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     return {
         "run": _cmd_run,
+        "tune": _cmd_tune,
         "list": _cmd_list,
         "show": _cmd_show,
         "diff": _cmd_diff,

@@ -42,6 +42,10 @@ class Job:
     #: collect hardware counters (merged into the result) and a Chrome
     #: trace document (stored alongside the job record)
     observe: bool = False
+    #: tuned-config assignment applied around the experiment function:
+    #: ``{"values": {...}, "fingerprint": str, "keys": [...]}`` (see
+    #: :func:`repro.harness.api.attach_tuned`); ``None`` = untuned
+    tuned: Mapping[str, Any] | None = None
 
     def payload(self, cache_key: str | None = None) -> dict[str, Any]:
         """The picklable dict shipped to worker processes."""
@@ -53,6 +57,7 @@ class Job:
             "params": dict(self.params),
             "cache_key": cache_key,
             "observe": self.observe,
+            "tuned": dict(self.tuned) if self.tuned is not None else None,
         }
 
 
@@ -75,6 +80,12 @@ def job_cache_key(job: Job, code_fingerprint: str) -> str:
         # lack, so they must not alias; plain keys stay byte-identical
         # to pre-observability keys (old caches remain valid).
         keyed["observe"] = True
+    if job.tuned is not None and job.tuned.get("values"):
+        # The tuned-config fingerprint content-addresses the applied
+        # values, so a tuned record can never replay for an untuned run
+        # (or for a different tuned config) and vice versa.  Untuned
+        # jobs keep byte-identical pre-tuner keys.
+        keyed["tuned"] = job.tuned["fingerprint"]
     payload = json.dumps(keyed, sort_keys=True, default=str)
     return hashlib.sha256(payload.encode()).hexdigest()
 
@@ -104,22 +115,31 @@ def execute_job(payload: Mapping[str, Any]) -> dict[str, Any]:
         "wall_seconds": 0.0,
         "cpu_seconds": 0.0,
         "trace": None,
+        "tuned": dict(payload["tuned"]) if payload.get("tuned") else None,
     }
     try:
         with contextlib.redirect_stdout(captured), contextlib.redirect_stderr(captured):
             func = getattr(importlib.import_module(payload["module"]), payload["func"])
-            if payload.get("observe"):
-                from repro.obs.context import collect
+            tuned = payload.get("tuned") or {}
+            if tuned.get("values"):
+                from repro.tune.context import applied
 
-                with collect() as session:
-                    result = func(**record["params"])
-                if session.runs:
-                    result = dataclasses.replace(
-                        result, counters=session.merged_counters()
-                    )
-                    record["trace"] = session.chrome_trace()
+                tuned_cm = applied(tuned["values"])
             else:
-                result = func(**record["params"])
+                tuned_cm = contextlib.nullcontext()
+            with tuned_cm:
+                if payload.get("observe"):
+                    from repro.obs.context import collect
+
+                    with collect() as session:
+                        result = func(**record["params"])
+                    if session.runs:
+                        result = dataclasses.replace(
+                            result, counters=session.merged_counters()
+                        )
+                        record["trace"] = session.chrome_trace()
+                else:
+                    result = func(**record["params"])
         record["result"] = result.to_dict()
         record["all_passed"] = bool(result.all_passed)
     except Exception:

@@ -232,11 +232,37 @@ class RunStore:
                     keys.add(key)
         return keys
 
+    def _referenced_tuned_keys(self, run_ids: Iterator[str] | list[str]) -> set[str]:
+        """Tuned-artifact keys referenced by cache entries or kept runs.
+
+        A record that ran under a tuned config carries the contributing
+        artifact keys in ``record["tuned"]["keys"]`` — those artifacts
+        explain a result that is still replayable, so gc keeps them.
+        """
+        keys: set[str] = set()
+        paths: list[Path] = []
+        cache_dir = self.root / _CACHE_DIR
+        if cache_dir.is_dir():
+            paths.extend(cache_dir.glob("*.json"))
+        for run_id in run_ids:
+            jobs_dir = self.run_dir(run_id) / _JOBS_DIR
+            if jobs_dir.is_dir():
+                paths.extend(jobs_dir.glob("*.json"))
+        for path in paths:
+            try:
+                record = _load(path)
+            except (OSError, json.JSONDecodeError):
+                continue
+            tuned = record.get("tuned") or {}
+            keys.update(tuned.get("keys") or ())
+        return keys
+
     def gc(
         self,
         *,
         keep_runs: int = 20,
         prune_cache: bool = False,
+        prune_tuned: bool = False,
         dry_run: bool = False,
     ) -> dict[str, int]:
         """Prune the store so a long-running service node doesn't fill
@@ -250,7 +276,13 @@ class RunStore:
         * checkpoints whose cache key already has a successful cached
           record are deleted (the job finished; nothing will resume),
         * with ``prune_cache``, cache entries referenced by no surviving
-          run are deleted too.
+          run are deleted too,
+        * with ``prune_tuned``, tuned-config artifacts under
+          ``runs/tuned/`` are deleted when they are *stale*: tuned
+          against a different code tree AND referenced by no cache
+          entry or surviving run record.  Artifacts matching the
+          current code fingerprint are always kept — they are what the
+          next run auto-loads.
         """
         if keep_runs < 0:
             raise ValueError("keep_runs must be >= 0")
@@ -260,6 +292,7 @@ class RunStore:
             "tmp_files_removed": 0,
             "checkpoints_removed": 0,
             "cache_entries_removed": 0,
+            "tuned_artifacts_removed": 0,
         }
         runs = self.list_runs()  # oldest first
         doomed = runs[: max(0, len(runs) - keep_runs)]
@@ -304,4 +337,26 @@ class RunStore:
                         counts["cache_entries_removed"] += 1
                         if not dry_run:
                             path.unlink(missing_ok=True)
+
+        if prune_tuned:
+            from repro.harness.fingerprint import code_fingerprint
+            from repro.tune.artifact import TunedStore
+
+            tuned_store = TunedStore(self.root)
+            if tuned_store.dir.is_dir():
+                current = code_fingerprint()
+                referenced = self._referenced_tuned_keys(kept)
+                for key in tuned_store.list_keys():
+                    artifact = tuned_store.load(key)
+                    stale = (
+                        artifact is None
+                        or (
+                            artifact.code_fingerprint != current
+                            and key not in referenced
+                        )
+                    )
+                    if stale:
+                        counts["tuned_artifacts_removed"] += 1
+                        if not dry_run:
+                            tuned_store.delete(key)
         return counts

@@ -29,13 +29,17 @@ from repro.md.forces import (
 )
 from repro.md.lj import LennardJones
 from repro.md.neighborlist import NeighborList, compute_forces_neighborlist
+from repro.tune.context import tuned_value
+from repro.tune.spec import TunableSpec, register_tunable
 
 __all__ = [
     "BackendFactory",
+    "TUNED_OPTION_MAP",
     "VerletListForceBackend",
     "available_backends",
     "make_force_backend",
     "register_backend",
+    "tuned_backend_options",
 ]
 
 
@@ -190,3 +194,85 @@ def _cell(box, potential, dtype, **options):
         rebuild_check_delay=rebuild_check_delay,
         check_dist=check_dist,
     )
+
+
+# -- tunable knobs -----------------------------------------------------
+#
+# Declared here, consumed by Device.functional_backend: each backend's
+# scheduling options map to a dotted knob name the tuner may search.
+# None of these change the physics — block sizes only re-chunk the pair
+# scan (reordering float reductions within shape-band tolerance), and
+# skin/buffer/rebuild-delay only trade list rebuilds against extra
+# candidate pairs; every neighbor inside the cutoff is still found.
+
+register_tunable(TunableSpec(
+    name="md.block",
+    backend="md",
+    kind="int",
+    default=256,
+    candidates=(64, 128, 256, 512, 1024),
+    low=16,
+    high=8192,
+    description="row-block size of the all-pairs/27image pair scan",
+    effect="larger blocks amortize Python loop overhead until the "
+           "(block x N) distance matrix falls out of cache",
+))
+register_tunable(TunableSpec(
+    name="md.skin",
+    backend="md",
+    kind="float",
+    default=0.3,
+    candidates=(0.1, 0.2, 0.3, 0.45, 0.6),
+    low=0.01,
+    high=2.0,
+    description="Verlet neighbor-list skin radius (sigma units)",
+    effect="thicker skin -> fewer rebuilds but more candidate pairs "
+           "per force evaluation",
+))
+register_tunable(TunableSpec(
+    name="md.cell_buffer",
+    backend="md",
+    kind="float",
+    default=0.3,
+    candidates=(0.1, 0.2, 0.3, 0.45, 0.6),
+    low=0.01,
+    high=2.0,
+    description="linked-cell list buffer width (sigma units)",
+    effect="wider buffer -> fewer cell rebuilds but larger cells to scan",
+))
+register_tunable(TunableSpec(
+    name="md.rebuild_delay",
+    backend="md",
+    kind="int",
+    default=1,
+    candidates=(1, 2, 4, 8),
+    low=1,
+    high=64,
+    description="steps between linked-cell displacement checks",
+    effect="longer delay skips distance checks; the buffer still "
+           "guarantees correctness between rebuilds",
+))
+
+#: force-backend name -> {factory option: knob name}; the hook
+#: :func:`tuned_backend_options` uses to translate active tuned values
+#: into factory keyword options.
+TUNED_OPTION_MAP: dict[str, dict[str, str]] = {
+    "all-pairs": {"block": "md.block"},
+    "27image": {"block": "md.block"},
+    "verlet": {"skin": "md.skin"},
+    "cell": {"buffer": "md.cell_buffer", "rebuild_check_delay": "md.rebuild_delay"},
+}
+
+
+def tuned_backend_options(name: str, device: str | None = None) -> dict[str, object]:
+    """Factory options for ``name`` from the active tuned config.
+
+    Only knobs with an active tuned value appear; with no tuning in
+    effect this is ``{}`` and every factory keeps its own defaults.
+    """
+    options: dict[str, object] = {}
+    for option, knob in TUNED_OPTION_MAP.get(name, {}).items():
+        value = tuned_value(knob, device)
+        if value is not None:
+            options[option] = value
+    return options

@@ -42,6 +42,7 @@ class MTADevice(Device):
     """One or more MTA-2 (or XMT-projected) multithreaded processors."""
 
     precision = "float64"
+    tune_family = "mta"
 
     def __init__(
         self,
@@ -50,6 +51,7 @@ class MTADevice(Device):
         clock_hz: float = cal.MTA_CLOCK_HZ,
         reflect_take: float = _DEFAULT_REFLECT_TAKE,
         force_path: str = "all-pairs",
+        n_streams: int | None = None,
     ) -> None:
         mode = "fully" if fully_multithreaded else "partially"
         self.name = f"mta2-{mode}-multithreaded-{n_processors}p"
@@ -58,8 +60,14 @@ class MTADevice(Device):
         self.force_path = force_path
         from repro.arch.clock import Clock
 
+        if n_streams is None:
+            from repro.tune.context import tuned_value
+
+            tuned = tuned_value("mta.streams", self.tune_family)
+            n_streams = int(tuned) if tuned is not None else cal.MTA_N_STREAMS
         self.streams = StreamModel(
             n_processors=n_processors,
+            n_streams=n_streams,
             clock=Clock(clock_hz, "mta"),
         )
         self.compilation: CompilationReport = compile_nest(

@@ -14,8 +14,30 @@ import dataclasses
 
 from repro.arch import calibration as cal
 from repro.arch.clock import Clock
+from repro.tune.spec import TunableSpec, register_tunable
 
 __all__ = ["StreamModel"]
+
+# How many hardware streams the runtime requests per processor.  The
+# MTA's 128 streams exist to cover memory latency at full saturation;
+# a workload with fewer concurrent threads than streams never saturates
+# (utilization = threads / (streams x processors)), so requesting only
+# as many streams as the workload can fill raises the achieved issue
+# rate.  Purely a runtime resource request — the physics, executed on
+# the host, is untouched.
+register_tunable(TunableSpec(
+    name="mta.streams",
+    backend="mta",
+    kind="int",
+    default=cal.MTA_N_STREAMS,
+    candidates=(16, 32, 64, cal.MTA_N_STREAMS, 2 * cal.MTA_N_STREAMS),
+    low=1,
+    high=1024,
+    description="hardware streams requested per MTA processor",
+    effect="fewer streams saturate at lower thread counts (faster "
+           "small-N parallel regions); more streams help only when the "
+           "workload can fill them",
+))
 
 
 @dataclasses.dataclass(frozen=True)

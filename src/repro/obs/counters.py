@@ -190,6 +190,21 @@ def _populate() -> None:
          "jobs handed from the queue to a worker"),
         ("service.events.emitted", "count", "service",
          "job status-transition events appended"),
+        # -- tune (repro.tune closed-loop autotuner) -------------------
+        ("tune.scenarios", "count", "tune",
+         "tuning scenarios searched (cache hits included)"),
+        ("tune.probes", "count", "tune",
+         "measured probe jobs executed by the tuner"),
+        ("tune.probe_failures", "count", "tune",
+         "probe jobs that raised instead of returning a measurement"),
+        ("tune.cache_hits", "count", "tune",
+         "scenarios served from an existing tuned artifact (zero probes)"),
+        ("tune.adopted", "count", "tune",
+         "scenarios whose winner beat the defaults past the gain threshold"),
+        ("tune.fallbacks", "count", "tune",
+         "scenarios that fell back to defaults (budget exhausted or probes failed)"),
+        ("tune.seconds", "seconds", "tune",
+         "wall seconds spent inside probe measurements"),
         # -- Opteron ---------------------------------------------------
         ("opteron.kernel.cycles", "cycles", "opteron",
          "scheduled K8 kernel cycles", "Fig. 9"),

@@ -1,7 +1,14 @@
 """Terminal rendering helpers for the experiment harness."""
 
 from repro.reporting.ascii_plot import ascii_plot
+from repro.reporting.pareto import pareto_front, render_pareto
 from repro.reporting.table import format_table
 from repro.reporting.timeline import ascii_timeline
 
-__all__ = ["ascii_plot", "ascii_timeline", "format_table"]
+__all__ = [
+    "ascii_plot",
+    "ascii_timeline",
+    "format_table",
+    "pareto_front",
+    "render_pareto",
+]

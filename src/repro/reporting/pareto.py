@@ -1,0 +1,102 @@
+"""Accuracy-tolerance × speed Pareto analysis of tuning trials.
+
+A tuning search measures many candidate configs; the winner is the
+fastest, but the full trial table also answers a subtler question —
+*what does speed cost in accuracy?*  Knobs like the neighbor-list skin
+trade rebuild frequency against pair-list slack, and block sizes
+reorder float reductions, so each trial carries an accuracy figure
+(relative energy drift for MD probes, 0 for bit-exact workloads).
+
+:func:`pareto_front` extracts the non-dominated trials — those where no
+other trial is simultaneously faster *and* at least as accurate — and
+:func:`render_pareto` prints the front as a table, front members
+flagged.  ``scripts/record_bench.py --tune`` embeds the per-scenario
+front in ``BENCH_tune.json``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.reporting.table import format_table
+
+__all__ = ["pareto_front", "render_pareto"]
+
+
+def pareto_front(
+    trials: Sequence[Mapping[str, Any]],
+    *,
+    speed_key: str = "per_second",
+    accuracy_key: str = "accuracy",
+) -> list[dict[str, Any]]:
+    """Non-dominated trials: maximize speed, minimize accuracy error.
+
+    A trial is dominated when another trial is at least as good on both
+    axes and strictly better on one.  Ties on both axes keep the first
+    occurrence only.  Trials missing either key (failed probes) are
+    ignored.  The front comes back sorted fastest first.
+    """
+    usable = [
+        dict(t) for t in trials
+        if t.get(speed_key) is not None and t.get(accuracy_key) is not None
+    ]
+    front: list[dict[str, Any]] = []
+    for trial in usable:
+        speed, err = trial[speed_key], trial[accuracy_key]
+        dominated = False
+        for other in usable:
+            if other is trial:
+                continue
+            o_speed, o_err = other[speed_key], other[accuracy_key]
+            if (
+                o_speed >= speed
+                and o_err <= err
+                and (o_speed > speed or o_err < err)
+            ):
+                dominated = True
+                break
+        if dominated:
+            continue
+        if any(
+            f[speed_key] == speed and f[accuracy_key] == err for f in front
+        ):
+            continue  # exact duplicate of a front member
+        front.append(trial)
+    front.sort(key=lambda t: -t[speed_key])
+    return front
+
+
+def render_pareto(
+    trials: Sequence[Mapping[str, Any]],
+    *,
+    speed_key: str = "per_second",
+    accuracy_key: str = "accuracy",
+    title: str = "pareto: accuracy tolerance vs speed",
+) -> str:
+    """All trials as a table, Pareto-front members marked with ``*``."""
+    front = pareto_front(
+        trials, speed_key=speed_key, accuracy_key=accuracy_key
+    )
+    front_points = {(f[speed_key], f[accuracy_key]) for f in front}
+    rows = []
+    for trial in trials:
+        speed = trial.get(speed_key)
+        err = trial.get(accuracy_key)
+        rows.append(
+            (
+                "*" if (speed, err) in front_points else "",
+                _fmt_values(trial.get("values", {})),
+                f"{speed:.6g}" if speed is not None else "failed",
+                f"{err:.3g}" if err is not None else "-",
+            )
+        )
+    table = format_table(
+        ("front", "config", speed_key, accuracy_key), rows
+    )
+    return f"{title}\n{table}"
+
+
+def _fmt_values(values: Mapping[str, Any]) -> str:
+    if not values:
+        return "(defaults)"
+    return ",".join(f"{k}={values[k]}" for k in sorted(values))

@@ -220,6 +220,22 @@ class Service:
             fault_plan=fault_plan,
             replicas=request.replicas,
         )
+        tuned_config = None
+        if request.tuned:
+            from repro.tune.artifact import TunedStore, merge_for_experiment
+
+            assignment = merge_for_experiment(
+                TunedStore(self.store.root),
+                spec.experiment_id,
+                quick=request.quick,
+                code_fingerprint=self.fingerprint,
+            )
+            if assignment is not None and assignment.values:
+                tuned_config = {
+                    "values": dict(assignment.values),
+                    "fingerprint": assignment.fingerprint,
+                    "keys": list(assignment.keys),
+                }
         harness_job = Job(
             job_id=new_job_id(),
             experiment_id=spec.experiment_id,
@@ -227,6 +243,7 @@ class Service:
             func=spec.func,
             params=params,
             observe=request.observe,
+            tuned=tuned_config,
         )
         cache_key = job_cache_key(harness_job, self.fingerprint)
         payload = harness_job.payload(cache_key=cache_key)

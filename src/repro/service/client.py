@@ -128,11 +128,13 @@ class ServiceClient:
         fault_plan: str | Mapping[str, Any] | None = None,
         replicas: int | None = None,
         observe: bool = False,
+        tuned: bool = True,
     ) -> dict[str, Any]:
         """Submit one job; returns its status document.
 
         A submission that hits the content-addressed cache comes back
-        already ``succeeded`` with ``cached: true``.
+        already ``succeeded`` with ``cached: true``.  ``tuned=False``
+        opts the job out of persisted tuned configs.
         """
         body: dict[str, Any] = {
             "experiment": experiment,
@@ -140,6 +142,7 @@ class ServiceClient:
             "priority": priority,
             "quick": quick,
             "observe": observe,
+            "tuned": tuned,
         }
         if force_path is not None:
             body["force_path"] = force_path

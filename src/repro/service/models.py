@@ -91,6 +91,9 @@ class SubmitRequest:
     fault_plan: str | Mapping[str, Any] | None = None
     replicas: int | None = None
     observe: bool = False
+    #: auto-load persisted tuned configs matching the experiment (the
+    #: service-side analogue of the CLI's ``--tuned/--no-tuned``)
+    tuned: bool = True
 
     _KNOWN_FIELDS = frozenset(
         {
@@ -102,6 +105,7 @@ class SubmitRequest:
             "fault_plan",
             "replicas",
             "observe",
+            "tuned",
         }
     )
 
@@ -138,6 +142,8 @@ class SubmitRequest:
         _require(isinstance(quick, bool), "'quick' must be a boolean")
         observe = data.get("observe", False)
         _require(isinstance(observe, bool), "'observe' must be a boolean")
+        tuned = data.get("tuned", True)
+        _require(isinstance(tuned, bool), "'tuned' must be a boolean")
 
         force_path = data.get("force_path")
         _require(
@@ -170,6 +176,7 @@ class SubmitRequest:
             fault_plan=fault_plan,
             replicas=replicas,
             observe=observe,
+            tuned=tuned,
         )
 
 

@@ -549,9 +549,15 @@ def _probe(machine, key: str, taken_rows: np.ndarray, replicas: int) -> None:
         )
         return
     rows = taken_rows.shape[0] // replicas
+    samples = []
     for index in range(replicas):
         sub = taken_rows[index * rows : (index + 1) * rows]
-        machine._record_branch(key, float(sub.mean()) if sub.size else 0.0)
+        samples.append(float(sub.mean()) if sub.size else 0.0)
+    if machine._probe_buffer is not None:
+        machine._probe_buffer.append((key, samples))
+    else:
+        for sample in samples:
+            machine._record_branch(key, sample)
 
 
 def _probe_const(machine, key: str, sample: float, batch: int, replicas: int) -> None:
@@ -560,8 +566,12 @@ def _probe_const(machine, key: str, sample: float, batch: int, replicas: int) ->
         machine._record_branch(key, sample if batch else 0.0)
         return
     rows = batch // replicas
-    for _ in range(replicas):
-        machine._record_branch(key, sample if rows else 0.0)
+    samples = [sample if rows else 0.0] * replicas
+    if machine._probe_buffer is not None:
+        machine._probe_buffer.append((key, samples))
+    else:
+        for value in samples:
+            machine._record_branch(key, value)
 
 
 class CompiledSegment:

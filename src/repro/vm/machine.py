@@ -68,23 +68,56 @@ class MachineError(RuntimeError):
     """Raised for malformed programs or register-file misuse."""
 
 
-def resolve_exec_backend(explicit: str | None = None, default: str = "interp") -> str:
-    """Pick an execution backend: explicit choice > env var > default.
+def resolve_exec_backend(
+    explicit: str | None = None,
+    default: str = "interp",
+    device: str = "vm",
+) -> str:
+    """Pick an execution backend: explicit > env var > tuned > default.
 
     The core :class:`Machine` defaults to ``interp`` (full ``env``
     side-effects, reference semantics); the device drivers default to
     ``compiled`` (the fast path).  ``REPRO_VM_EXEC`` overrides either
-    default when the caller did not choose explicitly.
+    default when the caller did not choose explicitly; below that, an
+    active tuned config's ``vm.exec`` value (scoped to ``device`` — the
+    drivers pass ``"cell"``/``"gpu"``) fills in.  All three backends are
+    bit-identical, so this ordering can only change speed.
     """
     backend = explicit if explicit is not None else (
-        os.environ.get(EXEC_ENV_VAR) or default
+        os.environ.get(EXEC_ENV_VAR) or None  # empty string = unset
     )
+    if backend is None:
+        from repro.tune.context import tuned_value
+
+        backend = tuned_value("vm.exec", device)
+    if backend is None:
+        backend = default
     if backend not in EXEC_BACKENDS:
         raise ValueError(
             f"unknown VM execution backend {backend!r}; "
             f"expected one of {EXEC_BACKENDS}"
         )
     return backend
+
+
+def _register_exec_tunable() -> None:
+    """Declare ``vm.exec`` (deferred import keeps module load acyclic)."""
+    from repro.tune.spec import TunableSpec, register_tunable
+
+    register_tunable(TunableSpec(
+        name="vm.exec",
+        backend="vm",
+        kind="choice",
+        default="compiled",
+        candidates=EXEC_BACKENDS,
+        description="VM execution backend (interp/compiled/fused)",
+        effect="compiled fuses each segment into one NumPy closure; "
+               "fused additionally eliminates per-segment dispatch and "
+               "batches replicas — fastest for whole-program workloads",
+    ))
+
+
+_register_exec_tunable()
 
 
 class BranchStat:
@@ -143,6 +176,10 @@ class Machine:
         self.replicas_run = 0
         #: optional fault session corrupting declared outputs post-segment
         self._fault_session = None
+        #: when set (batched fused runs), probes append
+        #: ``(prob_key, per-replica samples)`` here instead of recording
+        #: immediately; ``run_program`` replays the buffer replica-major
+        self._probe_buffer: list[tuple[str, list[float]]] | None = None
 
     # -- register helpers ------------------------------------------------
 
@@ -235,7 +272,22 @@ class Machine:
                 f"batch {batch} is not divisible into {replicas} replicas"
             )
         if replicas == 1 or self.exec_backend == "fused":
-            self._run_program_once(program, env, replicas)
+            if replicas > 1:
+                # The closure fires probes in program order, each with all
+                # replicas' samples at once; the sequential reference
+                # accumulates replica-major.  When IfBlocks share a
+                # prob_key the two orders sum differently in float, so
+                # buffer and replay replica-major to stay bit-identical.
+                self._probe_buffer = []
+                try:
+                    self._run_program_once(program, env, replicas)
+                finally:
+                    buffered, self._probe_buffer = self._probe_buffer, None
+                for index in range(replicas):
+                    for key, samples in buffered:
+                        self._record_branch(key, samples[index])
+            else:
+                self._run_program_once(program, env, replicas)
         else:
             rows = batch // replicas
             merged: dict[str, list[np.ndarray]] = {

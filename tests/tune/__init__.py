@@ -1,0 +1,1 @@
+"""Autotuner test package."""
