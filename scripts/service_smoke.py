@@ -5,6 +5,7 @@ Usage::
 
     python scripts/service_smoke.py [--runs-dir DIR] [--log FILE]
                                     [--experiment ID] [--timeout S]
+                                    [--chaos]
 
 Spawns ``python -m repro.service --port 0`` as a subprocess (ephemeral
 port parsed from its first output line), then drives it with the
@@ -17,6 +18,13 @@ Python client through the full lifecycle the service exists for:
 3. a queued job is cancelled and settles as ``cancelled``,
 4. ``/v1/stats`` accounts for all of it (cache hits, completions).
 
+``--chaos`` runs the durability drill instead: boot a node, submit a
+mixed batch of quick experiments, SIGKILL the process mid-run, restart
+over the same ``runs/`` directory, and assert every acknowledged job
+still settles — replayed from the WAL journal when the kill caught it
+unsettled, served from the content-addressed cache when it had already
+finished — with results bit-identical to an uninterrupted control run.
+
 The server's combined stdout/stderr goes to ``--log`` so CI can upload
 it as an artifact.  Exits non-zero on any violated expectation.
 """
@@ -24,6 +32,7 @@ it as an artifact.  Exits non-zero on any violated expectation.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import re
 import subprocess
@@ -50,18 +59,33 @@ def expect(condition: bool, message: str) -> None:
 
 
 def wait_for_port(log_path: Path, proc: subprocess.Popen,
-                  deadline_seconds: float) -> int:
+                  deadline_seconds: float, *, offset: int = 0) -> int:
     deadline = time.monotonic() + deadline_seconds
     while time.monotonic() < deadline:
         if proc.poll() is not None:
             raise SmokeFailure(
                 f"service exited early (rc={proc.returncode}); see log"
             )
-        match = _LISTENING.search(log_path.read_text())
+        match = _LISTENING.search(log_path.read_text()[offset:])
         if match:
             return int(match.group("port"))
         time.sleep(0.1)
     raise SmokeFailure("service never printed its listening address")
+
+
+def spawn_node(runs_dir: str, log_path: Path,
+               extra_args: tuple[str, ...] = ()) -> subprocess.Popen:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else src + os.pathsep + existing
+    with log_path.open("a") as log:
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro.service",
+             "--port", "0", "--runs-dir", runs_dir, *extra_args],
+            stdout=log, stderr=subprocess.STDOUT,
+            cwd=REPO_ROOT, env=env,
+        )
 
 
 def drive(client: ServiceClient, experiment: str, timeout: float) -> None:
@@ -114,6 +138,145 @@ def drive(client: ServiceClient, experiment: str, timeout: float) -> None:
     print(f"stats ok: {stats['jobs']}")
 
 
+# Mixed batch for the chaos drill: distinct quick experiments so every
+# submission owns its own cache key.  table1 leads — it is the slowest
+# quick job, which widens the window in which the SIGKILL catches work
+# genuinely in flight.  Every member reports *modeled* numbers, so the
+# recovered results can be compared bit-for-bit against the control
+# run; ensemble is deliberately absent (it live-benchmarks the VM, and
+# wall-clock throughput is not reproducible across runs).
+CHAOS_BATCH = (
+    "table1", "fig5", "fig9", "abl-precision", "longrun",
+    "abl-nextgen", "abl-cache", "abl-reduce", "fig6", "abl-xmt",
+)
+
+# Replay must re-run interrupted jobs, so the restarted node gets the
+# same knobs the first boot had; one worker keeps most of the batch
+# queued when the kill lands.
+_CHAOS_NODE_ARGS = ("--concurrency", "1", "--tenant-quota", "32")
+
+
+def _settle_after_restart(client: ServiceClient, experiment: str,
+                          job_id: str, timeout: float) -> dict:
+    """Resolve one pre-kill submission on the restarted node.
+
+    Jobs the kill caught unsettled were replayed from the journal and
+    keep their id.  Jobs that settled before the kill are gone from the
+    new node's registry (their segment compacted) — resubmitting must
+    hit the content-addressed cache instead of re-executing.
+    """
+    try:
+        final = client.wait(job_id, timeout=timeout)
+    except ServiceError as exc:
+        if exc.status != 404:
+            raise
+        doc = client.submit(experiment, quick=True, tenant="chaos")
+        expect(doc.get("cached") is True,
+               f"{experiment}: settled pre-kill but not served from cache")
+        final = client.wait(doc["id"], timeout=timeout)
+    expect(final["status"] == "succeeded",
+           f"{experiment} ended {final['status']} after restart: "
+           f"{final.get('traceback', '')[:400]}")
+    terminal = [e for e in final["events"]
+                if e["status"] in ("succeeded", "failed", "cancelled")]
+    expect(len(terminal) == 1,
+           f"{experiment} double-settled: {final['events']}")
+    return final
+
+
+def chaos(args) -> int:
+    tmp = tempfile.TemporaryDirectory(prefix="service-chaos-")
+    chaos_runs = args.runs_dir or str(Path(tmp.name) / "runs")
+    control_runs = str(Path(tmp.name) / "runs-control")
+    args.log.write_text("")  # truncate; every boot appends
+    proc = None
+    try:
+        # -- boot A: accept the batch, then die mid-run ---------------
+        proc = spawn_node(chaos_runs, args.log, _CHAOS_NODE_ARGS)
+        port = wait_for_port(args.log, proc, deadline_seconds=30.0)
+        client = ServiceClient(port=port, timeout=args.timeout)
+        ids = {
+            exp: client.submit(exp, quick=True, tenant="chaos")["id"]
+            for exp in CHAOS_BATCH
+        }
+        deadline = time.monotonic() + args.timeout
+        while time.monotonic() < deadline:
+            statuses = [j["status"] for j in client.jobs()]
+            if "running" in statuses:
+                break
+            time.sleep(0.05)
+        expect("running" in statuses, "no job ever started on boot A")
+        proc.kill()  # SIGKILL: no drain, no journal compaction
+        proc.wait(timeout=15)
+        proc = None
+        print(f"boot A accepted {len(ids)} jobs, SIGKILLed mid-run "
+              f"({statuses.count('running')} running, "
+              f"{statuses.count('queued')} queued)")
+
+        # -- boot B: same runs dir; the WAL owes us every job ---------
+        offset = len(args.log.read_text())
+        proc = spawn_node(chaos_runs, args.log, _CHAOS_NODE_ARGS)
+        port = wait_for_port(args.log, proc, deadline_seconds=30.0,
+                             offset=offset)
+        client = ServiceClient(port=port, timeout=args.timeout)
+        recovered_results = {}
+        replayed = 0
+        for exp, job_id in ids.items():
+            final = _settle_after_restart(client, exp, job_id, args.timeout)
+            if any("replayed from journal" in e.get("detail", "")
+                   for e in final["events"]):
+                replayed += 1
+            recovered_results[exp] = client.result(final["id"])["result"]
+        stats = client.stats()
+        expect(stats["counters"].get("service.journal.recovered", 0) >= 1,
+               "restart recovered nothing from the journal")
+        expect(replayed >= 1, "no job carries the replay marker")
+        print(f"boot B settled all {len(ids)} jobs "
+              f"({replayed} replayed from the journal)")
+        proc.terminate()
+        proc.wait(timeout=15)
+        proc = None
+
+        # -- control: the same batch, never interrupted ---------------
+        offset = len(args.log.read_text())
+        proc = spawn_node(control_runs, args.log, _CHAOS_NODE_ARGS)
+        port = wait_for_port(args.log, proc, deadline_seconds=30.0,
+                             offset=offset)
+        client = ServiceClient(port=port, timeout=args.timeout)
+        control_ids = {
+            exp: client.submit(exp, quick=True, tenant="chaos")["id"]
+            for exp in CHAOS_BATCH
+        }
+        for exp, job_id in control_ids.items():
+            final = client.wait(job_id, timeout=args.timeout)
+            expect(final["status"] == "succeeded",
+                   f"control {exp} ended {final['status']}")
+            want = json.dumps(client.result(job_id)["result"],
+                              sort_keys=True)
+            got = json.dumps(recovered_results[exp], sort_keys=True)
+            expect(got == want,
+                   f"{exp}: recovered result differs from control run")
+        print("recovered results bit-identical to the uninterrupted run")
+        print("SERVICE CHAOS SMOKE OK")
+        return 0
+    except (SmokeFailure, ServiceError, OSError) as exc:
+        print(f"SERVICE CHAOS SMOKE FAILED: {exc}", file=sys.stderr)
+        if args.log.exists():
+            print("---- service log tail ----", file=sys.stderr)
+            print("\n".join(args.log.read_text().splitlines()[-40:]),
+                  file=sys.stderr)
+        return 1
+    finally:
+        if proc is not None and proc.poll() is None:
+            proc.terminate()
+            try:
+                proc.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=15)
+        tmp.cleanup()
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--runs-dir", default=None,
@@ -125,7 +288,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="quick experiment to submit (default fig5)")
     parser.add_argument("--timeout", type=float, default=300.0,
                         help="per-job wait timeout in seconds")
+    parser.add_argument("--chaos", action="store_true",
+                        help="run the SIGKILL/restart durability drill "
+                        "instead of the lifecycle smoke")
     args = parser.parse_args(argv)
+
+    if args.chaos:
+        return chaos(args)
 
     tmp = None
     runs_dir = args.runs_dir
@@ -135,20 +304,8 @@ def main(argv: list[str] | None = None) -> int:
 
     proc = None
     try:
-        env = dict(os.environ)
-        src = str(REPO_ROOT / "src")
-        existing = env.get("PYTHONPATH")
-        env["PYTHONPATH"] = (
-            src if not existing else src + os.pathsep + existing
-        )
-        with args.log.open("w") as log:
-            proc = subprocess.Popen(
-                [sys.executable, "-m", "repro.service",
-                 "--port", "0", "--concurrency", "1",
-                 "--runs-dir", runs_dir],
-                stdout=log, stderr=subprocess.STDOUT,
-                cwd=REPO_ROOT, env=env,
-            )
+        args.log.write_text("")  # truncate; spawn_node appends
+        proc = spawn_node(runs_dir, args.log, ("--concurrency", "1"))
         port = wait_for_port(args.log, proc, deadline_seconds=30.0)
         print(f"service up on port {port}; log -> {args.log}")
         client = ServiceClient(port=port, timeout=args.timeout)

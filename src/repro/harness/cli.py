@@ -11,8 +11,9 @@ Subcommands::
     list  [--runs-dir DIR]            # stored runs, oldest first
     show  RUN_ID [--render] [--runs-dir DIR]
     diff  RUN_A RUN_B [--runs-dir DIR]   # shape-band regressions
-    gc    [--keep K] [--prune-cache] [--prune-tuned] [--dry-run]
-          [--runs-dir DIR]
+    gc    [--keep K] [--prune-cache] [--prune-tuned] [--prune-journal]
+          [--dry-run] [--runs-dir DIR]
+    quarantine  [list | release (KEY | --all)] [--runs-dir DIR]
 
 ``run`` exits non-zero when any job failed to finish or finished
 outside its paper-shape bands; ``diff`` exits non-zero on regressions.
@@ -22,8 +23,12 @@ probes and persists the winning config under ``runs/tuned/``; later
 ``gc`` keeps the newest K runs (default 20) and sweeps orphaned
 traces, stale ``*.tmp`` files, and satisfied checkpoints; with
 ``--prune-cache`` it also drops cache entries no kept run references,
-and with ``--prune-tuned`` it drops tuned configs that are stale
-(other code tree, referenced by nothing).
+with ``--prune-tuned`` it drops tuned configs that are stale
+(other code tree, referenced by nothing), and with ``--prune-journal``
+it drops compacted service WAL segments (live segments are never
+touched — they may carry jobs a restarted node still owes).
+``quarantine`` inspects the service's poison ledger and releases
+quarantined job content so it may run again.
 """
 
 from __future__ import annotations
@@ -151,9 +156,26 @@ def _build_parser() -> argparse.ArgumentParser:
     gc.add_argument("--prune-tuned", action="store_true",
                     help="also drop stale tuned configs (tuned against "
                     "another code tree and referenced by no kept record)")
+    gc.add_argument("--prune-journal", action="store_true",
+                    help="also drop compacted (.settled) service WAL "
+                    "segments; live segments are never pruned")
     gc.add_argument("--dry-run", action="store_true",
                     help="report what would be removed without removing it")
     _add_runs_dir(gc)
+
+    quarantine = sub.add_parser(
+        "quarantine", help="inspect/release the service poison ledger")
+    _add_runs_dir(quarantine)  # bare `quarantine` defaults to list
+    qsub = quarantine.add_subparsers(dest="quarantine_command")
+    qlist = qsub.add_parser("list", help="show quarantined job content")
+    _add_runs_dir(qlist)
+    qrelease = qsub.add_parser(
+        "release", help="forget a quarantined cache key so it may run again")
+    qrelease.add_argument("cache_key", nargs="?", default=None,
+                          help="cache key (prefix accepted if unambiguous)")
+    qrelease.add_argument("--all", action="store_true",
+                          help="release every quarantined key")
+    _add_runs_dir(qrelease)
     return parser
 
 
@@ -416,6 +438,7 @@ def _cmd_gc(args: argparse.Namespace) -> int:
             keep_runs=args.keep,
             prune_cache=args.prune_cache,
             prune_tuned=args.prune_tuned,
+            prune_journal=args.prune_journal,
             dry_run=args.dry_run,
         )
     except ValueError as exc:
@@ -428,8 +451,59 @@ def _cmd_gc(args: argparse.Namespace) -> int:
         f"{removed['tmp_files_removed']} tmp file(s), "
         f"{removed['checkpoints_removed']} satisfied checkpoint(s), "
         f"{removed['cache_entries_removed']} unreferenced cache entr(ies), "
-        f"{removed['tuned_artifacts_removed']} stale tuned artifact(s)"
+        f"{removed['tuned_artifacts_removed']} stale tuned artifact(s), "
+        f"{removed['journal_segments_removed']} compacted journal "
+        f"segment(s), {removed['heartbeats_removed']} stale heartbeat(s)"
     )
+    return 0
+
+
+def _cmd_quarantine(args: argparse.Namespace) -> int:
+    from repro.service.durability import PoisonRegistry, poison_path
+
+    registry = PoisonRegistry(poison_path(args.runs_dir))
+    command = args.quarantine_command or "list"
+    entries = registry.entries()
+    quarantined = {
+        key: entry for key, entry in sorted(entries.items())
+        if entry.get("quarantined")
+    }
+    if command == "list":
+        if not entries:
+            print("poison ledger is empty")
+            return 0
+        for key, entry in sorted(entries.items()):
+            state = "QUARANTINED" if entry.get("quarantined") else "watching"
+            experiment = entry.get("experiment") or "?"
+            print(
+                f"{key[:16]}…  {state:<11}  {experiment:<12} "
+                f"{int(entry.get('failures', 0))} failure(s)"
+            )
+        print(
+            f"{len(entries)} key(s) tracked, {len(quarantined)} quarantined"
+        )
+        return 0
+    # release
+    if args.all:
+        count = registry.release_all()
+        print(f"released {count} key(s)")
+        return 0
+    if not args.cache_key:
+        print("error: give a cache key (or --all)", file=sys.stderr)
+        return 2
+    matches = [k for k in entries if k.startswith(args.cache_key)]
+    if not matches:
+        print(f"error: no tracked key matches {args.cache_key!r}",
+              file=sys.stderr)
+        return 2
+    if len(matches) > 1:
+        print(
+            f"error: {args.cache_key!r} is ambiguous "
+            f"({len(matches)} matches)", file=sys.stderr,
+        )
+        return 2
+    registry.release(matches[0])
+    print(f"released {matches[0][:16]}…")
     return 0
 
 
@@ -442,6 +516,7 @@ def main(argv: list[str] | None = None) -> int:
         "show": _cmd_show,
         "diff": _cmd_diff,
         "gc": _cmd_gc,
+        "quarantine": _cmd_quarantine,
     }[args.command](args)
 
 

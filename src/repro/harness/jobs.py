@@ -18,15 +18,52 @@ import hashlib
 import importlib
 import io
 import json
+import threading
 import time
 import traceback
+from pathlib import Path
 from typing import Any, Mapping
 
-__all__ = ["Job", "job_cache_key", "execute_job", "STATUS_OK", "STATUS_FAILED", "STATUS_TIMEOUT"]
+__all__ = [
+    "Job",
+    "job_cache_key",
+    "execute_job",
+    "STATUS_OK",
+    "STATUS_FAILED",
+    "STATUS_TIMEOUT",
+    "STATUS_PREEMPTED",
+    "HEARTBEAT_INTERVAL",
+]
 
 STATUS_OK = "ok"
 STATUS_FAILED = "failed"
 STATUS_TIMEOUT = "timeout"
+#: A job the scheduler aborted mid-flight on external request (stuck-worker
+#: watchdog, deadline enforcement, or shutdown drain) — never cached; the
+#: caller decides whether to requeue or settle it.
+STATUS_PREEMPTED = "preempted"
+
+#: Seconds between worker heartbeat touches while a job executes.
+HEARTBEAT_INTERVAL = 0.5
+
+
+def _heartbeat_loop(path: Path, stop: threading.Event) -> None:
+    """Touch ``path`` until ``stop`` is set.
+
+    Runs as a daemon thread inside the worker process, so the beat
+    reflects *process* liveness: a frozen worker (SIGSTOP, D-state, a
+    dead pool) stops beating, while a merely slow experiment keeps its
+    heartbeat fresh.  Busy-loop runaways are the per-job timeout's
+    domain, not the watchdog's.
+    """
+    while True:
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.touch()
+        except OSError:
+            pass  # a vanished heartbeat dir must never kill the job
+        if stop.wait(HEARTBEAT_INTERVAL):
+            return
 
 
 @dataclasses.dataclass(frozen=True)
@@ -99,6 +136,17 @@ def execute_job(payload: Mapping[str, Any]) -> dict[str, Any]:
     """
     wall_start = time.perf_counter()
     cpu_start = time.process_time()
+    heartbeat_stop: threading.Event | None = None
+    if payload.get("heartbeat_path"):
+        # The service supervisor watches this file's mtime; the thread
+        # is daemonic so a crashing worker never blocks on it.
+        heartbeat_stop = threading.Event()
+        threading.Thread(
+            target=_heartbeat_loop,
+            args=(Path(payload["heartbeat_path"]), heartbeat_stop),
+            daemon=True,
+            name="repro-heartbeat",
+        ).start()
     captured = io.StringIO()
     record: dict[str, Any] = {
         "job_id": payload["job_id"],
@@ -145,6 +193,9 @@ def execute_job(payload: Mapping[str, Any]) -> dict[str, Any]:
     except Exception:
         record["status"] = STATUS_FAILED
         record["traceback"] = traceback.format_exc()
+    finally:
+        if heartbeat_stop is not None:
+            heartbeat_stop.set()
     record["stdout"] = captured.getvalue()
     record["wall_seconds"] = time.perf_counter() - wall_start
     record["cpu_seconds"] = time.process_time() - cpu_start

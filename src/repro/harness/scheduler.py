@@ -29,18 +29,32 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import signal
+import threading
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Mapping, Sequence
 
-from repro.harness.jobs import STATUS_FAILED, STATUS_OK, STATUS_TIMEOUT, execute_job
+from repro.harness.jobs import (
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_PREEMPTED,
+    STATUS_TIMEOUT,
+    execute_job,
+)
 
 __all__ = ["run_jobs"]
 
 #: Minimum poll interval while waiting on deadlines/backoff (seconds).
 _MIN_WAIT = 0.05
+
+#: Maximum poll interval while a cancel event is armed: the abort path
+#: must be noticed promptly even when no future completes.
+_CANCEL_POLL = 0.25
+
+#: Grace given to SIGTERMed pool workers before escalating to SIGKILL.
+_TERMINATE_GRACE = 0.5
 
 
 def _worker_init() -> None:
@@ -106,6 +120,17 @@ def _job_key(payload: Mapping[str, Any]) -> str:
     return str(payload.get("cache_key") or payload.get("job_id") or "")
 
 
+def _preempted_record(payload: Mapping[str, Any], attempts: int) -> dict[str, Any]:
+    record = _error_record(
+        payload,
+        STATUS_PREEMPTED,
+        "preempted: the scheduler was asked to abandon this job "
+        "(watchdog, deadline, or shutdown drain)",
+    )
+    record["attempts"] = attempts
+    return record
+
+
 def _run_inline(
     payloads: Sequence[Mapping[str, Any]],
     *,
@@ -113,9 +138,16 @@ def _run_inline(
     backoff: float,
     execute: Callable[[Mapping[str, Any]], dict[str, Any]],
     on_record: Callable[[dict[str, Any]], None] | None,
+    cancel_event: threading.Event | None = None,
 ) -> dict[str, dict[str, Any]]:
     records: dict[str, dict[str, Any]] = {}
     for payload in payloads:
+        if cancel_event is not None and cancel_event.is_set():
+            record = _preempted_record(payload, 0)
+            records[payload["job_id"]] = record
+            if on_record is not None:
+                on_record(record)
+            continue
         attempts = 0
         while True:
             attempts += 1
@@ -127,6 +159,8 @@ def _run_inline(
                 )
             record["attempts"] = attempts
             if record["status"] == STATUS_OK or attempts > retries:
+                break
+            if cancel_event is not None and cancel_event.is_set():
                 break
             time.sleep(_backoff_delay(backoff, attempts, _job_key(payload)))
         records[payload["job_id"]] = record
@@ -162,9 +196,26 @@ class _Pool:
 
     def terminate(self) -> None:
         processes = getattr(self._executor, "_processes", None) or {}
-        for proc in list(processes.values()):
+        procs = list(processes.values())
+        for proc in procs:
             try:
                 proc.terminate()
+            except Exception:
+                pass
+        # SIGTERM cannot reach a stopped (SIGSTOPped) or wedged worker —
+        # it just stays pending.  Give the polite signal a short grace,
+        # then SIGKILL whatever is still alive so preemption always
+        # reclaims the process.
+        deadline = time.monotonic() + _TERMINATE_GRACE
+        for proc in procs:
+            try:
+                proc.join(max(0.0, deadline - time.monotonic()))
+            except Exception:
+                pass
+        for proc in procs:
+            try:
+                if proc.is_alive():
+                    proc.kill()
             except Exception:
                 pass
         try:
@@ -182,6 +233,7 @@ def run_jobs(
     backoff: float = 0.25,
     execute: Callable[[Mapping[str, Any]], dict[str, Any]] = execute_job,
     on_record: Callable[[dict[str, Any]], None] | None = None,
+    cancel_event: threading.Event | None = None,
 ) -> dict[str, dict[str, Any]]:
     """Run every payload; return ``{job_id: record}``.
 
@@ -190,6 +242,12 @@ def run_jobs(
     with ``backoff * 2**(attempt-1)`` seconds between attempts.
     ``on_record`` fires once per job with its final record, in
     completion order.
+
+    ``cancel_event`` arms external preemption: once the event is set,
+    in-flight workers are terminated (SIGTERM, then SIGKILL after a
+    short grace), and every unfinished job comes back as a
+    ``status="preempted"`` record instead of blocking to completion.
+    Completed work is still harvested and returned normally.
     """
     if not payloads:
         return {}
@@ -200,6 +258,7 @@ def run_jobs(
             backoff=backoff,
             execute=execute,
             on_record=on_record,
+            cancel_event=cancel_event,
         )
 
     records: dict[str, dict[str, Any]] = {}
@@ -242,8 +301,31 @@ def run_jobs(
             else:
                 pending.appendleft(item)
 
+    def abort_preempted() -> None:
+        """Harvest finished futures, then record everything else as
+        preempted — in-flight work and queued work alike."""
+        for fut in list(running):
+            item, _deadline = running.pop(fut)
+            if fut.done():
+                try:
+                    record = fut.result(timeout=0)
+                except Exception:
+                    item.attempts += 1
+                    finish(item, _preempted_record(item.payload, item.attempts))
+                else:
+                    item.attempts += 1
+                    finish(item, record)
+            else:
+                finish(item, _preempted_record(item.payload, item.attempts))
+        while pending:
+            item = pending.popleft()
+            finish(item, _preempted_record(item.payload, item.attempts))
+
     try:
         while pending or running:
+            if cancel_event is not None and cancel_event.is_set():
+                abort_preempted()
+                break
             now = time.monotonic()
             # Fill free slots with eligible (backoff-expired) jobs.
             for _ in range(len(pending)):
@@ -259,7 +341,10 @@ def run_jobs(
             if not running:
                 # Everything queued is backing off; sleep to the nearest.
                 wake = min(item.not_before for item in pending)
-                time.sleep(max(_MIN_WAIT, wake - time.monotonic()))
+                nap = max(_MIN_WAIT, wake - time.monotonic())
+                if cancel_event is not None:
+                    nap = min(nap, _CANCEL_POLL)
+                time.sleep(nap)
                 continue
 
             horizons = [d for _item, d in running.values() if d is not None]
@@ -270,6 +355,13 @@ def run_jobs(
             wait_for = (
                 max(_MIN_WAIT, min(horizons) - now) if horizons else None
             )
+            if cancel_event is not None:
+                # Bound the wait so a cancel request is noticed promptly
+                # even when nothing completes and no deadline is near.
+                wait_for = (
+                    _CANCEL_POLL if wait_for is None
+                    else min(wait_for, _CANCEL_POLL)
+                )
             done, _not_done = wait(
                 set(running), timeout=wait_for, return_when=FIRST_COMPLETED
             )

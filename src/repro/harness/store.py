@@ -44,7 +44,13 @@ def _dump(path: Path, data: Mapping[str, Any]) -> None:
     # store multi-client, and two processes writing the same target
     # through one shared ".tmp" would race each other's rename.
     tmp = path.with_name(f"{path.name}.{os.getpid()}-{uuid.uuid4().hex[:8]}.tmp")
-    tmp.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    # fsync before the rename: without it a crash can leave the *final*
+    # name pointing at zero-length or partial content on some
+    # filesystems — the rename is atomic, the data reaching disk is not.
+    with tmp.open("w") as handle:
+        handle.write(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
     tmp.replace(path)
 
 
@@ -263,6 +269,7 @@ class RunStore:
         keep_runs: int = 20,
         prune_cache: bool = False,
         prune_tuned: bool = False,
+        prune_journal: bool = False,
         dry_run: bool = False,
     ) -> dict[str, int]:
         """Prune the store so a long-running service node doesn't fill
@@ -283,6 +290,11 @@ class RunStore:
           entry or surviving run record.  Artifacts matching the
           current code fingerprint are always kept — they are what the
           next run auto-loads.
+        * with ``prune_journal``, compacted service WAL segments
+          (``*.wal.settled``) are deleted.  Live ``*.wal`` segments are
+          **never** touched — they may reference accepted jobs a
+          restarted node still owes results for.  Stale worker
+          heartbeat files whose job no live segment tracks go too.
         """
         if keep_runs < 0:
             raise ValueError("keep_runs must be >= 0")
@@ -293,6 +305,8 @@ class RunStore:
             "checkpoints_removed": 0,
             "cache_entries_removed": 0,
             "tuned_artifacts_removed": 0,
+            "journal_segments_removed": 0,
+            "heartbeats_removed": 0,
         }
         runs = self.list_runs()  # oldest first
         doomed = runs[: max(0, len(runs) - keep_runs)]
@@ -359,4 +373,34 @@ class RunStore:
                         counts["tuned_artifacts_removed"] += 1
                         if not dry_run:
                             tuned_store.delete(key)
+
+        # -- service durability artifacts (WAL segments, heartbeats) --
+        import warnings
+
+        from repro.service.durability import JobJournal, journal_dir
+
+        journal = JobJournal(journal_dir(self.root), fsync=False)
+        unsettled_ids: set[str] = set()
+        if journal.dir.is_dir():
+            with warnings.catch_warnings():
+                # replay warns on torn tails; gc is a read-only observer
+                warnings.simplefilter("ignore", RuntimeWarning)
+                unsettled_ids = set(journal.replay().unsettled)
+        heartbeats_dir = self.root / "service" / "heartbeats"
+        if heartbeats_dir.is_dir():
+            for beat in heartbeats_dir.glob("*.hb"):
+                # a live segment still tracks this job: its worker may
+                # be running right now; leave the heartbeat alone
+                if beat.name[: -len(".hb")] in unsettled_ids:
+                    continue
+                counts["heartbeats_removed"] += 1
+                if not dry_run:
+                    beat.unlink(missing_ok=True)
+        if prune_journal:
+            # only compacted segments: every job in them was settled or
+            # re-journaled by a later boot, so nothing references them
+            for segment in journal.settled_segments():
+                counts["journal_segments_removed"] += 1
+                if not dry_run:
+                    segment.unlink(missing_ok=True)
         return counts

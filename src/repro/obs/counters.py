@@ -190,6 +190,35 @@ def _populate() -> None:
          "jobs handed from the queue to a worker"),
         ("service.events.emitted", "count", "service",
          "job status-transition events appended"),
+        # -- service durability / supervision --------------------------
+        ("service.journal.appended", "count", "service",
+         "WAL entries fsync'd (submissions + state transitions)"),
+        ("service.journal.replayed", "count", "service",
+         "WAL entries folded during boot-time recovery"),
+        ("service.journal.recovered", "count", "service",
+         "unsettled jobs re-admitted from the journal after a restart"),
+        ("service.journal.compacted", "count", "service",
+         "replayed WAL segments retired to .settled"),
+        ("service.journal.torn", "count", "service",
+         "torn/corrupt WAL tails skipped during replay"),
+        ("service.supervisor.preempted", "count", "service",
+         "running jobs preempted by the watchdog (hang or deadline)"),
+        ("service.supervisor.requeued", "count", "service",
+         "hang-preempted jobs put back in the queue"),
+        ("service.quarantine.added", "count", "service",
+         "jobs moved to quarantined after K failed attempts"),
+        ("service.quarantine.rejected", "count", "service",
+         "submissions fast-settled because their content is quarantined"),
+        ("service.breaker.opened", "count", "service",
+         "circuit breakers tripped open by scenario failure rate"),
+        ("service.breaker.closed", "count", "service",
+         "breakers closed again by a successful half-open probe"),
+        ("service.breaker.fast_failed", "count", "service",
+         "submissions 503'd by an open breaker"),
+        ("service.deadline.rejected", "count", "service",
+         "submissions rejected at admission (EWMA wait beyond deadline)"),
+        ("service.deadline.missed", "count", "service",
+         "jobs failed because deadline_seconds expired (queued or running)"),
         # -- tune (repro.tune closed-loop autotuner) -------------------
         ("tune.scenarios", "count", "tune",
          "tuning scenarios searched (cache hits included)"),

@@ -55,6 +55,30 @@ def _build_parser() -> argparse.ArgumentParser:
                         help=f"run-store root (default: ./{DEFAULT_RUNS_DIR})")
     parser.add_argument("--no-cache", action="store_true",
                         help="never read or write the content-addressed cache")
+    parser.add_argument("--drain-seconds", type=float, default=30.0, metavar="S",
+                        help="graceful-shutdown budget for in-flight jobs "
+                        "before they are preempted")
+    parser.add_argument("--no-journal", action="store_true",
+                        help="disable the WAL job journal (accepted jobs "
+                        "no longer survive a node kill)")
+    parser.add_argument("--no-journal-fsync", action="store_true",
+                        help="journal without fsync per append (testing only)")
+    parser.add_argument("--hang-seconds", type=float, default=300.0, metavar="S",
+                        help="preempt a running job whose worker heartbeat "
+                        "is older than this (0 disables the watchdog)")
+    parser.add_argument("--hang-retries", type=int, default=1, metavar="N",
+                        help="requeues after a hang preempt before the job fails")
+    parser.add_argument("--quarantine-attempts", type=int, default=3, metavar="K",
+                        help="failed attempts (across restarts) before a "
+                        "job's content is quarantined")
+    parser.add_argument("--breaker-window", type=int, default=8, metavar="N",
+                        help="outcomes in each circuit breaker's sliding window")
+    parser.add_argument("--breaker-min-samples", type=int, default=4, metavar="N",
+                        help="outcomes required before a breaker may open")
+    parser.add_argument("--breaker-threshold", type=float, default=0.5,
+                        metavar="R", help="failure rate that opens a breaker")
+    parser.add_argument("--breaker-cooldown", type=float, default=30.0,
+                        metavar="S", help="open -> half-open probe delay")
     return parser
 
 
@@ -100,6 +124,16 @@ def main(argv: list[str] | None = None) -> int:
         backoff=args.backoff,
         runs_dir=args.runs_dir,
         use_cache=not args.no_cache,
+        drain_seconds=args.drain_seconds,
+        journal=not args.no_journal,
+        journal_fsync=not args.no_journal_fsync,
+        hang_seconds=args.hang_seconds if args.hang_seconds > 0 else None,
+        hang_retries=args.hang_retries,
+        quarantine_attempts=args.quarantine_attempts,
+        breaker_window=args.breaker_window,
+        breaker_min_samples=args.breaker_min_samples,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
     )
     try:
         return asyncio.run(_serve(config))

@@ -40,15 +40,23 @@ import dataclasses
 import json
 import re
 import time
+from pathlib import Path
 from typing import Any, Mapping
 
 from repro.harness.fingerprint import code_fingerprint
 from repro.harness.jobs import STATUS_OK, Job, job_cache_key
 from repro.harness.store import DEFAULT_RUNS_DIR, RunStore
 from repro.obs.counters import COUNTER_SPECS, CounterSet
+from repro.service.durability import (
+    JobJournal,
+    PoisonRegistry,
+    journal_dir,
+    poison_path,
+)
 from repro.service.models import (
     STATUS_CANCELLED,
     STATUS_FAILED,
+    STATUS_QUARANTINED,
     STATUS_QUEUED,
     STATUS_RUNNING,
     STATUS_SUCCEEDED,
@@ -58,6 +66,14 @@ from repro.service.models import (
     new_job_id,
 )
 from repro.service.queue import PriorityJobQueue, QueueRejection
+from repro.service.supervisor import (
+    PREEMPT_DEADLINE,
+    BreakerBoard,
+    BreakerConfig,
+    BreakerOpen,
+    CircuitBreaker,
+    Supervisor,
+)
 from repro.service.workers import WorkerPool
 
 __all__ = ["ServiceConfig", "Service"]
@@ -93,12 +109,29 @@ class ServiceConfig:
     runs_dir: str = DEFAULT_RUNS_DIR
     use_cache: bool = True
     drain_seconds: float = 30.0
+    # -- durability / supervision -------------------------------------
+    journal: bool = True  # WAL every accepted submission + transition
+    journal_fsync: bool = True  # fsync each append (off = tests only)
+    hang_seconds: float | None = 300.0  # no heartbeat this long = stuck
+    hang_retries: int = 1  # requeues after a hang preempt, then fail
+    quarantine_attempts: int = 3  # crashes (across restarts) to quarantine
+    breaker_window: int = 8
+    breaker_min_samples: int = 4
+    breaker_threshold: float = 0.5
+    breaker_cooldown: float = 30.0
+    supervise_interval: float = 0.2
 
     def __post_init__(self) -> None:
         if self.concurrency < 1:
             raise ValueError("concurrency must be >= 1")
         if self.retries < 0:
             raise ValueError("retries must be >= 0")
+        if self.hang_seconds is not None and self.hang_seconds <= 0:
+            raise ValueError("hang_seconds must be > 0 (or None to disable)")
+        if self.hang_retries < 0:
+            raise ValueError("hang_retries must be >= 0")
+        if self.quarantine_attempts < 1:
+            raise ValueError("quarantine_attempts must be >= 1")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -149,6 +182,25 @@ class Service:
             concurrency=self.config.concurrency,
         )
         self.workers = WorkerPool(self)
+        self.journal: JobJournal | None = None
+        if self.config.journal:
+            self.journal = JobJournal(
+                journal_dir(self.store.root),
+                fsync=self.config.journal_fsync,
+                on_count=self.counters.add,
+            )
+        self.poison = PoisonRegistry(poison_path(self.store.root))
+        self.breakers = BreakerBoard(
+            BreakerConfig(
+                window=self.config.breaker_window,
+                min_samples=self.config.breaker_min_samples,
+                threshold=self.config.breaker_threshold,
+                cooldown_seconds=self.config.breaker_cooldown,
+            )
+        )
+        self.supervisor = Supervisor(
+            self, interval=self.config.supervise_interval
+        )
         self._events_cond = asyncio.Condition()
         self._server: asyncio.AbstractServer | None = None
         self.run_id: str | None = None
@@ -161,16 +213,59 @@ class Service:
     # ------------------------------------------------------------------
 
     async def start(self) -> None:
-        """Open the run, start workers, bind the listening socket."""
+        """Open the run, replay the journal, start workers + watchdog,
+        bind the listening socket."""
         self.run_id = self.store.new_run_id()
         self._started_unix = time.time()
         self._started_monotonic = time.monotonic()
         self._write_manifest()
+        if self.journal is not None:
+            # Replay *before* opening our own segment so the fold sees
+            # only prior boots, then re-journal survivors into ours and
+            # retire the old segments (now fully compacted).
+            replay = self.journal.replay()
+            self.journal.open_segment(self.run_id)
+            await self._recover(replay.unsettled)
+            self.journal.retire(replay.segments)
         await self.workers.start()
+        self.supervisor.start()
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+
+    async def _recover(self, unsettled: Mapping[str, Mapping[str, Any]]) -> None:
+        """Re-admit every journaled-but-unsettled job from prior boots.
+
+        Idempotent by construction: a job whose twin already completed
+        replays straight from the content-addressed cache; everything
+        else re-enters the queue exactly once (``requeue`` skips the
+        admission checks its original 202 already passed).
+        """
+        for doc in unsettled.values():
+            try:
+                job = ServiceJob.from_journal(doc)
+            except (KeyError, TypeError, ValueError):
+                continue  # a half-schema entry from a torn journal tail
+            if job.job_id in self.jobs:
+                continue
+            self.jobs[job.job_id] = job
+            self.counters.add("service.journal.recovered", 1)
+            self.journal.append_submit(job.to_journal())
+            await self._emit(
+                job, STATUS_QUEUED, detail="replayed from journal"
+            )
+            if self.poison.is_quarantined(job.cache_key):
+                await self.settle_quarantined(
+                    job, detail="quarantined (recovered from journal)"
+                )
+                continue
+            cached = self.cache_lookup(job)
+            if cached is not None:
+                await self.finish_cached(job, cached)
+                continue
+            await self.queue.requeue(job)
+            self.counters.add("service.queue.enqueued", 1)
 
     async def serve_forever(self) -> None:
         assert self._server is not None, "call start() first"
@@ -183,6 +278,8 @@ class Service:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        # the watchdog must not preempt jobs the drain is waiting on
+        await self.supervisor.stop()
         await self.workers.stop(drain_seconds=self.config.drain_seconds)
         for job in self.jobs.values():
             if not job.terminal:
@@ -192,6 +289,8 @@ class Service:
                 )
                 self.counters.add("service.jobs.cancelled", 1)
         self._write_manifest()
+        if self.journal is not None:
+            self.journal.close()
 
     @property
     def uptime_seconds(self) -> float:
@@ -263,6 +362,7 @@ class Service:
             payload=payload,
             cache_key=cache_key,
             observe=request.observe,
+            deadline_seconds=request.deadline_seconds,
         )
         self.counters.add("service.jobs.submitted", 1)
 
@@ -273,13 +373,53 @@ class Service:
             await self.finish_cached(job, cached)
             return 200, job
 
+        if self.poison.is_quarantined(job.cache_key):
+            # fast-settle instead of burning a retry budget on a job
+            # whose exact content already crashed K times
+            self.jobs[job.job_id] = job
+            await self._emit(job, STATUS_QUEUED, detail="accepted")
+            await self.settle_quarantined(
+                job,
+                detail=(
+                    f"cache key failed {self.poison.failures(job.cache_key)} "
+                    "time(s); release with 'harness quarantine release'"
+                ),
+            )
+            return 200, job
+
+        scenario = self._scenario_key(job)
+        try:
+            job.probe = self.breakers.admit(scenario)
+        except BreakerOpen:
+            self.counters.add("service.breaker.fast_failed", 1)
+            self.counters.add("service.jobs.rejected", 1)
+            raise
+
+        if request.deadline_seconds is not None:
+            estimate = self.queue.estimated_wait_seconds()
+            if estimate > request.deadline_seconds:
+                self.breakers.revoke(scenario)
+                self.counters.add("service.deadline.rejected", 1)
+                self.counters.add("service.jobs.rejected", 1)
+                raise QueueRejection(
+                    f"estimated completion in ~{estimate:.1f}s already "
+                    f"exceeds deadline_seconds={request.deadline_seconds}; "
+                    "not admitting doomed work",
+                    self.queue.retry_after(),
+                )
+
         try:
             await self.queue.put(job)
         except QueueRejection:
+            self.breakers.revoke(scenario)
             self.counters.add("service.jobs.rejected", 1)
             raise
         self.jobs[job.job_id] = job
         self.counters.add("service.queue.enqueued", 1)
+        if self.journal is not None:
+            # the WAL append (fsync'd) happens before the 202 leaves the
+            # node: an acknowledged job survives kill -9 from here on
+            self.journal.append_submit(job.to_journal())
         await self._emit(job, STATUS_QUEUED, detail="accepted")
         return 202, job
 
@@ -314,10 +454,36 @@ class Service:
             return record
         return None
 
+    def _scenario_key(self, job: ServiceJob) -> str:
+        """The circuit breaker axis: (experiment, forced device path)."""
+        force_path = (job.payload.get("params") or {}).get("force_path")
+        return BreakerBoard.scenario_key(job.experiment_id, force_path)
+
+    def heartbeat_path(self, job_id: str) -> Path:
+        """The file the job's worker process touches while alive."""
+        return Path(self.store.root) / "service" / "heartbeats" / f"{job_id}.hb"
+
+    def _journal_transition(self, job: ServiceJob, detail: str = "") -> None:
+        if self.journal is None:
+            return
+        try:
+            self.journal.append_transition(
+                job.job_id, job.status, attempts=job.attempts, detail=detail
+            )
+        except (OSError, RuntimeError):
+            pass  # a full disk must not wedge the state machine
+
+    def _discard_heartbeat(self, job: ServiceJob) -> None:
+        try:
+            self.heartbeat_path(job.job_id).unlink()
+        except OSError:
+            pass
+
     async def mark_running(self, job: ServiceJob) -> None:
         job.status = STATUS_RUNNING
         job.started_unix = time.time()
         self.counters.add("service.queue.dequeued", 1)
+        self._journal_transition(job)
         await self._emit(job, STATUS_RUNNING)
 
     async def finish_cached(self, job: ServiceJob, record: Mapping[str, Any]) -> None:
@@ -354,19 +520,109 @@ class Service:
             if self.config.use_cache:
                 self.store.cache_put(job.cache_key, record)
             self.store.discard_checkpoint(job.cache_key)
+            self.poison.clear(job.cache_key)
+            self._breaker_record(job, success=True)
+        elif job.preempt_reason == PREEMPT_DEADLINE:
+            # a missed client budget, not a sick job or scenario: no
+            # poison count, no breaker signal
+            status = STATUS_FAILED
+            detail = "deadline exceeded while running"
+            self.counters.add("service.deadline.missed", 1)
+            self.counters.add("service.jobs.failed", 1)
         else:
             status = STATUS_FAILED
             detail = str(record.get("status", "failed"))
             self.counters.add("service.jobs.failed", 1)
             # the checkpoint (if any) survives: a resubmission resumes
+            failures = self.poison.record_failure(
+                job.cache_key,
+                experiment=job.experiment_id,
+                attempts=max(1, job.attempts),
+                threshold=self.config.quarantine_attempts,
+            )
+            if failures >= self.config.quarantine_attempts:
+                status = STATUS_QUARANTINED
+                detail = (
+                    f"quarantined after {failures} failed attempt(s); "
+                    "release with 'harness quarantine release'"
+                )
+                self.counters.add("service.quarantine.added", 1)
+            self._breaker_record(job, success=False)
         self._persist(job)
         await self._settle(job, status, detail=detail)
+
+    def _breaker_record(self, job: ServiceJob, *, success: bool) -> None:
+        """Feed one genuine outcome to the job's scenario breaker."""
+        key = self._scenario_key(job)
+        breaker = self.breakers.breaker(key)
+        prior = breaker.state
+        after = self.breakers.record(key, success, probe=job.probe)
+        if after == CircuitBreaker.OPEN and prior != CircuitBreaker.OPEN:
+            self.counters.add("service.breaker.opened", 1)
+        elif after == CircuitBreaker.CLOSED and prior != CircuitBreaker.CLOSED:
+            self.counters.add("service.breaker.closed", 1)
+
+    async def settle_quarantined(self, job: ServiceJob, detail: str = "") -> None:
+        """Terminal-settle a job whose cache key is poisoned."""
+        failures = self.poison.failures(job.cache_key)
+        job.record = {
+            "job_id": job.job_id,
+            "experiment_id": job.experiment_id,
+            "cache_key": job.cache_key,
+            "status": STATUS_QUARANTINED,
+            "result": None,
+            "all_passed": None,
+            "traceback": (
+                f"quarantined: this exact job content failed {failures} "
+                "time(s) across node restarts; an operator must release "
+                "it ('harness quarantine release') before it may run again"
+            ),
+            "attempts": failures,
+            "cached": False,
+        }
+        self.counters.add("service.quarantine.rejected", 1)
+        self._persist(job)
+        await self._settle(job, STATUS_QUARANTINED, detail=detail)
+
+    async def requeue_after_preempt(self, job: ServiceJob, detail: str) -> None:
+        """Put a watchdog-preempted job back in line (bounded attempts)."""
+        job.status = STATUS_QUEUED
+        job.started_unix = None
+        job.cancel_event = None
+        job.preempt_reason = None
+        self.counters.add("service.supervisor.requeued", 1)
+        self.counters.add("service.queue.enqueued", 1)
+        self._journal_transition(job, detail=detail)
+        await self._emit(job, STATUS_QUEUED, detail=detail)
+        await self.queue.requeue(job)
 
     async def settle_cancelled(self, job: ServiceJob) -> None:
         """A dequeued-but-not-started job whose cancel raced the worker."""
         self.counters.add("service.queue.dequeued", 1)
         self.counters.add("service.jobs.cancelled", 1)
         await self._settle(job, STATUS_CANCELLED, detail="cancelled while queued")
+
+    async def settle_deadline_missed(self, job: ServiceJob) -> None:
+        """A dequeued job whose end-to-end budget ran out while queued."""
+        job.record = {
+            "job_id": job.job_id,
+            "experiment_id": job.experiment_id,
+            "cache_key": job.cache_key,
+            "status": "failed",
+            "result": None,
+            "all_passed": None,
+            "traceback": (
+                f"deadline_seconds={job.deadline_seconds} expired while "
+                "the job was still queued"
+            ),
+            "attempts": 0,
+            "cached": False,
+        }
+        self.counters.add("service.queue.dequeued", 1)
+        self.counters.add("service.deadline.missed", 1)
+        self.counters.add("service.jobs.failed", 1)
+        self._persist(job)
+        await self._settle(job, STATUS_FAILED, detail="deadline exceeded while queued")
 
     async def settle_worker_error(self, job: ServiceJob, exc: Exception) -> None:
         job.record = {
@@ -386,6 +642,9 @@ class Service:
     async def _settle(self, job: ServiceJob, status: str, detail: str = "") -> None:
         job.status = status
         job.finished_unix = time.time()
+        job.cancel_event = None
+        self._discard_heartbeat(job)
+        self._journal_transition(job, detail=detail)
         self._write_manifest()
         await self._emit(job, status, detail=detail)
 
@@ -504,6 +763,15 @@ class Service:
                 "retry_after": self.queue.retry_after(),
             },
             "jobs": {"total": len(self.jobs), **dict(sorted(by_status.items()))},
+            "breakers": self.breakers.snapshot(),
+            "journal": {
+                "enabled": self.journal is not None,
+                "segment": (
+                    self.journal.segment.name
+                    if self.journal is not None and self.journal.segment
+                    else None
+                ),
+            },
             "counters": self.counters.as_dict(),
         }
 
@@ -568,6 +836,7 @@ class Service:
         for method, pattern, handler in (
             ("GET", r"^/v1/healthz$", "_h_health"),
             ("GET", r"^/v1/stats$", "_h_stats"),
+            ("GET", r"^/v1/quarantine$", "_h_quarantine"),
             ("POST", r"^/v1/jobs$", "_h_submit"),
             ("GET", r"^/v1/jobs$", "_h_list_jobs"),
             ("GET", r"^/v1/jobs/(?P<id>[\w.-]+)$", "_h_job"),
@@ -633,6 +902,9 @@ class Service:
 
     async def _h_stats(self, request: _Request, match: re.Match[str]):
         return 200, self.stats_doc(), {}
+
+    async def _h_quarantine(self, request: _Request, match: re.Match[str]):
+        return 200, {"quarantined": self.poison.entries()}, {}
 
     async def _h_submit(self, request: _Request, match: re.Match[str]):
         submit = SubmitRequest.from_dict(request.json())

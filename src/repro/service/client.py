@@ -24,8 +24,9 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
-from typing import Any, Iterator, Mapping
+from typing import Any, Callable, Iterator, Mapping
 
 __all__ = [
     "ServiceError",
@@ -33,8 +34,21 @@ __all__ = [
     "ServiceUnavailable",
     "JobNotFound",
     "WaitTimeout",
+    "RetriesExhausted",
     "ServiceClient",
 ]
+
+#: Every status a job never leaves (mirrors the server's model).
+TERMINAL_STATUSES = ("succeeded", "failed", "cancelled", "quarantined")
+
+
+def _parse_retry_after(value: Any) -> int:
+    """A malformed ``Retry-After`` must degrade to a sane wait, not a
+    crash in the error path (the header is attacker/bug-controlled)."""
+    try:
+        return max(1, int(float(str(value).strip())))
+    except (TypeError, ValueError):
+        return 1
 
 
 class ServiceError(RuntimeError):
@@ -69,6 +83,15 @@ class WaitTimeout(TimeoutError):
     """``wait`` ran out of time before the job reached a terminal state."""
 
 
+class RetriesExhausted(ServiceError):
+    """``submit_with_retry`` gave up; carries the last rejection."""
+
+    def __init__(self, attempts: int, last: _Backpressure):
+        super().__init__(last.status, last.payload)
+        self.attempts = attempts
+        self.last = last
+
+
 class ServiceClient:
     """Blocking client; safe to use from scripts, tests, and CI."""
 
@@ -92,7 +115,7 @@ class ServiceClient:
     def _raise_for_status(self, status: int, payload: Any, headers) -> None:
         if 200 <= status < 300:
             return
-        retry_after = int(headers.get("Retry-After", "1") or 1)
+        retry_after = _parse_retry_after(headers.get("Retry-After", "1"))
         if status == 429:
             raise QuotaExceeded(status, payload, retry_after)
         if status == 503:
@@ -129,12 +152,16 @@ class ServiceClient:
         replicas: int | None = None,
         observe: bool = False,
         tuned: bool = True,
+        deadline_seconds: float | None = None,
     ) -> dict[str, Any]:
         """Submit one job; returns its status document.
 
         A submission that hits the content-addressed cache comes back
         already ``succeeded`` with ``cached: true``.  ``tuned=False``
         opts the job out of persisted tuned configs.
+        ``deadline_seconds`` is an end-to-end budget: the server rejects
+        up front when its wait estimate already exceeds it and preempts
+        the job if it is still running past it.
         """
         body: dict[str, Any] = {
             "experiment": experiment,
@@ -150,7 +177,52 @@ class ServiceClient:
             body["fault_plan"] = fault_plan
         if replicas is not None:
             body["replicas"] = replicas
+        if deadline_seconds is not None:
+            body["deadline_seconds"] = deadline_seconds
         return self._request("POST", "/v1/jobs", body)
+
+    def submit_with_retry(
+        self,
+        experiment: str,
+        *,
+        max_attempts: int = 5,
+        honor_retry_after: bool = True,
+        max_sleep_seconds: float = 60.0,
+        seed: int | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+        **submit_kwargs: Any,
+    ) -> dict[str, Any]:
+        """:meth:`submit`, retrying through backpressure (429/503).
+
+        Honors the server's ``Retry-After`` estimate (with seeded
+        decorrelating jitter so a burst of identical clients doesn't
+        re-stampede in lockstep); with ``honor_retry_after=False`` it
+        falls back to bounded exponential backoff.  Raises
+        :exc:`RetriesExhausted` after ``max_attempts`` rejections.
+        Validation errors and other non-backpressure failures raise
+        immediately — retrying cannot fix them.
+        """
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        rng = random.Random(seed)
+        last: _Backpressure | None = None
+        for attempt in range(max_attempts):
+            try:
+                return self.submit(experiment, **submit_kwargs)
+            except _Backpressure as exc:
+                last = exc
+                if attempt == max_attempts - 1:
+                    break
+                if honor_retry_after:
+                    base = float(exc.retry_after)
+                else:
+                    base = min(max_sleep_seconds, 0.5 * (2.0 ** attempt))
+                # full jitter on [base/2, base]: spread, never sooner
+                # than half the server's own estimate
+                delay = base / 2.0 + rng.random() * (base / 2.0)
+                sleep(min(max_sleep_seconds, delay))
+        assert last is not None
+        raise RetriesExhausted(max_attempts, last)
 
     def job(self, job_id: str) -> dict[str, Any]:
         return self._request("GET", f"/v1/jobs/{job_id}")
@@ -210,7 +282,7 @@ class ServiceClient:
         """Block until the job is terminal; returns its final document."""
         deadline = time.monotonic() + timeout
         doc = self.job(job_id)
-        while doc["status"] not in ("succeeded", "failed", "cancelled"):
+        while doc["status"] not in TERMINAL_STATUSES:
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 raise WaitTimeout(

@@ -1,0 +1,390 @@
+"""Durable state for the service node: WAL job journal + poison registry.
+
+The in-memory queue makes a ``kill -9`` of the node lose every accepted
+job.  This module closes that hole with two small on-disk structures
+under ``runs/service/``:
+
+* :class:`JobJournal` — a write-ahead log under
+  ``runs/service/journal/``.  Every accepted submission is appended
+  (and fsync'd) *before* the 202 response leaves the node; every later
+  state transition (``running``, ``queued`` again after a preemption,
+  and the terminal settles) is journaled too.  A restarted node replays
+  all live segments, re-enqueues the jobs whose last journaled state is
+  unsettled (content-addressed cache replay makes re-running a
+  completed twin free), re-journals them into its own fresh segment,
+  and marks the old segments ``.settled`` — compacted, prunable by
+  ``harness gc --prune-journal``.
+
+* :class:`PoisonRegistry` — a persisted per-cache-key crash ledger at
+  ``runs/service/poison.json``.  Failed attempts accumulate *across
+  node restarts*; once a key has crashed ``K`` times the service moves
+  it to ``quarantined`` instead of burning retry budget forever.
+  ``harness quarantine list/release`` operates on this file.
+
+Journal entry format (one per line)::
+
+    <crc32-hex8> <canonical-json>\\n
+
+The CRC is computed over the JSON bytes, so a torn tail — the classic
+crash-mid-append artifact — fails verification and recovery skips it
+with a warning instead of crashing the node.  Parsing stops at the
+first bad entry: everything after a torn record is untrusted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+import uuid
+import warnings
+import zlib
+from pathlib import Path
+from typing import Any, Callable, Iterator, Mapping
+
+__all__ = [
+    "JOURNAL_DIRNAME",
+    "SEGMENT_SUFFIX",
+    "SETTLED_SUFFIX",
+    "POISON_FILENAME",
+    "JournalEntry",
+    "JournalReplay",
+    "JobJournal",
+    "PoisonRegistry",
+    "journal_dir",
+    "poison_path",
+]
+
+JOURNAL_DIRNAME = "service/journal"
+#: A live segment some boot may still need to replay.
+SEGMENT_SUFFIX = ".wal"
+#: A compacted segment: every job in it was settled or re-journaled.
+SETTLED_SUFFIX = ".wal.settled"
+POISON_FILENAME = "service/poison.json"
+
+#: Statuses a journaled job never leaves (mirrors the service model's
+#: terminal set; duplicated here so the journal has no import cycle).
+_TERMINAL = frozenset({"succeeded", "failed", "cancelled", "quarantined"})
+
+
+def journal_dir(runs_root: Path | str) -> Path:
+    return Path(runs_root) / JOURNAL_DIRNAME
+
+
+def poison_path(runs_root: Path | str) -> Path:
+    return Path(runs_root) / POISON_FILENAME
+
+
+def _fsync_dump(path: Path, data: Mapping[str, Any]) -> None:
+    """Torn-write-safe JSON dump: tmp file, flush, fsync, atomic rename."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.{os.getpid()}-{uuid.uuid4().hex[:8]}.tmp")
+    with tmp.open("w") as handle:
+        handle.write(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    tmp.replace(path)
+
+
+@dataclasses.dataclass(frozen=True)
+class JournalEntry:
+    """One decoded journal line."""
+
+    kind: str  # "submit" | "transition"
+    job_id: str
+    data: dict[str, Any]
+
+
+@dataclasses.dataclass
+class JournalReplay:
+    """What booting over the existing segments found."""
+
+    #: job_id -> the submit document, for jobs whose last journaled
+    #: status is not terminal, in original submission order
+    unsettled: dict[str, dict[str, Any]]
+    #: job_id -> last journaled status, for every job seen
+    last_status: dict[str, str]
+    #: segments read, oldest first (paths still live on disk)
+    segments: list[Path]
+    entries_read: int = 0
+    torn_entries: int = 0
+
+
+def _encode(entry: Mapping[str, Any]) -> bytes:
+    body = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+    crc = zlib.crc32(body.encode())
+    return f"{crc:08x} {body}\n".encode()
+
+
+def _decode(raw: bytes) -> dict[str, Any] | None:
+    """One journal line back to its entry; ``None`` if torn/corrupt."""
+    if not raw.endswith(b"\n"):
+        return None  # mid-append crash: the newline never made it out
+    try:
+        text = raw.decode()
+        crc_hex, _, body = text.rstrip("\n").partition(" ")
+        if len(crc_hex) != 8 or not body:
+            return None
+        if zlib.crc32(body.encode()) != int(crc_hex, 16):
+            return None
+        entry = json.loads(body)
+    except (ValueError, UnicodeDecodeError):
+        return None
+    return entry if isinstance(entry, dict) else None
+
+
+class JobJournal:
+    """Append-only WAL of job submissions and state transitions.
+
+    One journal owns one directory; each booting node opens its own
+    segment (named after its run id) and appends to it for its whole
+    lifetime.  Appends are fsync'd by default so an accepted submission
+    survives ``kill -9`` the instant the 202 response is on the wire.
+    """
+
+    def __init__(
+        self,
+        root: Path | str,
+        *,
+        fsync: bool = True,
+        on_count: Callable[[str, int], None] | None = None,
+    ):
+        self.dir = Path(root)
+        self.fsync = fsync
+        self._on_count = on_count or (lambda name, value: None)
+        self._handle = None
+        self._segment: Path | None = None
+
+    # -- segment lifecycle --------------------------------------------
+
+    @property
+    def segment(self) -> Path | None:
+        return self._segment
+
+    def live_segments(self) -> list[Path]:
+        """Live (non-compacted) segments, oldest first by name."""
+        if not self.dir.is_dir():
+            return []
+        return sorted(
+            p for p in self.dir.iterdir()
+            if p.name.endswith(SEGMENT_SUFFIX) and p.is_file()
+        )
+
+    def settled_segments(self) -> list[Path]:
+        if not self.dir.is_dir():
+            return []
+        return sorted(
+            p for p in self.dir.iterdir()
+            if p.name.endswith(SETTLED_SUFFIX) and p.is_file()
+        )
+
+    def open_segment(self, boot_id: str) -> Path:
+        """Create and own this boot's append segment."""
+        if self._handle is not None:
+            raise RuntimeError("journal segment already open")
+        self.dir.mkdir(parents=True, exist_ok=True)
+        self._segment = self.dir / f"{boot_id}{SEGMENT_SUFFIX}"
+        self._handle = self._segment.open("ab")
+        return self._segment
+
+    def close(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            finally:
+                self._handle = None
+
+    # -- appends -------------------------------------------------------
+
+    def _append(self, entry: Mapping[str, Any]) -> None:
+        if self._handle is None:
+            raise RuntimeError("journal segment not open; call open_segment()")
+        self._handle.write(_encode(entry))
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+        self._on_count("service.journal.appended", 1)
+
+    def append_submit(self, doc: Mapping[str, Any]) -> None:
+        """Journal one accepted submission (call *before* the 202)."""
+        self._append({"kind": "submit", "at_unix": time.time(), **dict(doc)})
+
+    def append_transition(
+        self,
+        job_id: str,
+        status: str,
+        *,
+        attempts: int = 0,
+        detail: str = "",
+    ) -> None:
+        entry: dict[str, Any] = {
+            "kind": "transition",
+            "job_id": job_id,
+            "status": status,
+            "at_unix": time.time(),
+        }
+        if attempts:
+            entry["attempts"] = attempts
+        if detail:
+            entry["detail"] = detail
+        self._append(entry)
+
+    # -- replay / recovery --------------------------------------------
+
+    def _iter_segment(self, path: Path) -> Iterator[dict[str, Any]]:
+        """Entries of one segment, stopping at the first bad line."""
+        try:
+            raw_lines = path.read_bytes().splitlines(keepends=True)
+        except OSError:
+            return
+        for lineno, raw in enumerate(raw_lines, start=1):
+            entry = _decode(raw)
+            if entry is None:
+                warnings.warn(
+                    f"journal segment {path.name}: torn/corrupt entry at "
+                    f"line {lineno}; skipping the tail "
+                    f"({len(raw_lines) - lineno + 1} line(s))",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                self._on_count("service.journal.torn", 1)
+                return
+            yield entry
+
+    def replay(self) -> JournalReplay:
+        """Fold every live segment into per-job final state.
+
+        Does not mutate the directory — safe for ``harness gc`` and
+        tests to call on a journal another process owns.
+        """
+        segments = self.live_segments()
+        submits: dict[str, dict[str, Any]] = {}
+        last_status: dict[str, str] = {}
+        replay = JournalReplay(
+            unsettled={}, last_status=last_status, segments=segments
+        )
+        for segment in segments:
+            for entry in self._iter_segment(segment):
+                replay.entries_read += 1
+                job_id = str(entry.get("job_id", ""))
+                if not job_id:
+                    continue
+                if entry.get("kind") == "submit":
+                    doc = {
+                        k: v for k, v in entry.items()
+                        if k not in ("kind", "at_unix")
+                    }
+                    submits[job_id] = doc
+                    last_status.setdefault(job_id, "queued")
+                elif entry.get("kind") == "transition":
+                    last_status[job_id] = str(entry.get("status", ""))
+        for job_id, doc in submits.items():
+            if last_status.get(job_id) not in _TERMINAL:
+                replay.unsettled[job_id] = doc
+        self._on_count("service.journal.replayed", replay.entries_read)
+        return replay
+
+    def retire(self, segments: list[Path]) -> int:
+        """Mark replayed segments compacted (``.settled``).
+
+        Called after the unsettled jobs were re-journaled into this
+        boot's fresh segment, so nothing references the old ones.
+        """
+        retired = 0
+        own = self._segment
+        for segment in segments:
+            if own is not None and segment == own:
+                continue
+            try:
+                segment.rename(
+                    segment.with_name(
+                        segment.name[: -len(SEGMENT_SUFFIX)] + SETTLED_SUFFIX
+                    )
+                )
+                retired += 1
+            except OSError:
+                continue
+        if retired:
+            self._on_count("service.journal.compacted", retired)
+        return retired
+
+
+class PoisonRegistry:
+    """Persisted per-cache-key crash ledger behind the quarantine.
+
+    Keys accumulate failed attempts across submissions *and* across
+    node restarts; the service quarantines a key once its count reaches
+    the configured threshold.  ``release`` (the operator's escape
+    hatch) forgets a key so it may run again.
+    """
+
+    def __init__(self, path: Path | str):
+        self.path = Path(path)
+
+    def _read(self) -> dict[str, dict[str, Any]]:
+        try:
+            data = json.loads(self.path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return {}
+        return data if isinstance(data, dict) else {}
+
+    def _write(self, data: Mapping[str, Any]) -> None:
+        _fsync_dump(self.path, data)
+
+    def entries(self) -> dict[str, dict[str, Any]]:
+        """The full ledger: ``cache_key -> {failures, experiment, ...}``."""
+        return self._read()
+
+    def failures(self, cache_key: str) -> int:
+        return int(self._read().get(cache_key, {}).get("failures", 0))
+
+    def is_quarantined(self, cache_key: str) -> bool:
+        return bool(self._read().get(cache_key, {}).get("quarantined", False))
+
+    def record_failure(
+        self,
+        cache_key: str,
+        *,
+        experiment: str = "",
+        attempts: int = 1,
+        threshold: int | None = None,
+    ) -> int:
+        """Add failed attempts; returns the accumulated count.
+
+        With ``threshold`` given, the entry is flagged quarantined the
+        moment the count reaches it.
+        """
+        data = self._read()
+        entry = data.setdefault(cache_key, {"failures": 0})
+        entry["failures"] = int(entry.get("failures", 0)) + max(1, int(attempts))
+        if experiment:
+            entry["experiment"] = experiment
+        entry["last_unix"] = time.time()
+        if threshold is not None and entry["failures"] >= threshold:
+            entry["quarantined"] = True
+        self._write(data)
+        return int(entry["failures"])
+
+    def clear(self, cache_key: str) -> None:
+        """A success wipes the slate for its key."""
+        data = self._read()
+        if cache_key in data:
+            del data[cache_key]
+            self._write(data)
+
+    def release(self, cache_key: str) -> bool:
+        """Operator release: forget the key entirely; True if it existed."""
+        data = self._read()
+        if cache_key not in data:
+            return False
+        del data[cache_key]
+        self._write(data)
+        return True
+
+    def release_all(self) -> int:
+        data = self._read()
+        if not data:
+            return 0
+        self._write({})
+        return len(data)

@@ -25,6 +25,7 @@ A cache hit at submission time short-circuits straight to
 from __future__ import annotations
 
 import dataclasses
+import threading
 import time
 import uuid
 from typing import Any, Mapping
@@ -35,6 +36,7 @@ __all__ = [
     "STATUS_SUCCEEDED",
     "STATUS_FAILED",
     "STATUS_CANCELLED",
+    "STATUS_QUARANTINED",
     "TERMINAL_STATUSES",
     "DEFAULT_PRIORITY",
     "MIN_PRIORITY",
@@ -52,10 +54,13 @@ STATUS_RUNNING = "running"
 STATUS_SUCCEEDED = "succeeded"
 STATUS_FAILED = "failed"
 STATUS_CANCELLED = "cancelled"
+#: The job's cache key crashed too many times (across node restarts);
+#: the poison registry holds it until an operator releases it.
+STATUS_QUARANTINED = "quarantined"
 
 #: Statuses a job never leaves.
 TERMINAL_STATUSES = frozenset(
-    {STATUS_SUCCEEDED, STATUS_FAILED, STATUS_CANCELLED}
+    {STATUS_SUCCEEDED, STATUS_FAILED, STATUS_CANCELLED, STATUS_QUARANTINED}
 )
 
 #: Smaller numbers run sooner (``0`` is the most urgent slot).
@@ -94,6 +99,10 @@ class SubmitRequest:
     #: auto-load persisted tuned configs matching the experiment (the
     #: service-side analogue of the CLI's ``--tuned/--no-tuned``)
     tuned: bool = True
+    #: end-to-end budget in seconds, measured from admission: the job is
+    #: rejected up front if the queue's wait estimate already exceeds
+    #: it, and preempted/failed if it is still running past it
+    deadline_seconds: float | None = None
 
     _KNOWN_FIELDS = frozenset(
         {
@@ -106,6 +115,7 @@ class SubmitRequest:
             "replicas",
             "observe",
             "tuned",
+            "deadline_seconds",
         }
     )
 
@@ -167,6 +177,16 @@ class SubmitRequest:
                 "'replicas' must be an integer >= 1",
             )
 
+        deadline_seconds = data.get("deadline_seconds")
+        if deadline_seconds is not None:
+            _require(
+                isinstance(deadline_seconds, (int, float))
+                and not isinstance(deadline_seconds, bool)
+                and float(deadline_seconds) > 0.0,
+                "'deadline_seconds' must be a number > 0",
+            )
+            deadline_seconds = float(deadline_seconds)
+
         return cls(
             experiment=experiment,
             tenant=tenant.strip(),
@@ -177,6 +197,7 @@ class SubmitRequest:
             replicas=replicas,
             observe=observe,
             tuned=tuned,
+            deadline_seconds=deadline_seconds,
         )
 
 
@@ -223,10 +244,35 @@ class ServiceJob:
     #: the full harness record once the job finishes (or replays)
     record: dict[str, Any] | None = None
     events: list[JobEvent] = dataclasses.field(default_factory=list)
+    #: end-to-end budget, counted from ``created_unix``
+    deadline_seconds: float | None = None
+    #: how many times the stuck-worker watchdog preempted this job
+    hang_preempts: int = 0
+    # -- runtime-only (never journaled/serialized) --------------------
+    #: armed while the job runs; the supervisor sets it to preempt
+    cancel_event: threading.Event | None = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
+    #: why the cancel event fired ("hung" | "deadline" | "shutdown")
+    preempt_reason: str | None = None
+    #: this job is a circuit breaker's half-open probe
+    probe: bool = False
 
     @property
     def terminal(self) -> bool:
         return self.status in TERMINAL_STATUSES
+
+    @property
+    def deadline_unix(self) -> float | None:
+        if self.deadline_seconds is None:
+            return None
+        return self.created_unix + self.deadline_seconds
+
+    def deadline_remaining(self, now: float | None = None) -> float | None:
+        """Seconds of budget left; ``None`` when no deadline was set."""
+        if self.deadline_unix is None:
+            return None
+        return self.deadline_unix - (time.time() if now is None else now)
 
     def add_event(self, status: str, detail: str = "") -> JobEvent:
         event = JobEvent(
@@ -254,9 +300,46 @@ class ServiceJob:
             "finished_unix": self.finished_unix,
             "events": [event.to_dict() for event in self.events],
         }
+        if self.deadline_seconds is not None:
+            doc["deadline_seconds"] = self.deadline_seconds
+        if self.hang_preempts:
+            doc["hang_preempts"] = self.hang_preempts
         if self.terminal and record:
             doc["all_passed"] = record.get("all_passed")
             doc["wall_seconds"] = record.get("wall_seconds")
             if record.get("traceback"):
                 doc["traceback"] = record["traceback"]
         return doc
+
+    def to_journal(self) -> dict[str, Any]:
+        """The WAL ``submit`` document: everything replay needs to
+        rebuild and re-enqueue this job on a restarted node."""
+        doc: dict[str, Any] = {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "experiment_id": self.experiment_id,
+            "payload": dict(self.payload),
+            "cache_key": self.cache_key,
+            "observe": self.observe,
+            "created_unix": self.created_unix,
+        }
+        if self.deadline_seconds is not None:
+            doc["deadline_seconds"] = self.deadline_seconds
+        return doc
+
+    @classmethod
+    def from_journal(cls, doc: Mapping[str, Any]) -> "ServiceJob":
+        """Rebuild a queued job from its journaled submit document."""
+        deadline = doc.get("deadline_seconds")
+        return cls(
+            job_id=str(doc["job_id"]),
+            tenant=str(doc.get("tenant", DEFAULT_TENANT)),
+            priority=int(doc.get("priority", DEFAULT_PRIORITY)),
+            experiment_id=str(doc.get("experiment_id", "")),
+            payload=dict(doc.get("payload") or {}),
+            cache_key=str(doc.get("cache_key", "")),
+            observe=bool(doc.get("observe", False)),
+            created_unix=float(doc.get("created_unix") or time.time()),
+            deadline_seconds=float(deadline) if deadline is not None else None,
+        )

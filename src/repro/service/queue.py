@@ -134,6 +134,13 @@ class PriorityJobQueue:
         estimate = self._avg_seconds * (backlog + 1) / self.concurrency
         return max(1, min(600, math.ceil(estimate)))
 
+    def estimated_wait_seconds(self) -> float:
+        """EWMA estimate of a new job's *completion* latency (wait +
+        its own run), unclamped — the deadline admission check compares
+        this against ``deadline_seconds``."""
+        backlog = self.depth + self.running
+        return self._avg_seconds * (backlog + 1) / self.concurrency
+
     # -- producer side -------------------------------------------------
 
     async def put(self, job: "ServiceJob") -> None:
@@ -152,6 +159,24 @@ class PriorityJobQueue:
                     f"flight (quota {self.tenant_quota}); retry later",
                     self.retry_after(backlog=load),
                 )
+            heapq.heappush(self._heap, (job.priority, next(self._seq), job))
+            self._queued_ids.add(job.job_id)
+            self._queued_by_tenant[job.tenant] += 1
+            self._cond.notify_all()
+
+    async def requeue(self, job: "ServiceJob") -> None:
+        """Re-admit a job the service already accepted once.
+
+        Used by crash-restart replay and by the watchdog's
+        preempt-and-requeue path.  Deliberately skips the depth and
+        quota checks: the job's acceptance was already journaled and
+        acknowledged with a 202, so dropping it now would break the
+        durability contract.  The caller must have released (or never
+        taken) the job's running slot.
+        """
+        async with self._cond:
+            if self._closed or job.job_id in self._queued_ids:
+                return
             heapq.heappush(self._heap, (job.priority, next(self._seq), job))
             self._queued_ids.add(job.job_id)
             self._queued_by_tenant[job.tenant] += 1

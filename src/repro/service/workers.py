@@ -23,17 +23,29 @@ from __future__ import annotations
 
 import asyncio
 import functools
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING
 
+from repro.harness.jobs import STATUS_PREEMPTED
 from repro.harness.scheduler import run_jobs
+from repro.service.supervisor import (
+    PREEMPT_DEADLINE,
+    PREEMPT_HUNG,
+    PREEMPT_SHUTDOWN,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.service.app import Service
     from repro.service.models import ServiceJob
 
 __all__ = ["WorkerPool"]
+
+#: After ``drain_seconds`` expires, hung in-flight jobs are preempted
+#: (cancel event → pool teardown with SIGKILL escalation); this bounds
+#: how long stop() waits for that teardown to settle them.
+_PREEMPT_GRACE_SECONDS = 5.0
 
 
 class WorkerPool:
@@ -62,12 +74,31 @@ class WorkerPool:
 
     async def stop(self, drain_seconds: float = 30.0) -> None:
         """Stop pulling work; wait up to ``drain_seconds`` for in-flight
-        jobs, then cancel whatever is left."""
+        jobs; preempt whatever is still running (a hung job must not
+        stall shutdown); cancel what survives even that."""
         await self._service.queue.close()
         if self._tasks:
             done, pending = await asyncio.wait(
                 self._tasks, timeout=drain_seconds
             )
+            if pending:
+                # the drain budget is spent: yank still-running jobs
+                # through the scheduler's preemption path (pool teardown
+                # escalates SIGTERM -> SIGKILL, so even a stopped worker
+                # process cannot hold us here)
+                preempted = False
+                for job in self._service.jobs.values():
+                    if job.cancel_event is not None and not job.terminal:
+                        job.preempt_reason = (
+                            job.preempt_reason or PREEMPT_SHUTDOWN
+                        )
+                        job.cancel_event.set()
+                        preempted = True
+                if preempted:
+                    grace = max(1.0, min(_PREEMPT_GRACE_SECONDS, drain_seconds))
+                    done, pending = await asyncio.wait(
+                        pending, timeout=grace
+                    )
             for task in pending:
                 task.cancel()
             if pending:
@@ -106,15 +137,28 @@ class WorkerPool:
             await service.queue.release(job, None)
             return
 
+        remaining = job.deadline_remaining()
+        if remaining is not None and remaining <= 0.0:
+            await service.settle_deadline_missed(job)
+            await service.queue.release(job, None)
+            return
+
         await service.mark_running(job)
         config = service.config
+        timeout = config.timeout
+        if remaining is not None:
+            timeout = remaining if timeout is None else min(timeout, remaining)
+        payload = dict(job.payload)
+        payload["heartbeat_path"] = str(service.heartbeat_path(job.job_id))
+        job.cancel_event = threading.Event()
         call = functools.partial(
             run_jobs,
-            [job.payload],
+            [payload],
             max_workers=1,
-            timeout=config.timeout,
+            timeout=timeout,
             retries=config.retries,
             backoff=config.backoff,
+            cancel_event=job.cancel_event,
         )
         started = time.monotonic()
         loop = asyncio.get_running_loop()
@@ -132,5 +176,49 @@ class WorkerPool:
                 "attempts": 0,
                 "wall_seconds": seconds,
             }
+        if record.get("status") == STATUS_PREEMPTED:
+            await self._settle_preempted(job, record, seconds)
+            return
+        if (
+            record.get("status") == "timeout"
+            and job.preempt_reason is None
+            and (job.deadline_remaining() or 1.0) <= 0.0
+        ):
+            # the scheduler timeout that fired was the deadline-derived
+            # one, not the configured per-attempt bound
+            job.preempt_reason = PREEMPT_DEADLINE
+        await service.finish(job, record, seconds)
+        await service.queue.release(job, seconds)
+
+    async def _settle_preempted(
+        self, job: "ServiceJob", record: dict, seconds: float
+    ) -> None:
+        """Route a watchdog/shutdown/deadline preemption to its outcome."""
+        service = self._service
+        reason = job.preempt_reason
+        if reason == PREEMPT_HUNG:
+            job.hang_preempts += 1
+            if job.hang_preempts <= service.config.hang_retries:
+                # the slot must be free before the job re-enters the queue
+                await service.queue.release(job, None)
+                await service.requeue_after_preempt(
+                    job,
+                    detail=(
+                        f"stuck worker preempted (no heartbeat); requeue "
+                        f"{job.hang_preempts}/{service.config.hang_retries}"
+                    ),
+                )
+                return
+            record = dict(record)
+            record["traceback"] = (
+                f"worker hung {job.hang_preempts} time(s) with no "
+                f"heartbeat for {service.config.hang_seconds}s; "
+                "hang_retries exhausted"
+            )
+        elif reason == PREEMPT_SHUTDOWN:
+            job.cancel_requested = True  # settle as cancelled, like the
+            # queued jobs the shutdown sweep cancels
+        elif reason == PREEMPT_DEADLINE:
+            pass  # finish() maps it to a deadline-missed failure
         await service.finish(job, record, seconds)
         await service.queue.release(job, seconds)

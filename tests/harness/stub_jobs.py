@@ -7,6 +7,8 @@ the real experiment registry entries.
 
 from __future__ import annotations
 
+import os
+import signal
 import time
 from pathlib import Path
 
@@ -62,6 +64,36 @@ def flaky_job(counter_path: str = "", fail_times: int = 0) -> ExperimentResult:
     if seen < fail_times:
         raise RuntimeError(f"transient failure #{seen + 1}")
     return make_result()
+
+
+def stalled_job(touch_path: str = "", value: float = 0.0) -> ExperimentResult:
+    """Freezes its own worker process with SIGSTOP.
+
+    This is how tests inject a genuinely *stuck* worker: the heartbeat
+    thread stops beating (the whole process is stopped), so the service
+    watchdog must detect it by heartbeat staleness and tear the pool
+    down — SIGTERM alone cannot kill a stopped process.  ``touch_path``
+    marks that the job really started before freezing.
+    """
+    if touch_path:
+        Path(touch_path).parent.mkdir(parents=True, exist_ok=True)
+        Path(touch_path).touch()
+    os.kill(os.getpid(), signal.SIGSTOP)
+    return make_result(value=value)  # pragma: no cover - only after SIGCONT
+
+
+def stall_once_job(marker_path: str = "", value: float = 7.0) -> ExperimentResult:
+    """SIGSTOPs itself the first time, succeeds on any later attempt.
+
+    Exercises the watchdog's preempt-and-requeue path end to end: the
+    first run hangs and is preempted, the requeued run completes.
+    """
+    marker = Path(marker_path)
+    if not marker.exists():
+        marker.parent.mkdir(parents=True, exist_ok=True)
+        marker.touch()
+        os.kill(os.getpid(), signal.SIGSTOP)
+    return make_result(value=value)
 
 
 def stub_job(

@@ -146,6 +146,70 @@ class TestVmExecAndReplicas:
         assert "1 cached" in out
 
 
+class TestQuarantine:
+    def seed(self, tmp_path):
+        from repro.service.durability import PoisonRegistry, poison_path
+
+        registry = PoisonRegistry(poison_path(tmp_path))
+        registry.record_failure(
+            "aaaa1111" * 8, experiment="boom", attempts=3, threshold=3
+        )
+        registry.record_failure("bbbb2222" * 8, experiment="flaky")
+        return registry
+
+    def test_list_shows_states_and_counts(self, tmp_path, capsys):
+        self.seed(tmp_path)
+        rc = cli.main(["quarantine", "list", "--runs-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "QUARANTINED" in out and "watching" in out
+        assert "2 key(s) tracked, 1 quarantined" in out
+
+    def test_bare_quarantine_defaults_to_list(self, tmp_path, capsys):
+        rc = cli.main(["quarantine", "--runs-dir", str(tmp_path)])
+        assert rc == 0
+        assert "poison ledger is empty" in capsys.readouterr().out
+
+    def test_release_by_prefix(self, tmp_path, capsys):
+        registry = self.seed(tmp_path)
+        rc = cli.main(
+            ["quarantine", "release", "aaaa1111", "--runs-dir", str(tmp_path)]
+        )
+        assert rc == 0
+        assert "released" in capsys.readouterr().out
+        assert not registry.is_quarantined("aaaa1111" * 8)
+        assert registry.failures("bbbb2222" * 8) == 1  # untouched
+
+    def test_release_unknown_prefix_errors(self, tmp_path, capsys):
+        self.seed(tmp_path)
+        rc = cli.main(
+            ["quarantine", "release", "zzzz", "--runs-dir", str(tmp_path)]
+        )
+        assert rc == 2
+        assert "no tracked key" in capsys.readouterr().err
+
+    def test_release_ambiguous_prefix_errors(self, tmp_path, capsys):
+        from repro.service.durability import PoisonRegistry, poison_path
+
+        registry = PoisonRegistry(poison_path(tmp_path))
+        registry.record_failure("cafe0001")
+        registry.record_failure("cafe0002")
+        rc = cli.main(
+            ["quarantine", "release", "cafe", "--runs-dir", str(tmp_path)]
+        )
+        assert rc == 2
+        assert "ambiguous" in capsys.readouterr().err
+
+    def test_release_all(self, tmp_path, capsys):
+        registry = self.seed(tmp_path)
+        rc = cli.main(
+            ["quarantine", "release", "--all", "--runs-dir", str(tmp_path)]
+        )
+        assert rc == 0
+        assert "released 2 key(s)" in capsys.readouterr().out
+        assert registry.entries() == {}
+
+
 class TestModuleEntry:
     def test_main_module_importable(self):
         import repro.harness.__main__  # noqa: F401 - import must succeed

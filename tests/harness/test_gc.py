@@ -145,6 +145,71 @@ class TestDryRun:
         assert store.list_traces(run_ids[-1]) == ["job-ghost"]
 
 
+def seed_journal(store: RunStore):
+    """One live segment with an unsettled job, one compacted segment,
+    one live heartbeat and one orphaned heartbeat."""
+    from repro.service.durability import JobJournal, journal_dir
+
+    journal = JobJournal(journal_dir(store.root), fsync=False)
+    journal.open_segment("boot-live")
+    journal.append_submit(
+        {
+            "job_id": "job-live",
+            "tenant": "t",
+            "priority": 10,
+            "experiment_id": "ok",
+            "payload": {"job_id": "job-live", "params": {}},
+            "cache_key": "key-live",
+            "observe": False,
+            "created_unix": 1000.0,
+        }
+    )
+    journal.close()
+    settled = journal.dir / "boot-old.wal.settled"
+    settled.write_text("")
+    heartbeats = store.root / "service" / "heartbeats"
+    heartbeats.mkdir(parents=True, exist_ok=True)
+    (heartbeats / "job-live.hb").touch()
+    (heartbeats / "job-ghost.hb").touch()
+    return journal.dir, heartbeats
+
+
+class TestJournalAwareness:
+    def test_live_segments_survive_even_prune_journal(self, tmp_path):
+        store = RunStore(tmp_path)
+        journal_root, _ = seed_journal(store)
+        removed = store.gc(keep_runs=20, prune_journal=True)
+        assert removed["journal_segments_removed"] == 1
+        names = sorted(p.name for p in journal_root.iterdir())
+        # the live segment holds an acknowledged-but-unsettled job: a
+        # restarted node still owes its result, so gc must keep it
+        assert names == ["boot-live.wal"]
+
+    def test_settled_segments_kept_without_flag(self, tmp_path):
+        store = RunStore(tmp_path)
+        journal_root, _ = seed_journal(store)
+        removed = store.gc(keep_runs=20)
+        assert removed["journal_segments_removed"] == 0
+        assert (journal_root / "boot-old.wal.settled").exists()
+
+    def test_orphan_heartbeats_swept_live_ones_kept(self, tmp_path):
+        store = RunStore(tmp_path)
+        _, heartbeats = seed_journal(store)
+        removed = store.gc(keep_runs=20)
+        assert removed["heartbeats_removed"] == 1
+        assert (heartbeats / "job-live.hb").exists()
+        assert not (heartbeats / "job-ghost.hb").exists()
+
+    def test_dry_run_counts_journal_artifacts(self, tmp_path):
+        store = RunStore(tmp_path)
+        journal_root, heartbeats = seed_journal(store)
+        counted = store.gc(keep_runs=20, prune_journal=True, dry_run=True)
+        assert counted["journal_segments_removed"] == 1
+        assert counted["heartbeats_removed"] == 1
+        assert (journal_root / "boot-old.wal.settled").exists()
+        assert (heartbeats / "job-ghost.hb").exists()
+
+
 class TestCLI:
     def test_gc_subcommand_prints_summary(self, tmp_path, capsys):
         store = RunStore(tmp_path)
@@ -171,3 +236,18 @@ class TestCLI:
         rc = cli_main(["gc", "--keep", "-1", "--runs-dir", str(tmp_path)])
         assert rc == 2
         assert "keep_runs" in capsys.readouterr().err
+
+    def test_gc_prune_journal_flag(self, tmp_path, capsys):
+        store = RunStore(tmp_path)
+        journal_root, _ = seed_journal(store)
+        rc = cli_main(
+            ["gc", "--keep", "20", "--prune-journal",
+             "--runs-dir", str(tmp_path)]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "1 compacted journal segment(s)" in out
+        assert "1 stale heartbeat(s)" in out
+        assert sorted(p.name for p in journal_root.iterdir()) == [
+            "boot-live.wal"
+        ]

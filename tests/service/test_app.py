@@ -318,7 +318,11 @@ class TestFailures:
 
     def test_failed_record_is_not_cached(self, tmp_path):
         async def scenario():
-            async with running_service(str(tmp_path)) as svc:
+            # quarantine_attempts high: this test is about cache
+            # behavior, not the poison ledger
+            async with running_service(
+                str(tmp_path), quarantine_attempts=100
+            ) as svc:
                 client = ServiceClient(port=svc.port)
                 doc = await call(client.submit, "boom")
                 await call(client.wait, doc["id"], 60)

@@ -1,0 +1,139 @@
+"""ServiceClient retry behavior: jittered backoff over backpressure.
+
+Pure unit tests — ``submit`` is stubbed out, so no server, no socket,
+and no real sleeping.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.client import (
+    QuotaExceeded,
+    RetriesExhausted,
+    ServiceClient,
+    ServiceError,
+    ServiceUnavailable,
+    _parse_retry_after,
+)
+
+
+class TestParseRetryAfter:
+    @pytest.mark.parametrize(
+        "raw, expected",
+        [
+            ("5", 5),
+            (" 7 ", 7),
+            ("2.9", 2),  # truncated, not crashed
+            (3, 3),
+            ("0", 1),  # never below 1
+            ("-3", 1),
+            ("", 1),
+            ("soon", 1),  # the header is bug/attacker-controlled
+            (None, 1),
+            ([1, 2], 1),
+        ],
+    )
+    def test_degrades_to_sane_wait(self, raw, expected):
+        assert _parse_retry_after(raw) == expected
+
+
+class _RejectingClient(ServiceClient):
+    """Rejects the first N submits with backpressure, then accepts."""
+
+    def __init__(self, failures: int, exc_type=ServiceUnavailable,
+                 retry_after: int = 4):
+        super().__init__(port=1)
+        self._failures = failures
+        self._exc_type = exc_type
+        self._retry_after = retry_after
+        self.calls = 0
+
+    def submit(self, experiment, **kwargs):
+        self.calls += 1
+        if self.calls <= self._failures:
+            raise self._exc_type(
+                503, {"error": "shedding load"}, self._retry_after
+            )
+        return {"id": f"job-{self.calls}", "status": "queued"}
+
+
+class TestSubmitWithRetry:
+    def test_retries_through_backpressure(self):
+        sleeps: list[float] = []
+        client = _RejectingClient(failures=2)
+        doc = client.submit_with_retry(
+            "ok", max_attempts=5, seed=7, sleep=sleeps.append
+        )
+        assert doc["status"] == "queued"
+        assert client.calls == 3
+        # honored Retry-After=4 with full jitter on [base/2, base]
+        assert len(sleeps) == 2
+        assert all(2.0 <= s <= 4.0 for s in sleeps)
+
+    def test_quota_rejections_also_retry(self):
+        client = _RejectingClient(failures=1, exc_type=QuotaExceeded)
+        doc = client.submit_with_retry("ok", seed=1, sleep=lambda s: None)
+        assert doc["id"] == "job-2"
+
+    def test_exhaustion_raises_with_last_rejection(self):
+        client = _RejectingClient(failures=99)
+        with pytest.raises(RetriesExhausted) as excinfo:
+            client.submit_with_retry(
+                "ok", max_attempts=3, seed=0, sleep=lambda s: None
+            )
+        assert client.calls == 3
+        assert excinfo.value.attempts == 3
+        assert isinstance(excinfo.value.last, ServiceUnavailable)
+        assert excinfo.value.status == 503
+
+    def test_non_backpressure_errors_raise_immediately(self):
+        class Client404(ServiceClient):
+            calls = 0
+
+            def submit(self, experiment, **kwargs):
+                self.calls += 1
+                raise ServiceError(400, {"error": "bad request"})
+
+        client = Client404(port=1)
+        with pytest.raises(ServiceError, match="bad request"):
+            client.submit_with_retry("ok", sleep=lambda s: None)
+        assert client.calls == 1  # retrying cannot fix a 400
+
+    def test_exponential_backoff_when_not_honoring_retry_after(self):
+        sleeps: list[float] = []
+        client = _RejectingClient(failures=3, retry_after=1000)
+        client.submit_with_retry(
+            "ok",
+            max_attempts=4,
+            honor_retry_after=False,
+            max_sleep_seconds=10.0,
+            seed=3,
+            sleep=sleeps.append,
+        )
+        # bases 0.5, 1.0, 2.0 — the huge server hint is ignored
+        assert len(sleeps) == 3
+        for base, actual in zip([0.5, 1.0, 2.0], sleeps):
+            assert base / 2 <= actual <= base
+
+    def test_sleep_is_capped(self):
+        sleeps: list[float] = []
+        client = _RejectingClient(failures=1, retry_after=500)
+        client.submit_with_retry(
+            "ok", max_sleep_seconds=2.0, seed=0, sleep=sleeps.append
+        )
+        assert sleeps and all(s <= 2.0 for s in sleeps)
+
+    def test_seeded_jitter_is_deterministic(self):
+        def collect():
+            sleeps: list[float] = []
+            _RejectingClient(failures=2).submit_with_retry(
+                "ok", seed=42, sleep=sleeps.append
+            )
+            return sleeps
+
+        assert collect() == collect()
+
+    def test_rejects_bad_max_attempts(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            _RejectingClient(failures=0).submit_with_retry("ok", max_attempts=0)

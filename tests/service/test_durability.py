@@ -1,0 +1,248 @@
+"""Unit tests for the WAL job journal and the poison registry.
+
+The journal's crash-safety contract is exercised directly on disk:
+append + replay round trips, torn-tail detection (a truncated entry is
+the canonical kill -9 artifact), segment compaction, and the poison
+ledger's accumulate/threshold/release lifecycle.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+
+import pytest
+
+from repro.service.durability import (
+    SEGMENT_SUFFIX,
+    SETTLED_SUFFIX,
+    JobJournal,
+    PoisonRegistry,
+    _decode,
+    _encode,
+    journal_dir,
+    poison_path,
+)
+
+
+def submit_doc(job_id: str, **extra) -> dict:
+    return {
+        "job_id": job_id,
+        "tenant": "t",
+        "priority": 10,
+        "experiment_id": "ok",
+        "payload": {"job_id": job_id, "params": {}},
+        "cache_key": f"key-{job_id}",
+        "observe": False,
+        "created_unix": 1000.0,
+        **extra,
+    }
+
+
+class TestWireFormat:
+    def test_encode_decode_round_trip(self):
+        entry = {"kind": "submit", "job_id": "j1", "n": 3}
+        raw = _encode(entry)
+        assert raw.endswith(b"\n")
+        assert _decode(raw) == entry
+
+    def test_missing_newline_is_torn(self):
+        raw = _encode({"kind": "submit", "job_id": "j1"})
+        assert _decode(raw[:-1]) is None  # mid-append crash
+        assert _decode(raw[: len(raw) // 2]) is None
+
+    def test_bad_crc_is_torn(self):
+        raw = _encode({"kind": "submit", "job_id": "j1"})
+        flipped = b"00000000" + raw[8:]
+        assert _decode(flipped) is None
+
+    def test_garbage_lines_are_torn(self):
+        assert _decode(b"\n") is None
+        assert _decode(b"not a journal line\n") is None
+        assert _decode(b"deadbeef [1,2,3]\n") is None  # not an object
+
+
+class TestJobJournal:
+    def test_append_and_replay_round_trip(self, tmp_path):
+        journal = JobJournal(tmp_path / "journal")
+        journal.open_segment("boot-1")
+        journal.append_submit(submit_doc("j1"))
+        journal.append_submit(submit_doc("j2"))
+        journal.append_transition("j1", "running")
+        journal.append_transition("j1", "succeeded", attempts=1)
+        journal.close()
+
+        replay = JobJournal(tmp_path / "journal").replay()
+        assert list(replay.unsettled) == ["j2"]  # j1 settled
+        assert replay.unsettled["j2"]["cache_key"] == "key-j2"
+        assert replay.last_status == {"j1": "succeeded", "j2": "queued"}
+        assert replay.entries_read == 4
+        assert replay.torn_entries == 0
+
+    def test_every_terminal_status_settles(self, tmp_path):
+        journal = JobJournal(tmp_path / "journal")
+        journal.open_segment("boot-1")
+        statuses = ["succeeded", "failed", "cancelled", "quarantined"]
+        for i, status in enumerate(statuses):
+            journal.append_submit(submit_doc(f"j{i}"))
+            journal.append_transition(f"j{i}", status)
+        journal.append_submit(submit_doc("j-live"))
+        journal.append_transition("j-live", "running")
+        journal.close()
+
+        replay = JobJournal(tmp_path / "journal").replay()
+        assert list(replay.unsettled) == ["j-live"]
+
+    def test_requeue_after_settle_looking_transition(self, tmp_path):
+        # a preempted job journals queued *after* running: still unsettled
+        journal = JobJournal(tmp_path / "journal")
+        journal.open_segment("boot-1")
+        journal.append_submit(submit_doc("j1"))
+        journal.append_transition("j1", "running")
+        journal.append_transition("j1", "queued", detail="hang preempt")
+        journal.close()
+        replay = JobJournal(tmp_path / "journal").replay()
+        assert list(replay.unsettled) == ["j1"]
+
+    def test_torn_tail_is_skipped_with_warning(self, tmp_path):
+        counts: collections.Counter = collections.Counter()
+        journal = JobJournal(
+            tmp_path / "journal",
+            on_count=lambda name, value: counts.update({name: value}),
+        )
+        segment = journal.open_segment("boot-1")
+        journal.append_submit(submit_doc("j1"))
+        journal.append_transition("j1", "succeeded")
+        journal.append_submit(submit_doc("j2"))
+        journal.close()
+
+        # simulate kill -9 mid-append: chop the last entry in half
+        raw = segment.read_bytes()
+        segment.write_bytes(raw[: len(raw) - len(raw.splitlines()[-1]) // 2 - 1])
+
+        reader = JobJournal(
+            tmp_path / "journal",
+            on_count=lambda name, value: counts.update({name: value}),
+        )
+        with pytest.warns(RuntimeWarning, match="torn/corrupt entry"):
+            replay = reader.replay()
+        # j2's submit was the torn entry: it never got its 202, so
+        # losing it is correct; j1 settled before the tear
+        assert replay.unsettled == {}
+        assert replay.last_status == {"j1": "succeeded"}
+        assert counts["service.journal.torn"] == 1
+
+    def test_corruption_mid_segment_stops_parsing(self, tmp_path):
+        journal = JobJournal(tmp_path / "journal")
+        segment = journal.open_segment("boot-1")
+        journal.append_submit(submit_doc("j1"))
+        journal.close()
+        with segment.open("ab") as handle:
+            handle.write(b"garbage garbage\n")
+            handle.write(_encode({"kind": "submit", **submit_doc("j2")}))
+
+        with pytest.warns(RuntimeWarning):
+            replay = JobJournal(tmp_path / "journal").replay()
+        # everything after the corrupt line is untrusted
+        assert list(replay.unsettled) == ["j1"]
+
+    def test_replay_folds_multiple_segments_in_order(self, tmp_path):
+        for boot, job in (("boot-1", "j1"), ("boot-2", "j2")):
+            journal = JobJournal(tmp_path / "journal")
+            journal.open_segment(boot)
+            journal.append_submit(submit_doc(job))
+            journal.close()
+        # boot-2 also settled boot-1's job (recovery did its work)
+        journal = JobJournal(tmp_path / "journal")
+        with (tmp_path / "journal" / f"boot-2{SEGMENT_SUFFIX}").open("ab") as fh:
+            fh.write(
+                _encode(
+                    {"kind": "transition", "job_id": "j1", "status": "succeeded"}
+                )
+            )
+        replay = journal.replay()
+        assert list(replay.unsettled) == ["j2"]
+        assert [p.name for p in replay.segments] == [
+            f"boot-1{SEGMENT_SUFFIX}",
+            f"boot-2{SEGMENT_SUFFIX}",
+        ]
+
+    def test_retire_compacts_but_never_own_segment(self, tmp_path):
+        old = JobJournal(tmp_path / "journal")
+        old.open_segment("boot-1")
+        old.append_submit(submit_doc("j1"))
+        old.close()
+
+        current = JobJournal(tmp_path / "journal")
+        replay = current.replay()
+        current.open_segment("boot-2")
+        retired = current.retire(replay.segments + [current.segment])
+        assert retired == 1
+        names = sorted(p.name for p in (tmp_path / "journal").iterdir())
+        assert names == [
+            f"boot-1{SETTLED_SUFFIX}",
+            f"boot-2{SEGMENT_SUFFIX}",
+        ]
+        # settled segments are invisible to later replays
+        assert JobJournal(tmp_path / "journal").replay().entries_read == 0
+        current.close()
+
+    def test_append_requires_open_segment(self, tmp_path):
+        journal = JobJournal(tmp_path / "journal")
+        with pytest.raises(RuntimeError, match="not open"):
+            journal.append_submit(submit_doc("j1"))
+        journal.open_segment("boot-1")
+        with pytest.raises(RuntimeError, match="already open"):
+            journal.open_segment("boot-2")
+        journal.close()
+
+    def test_replay_of_missing_dir_is_empty(self, tmp_path):
+        replay = JobJournal(tmp_path / "nope").replay()
+        assert replay.unsettled == {} and replay.segments == []
+
+    def test_paths_live_under_runs_service(self, tmp_path):
+        assert journal_dir(tmp_path) == tmp_path / "service" / "journal"
+        assert poison_path(tmp_path) == tmp_path / "service" / "poison.json"
+
+
+class TestPoisonRegistry:
+    def test_failures_accumulate_to_quarantine(self, tmp_path):
+        registry = PoisonRegistry(tmp_path / "poison.json")
+        assert registry.failures("k") == 0
+        assert registry.record_failure("k", threshold=3) == 1
+        assert not registry.is_quarantined("k")
+        assert registry.record_failure("k", attempts=2, threshold=3) == 3
+        assert registry.is_quarantined("k")
+
+    def test_accumulation_survives_reopen(self, tmp_path):
+        PoisonRegistry(tmp_path / "poison.json").record_failure(
+            "k", experiment="boom"
+        )
+        reopened = PoisonRegistry(tmp_path / "poison.json")
+        assert reopened.failures("k") == 1
+        assert reopened.entries()["k"]["experiment"] == "boom"
+
+    def test_success_clears_the_key(self, tmp_path):
+        registry = PoisonRegistry(tmp_path / "poison.json")
+        registry.record_failure("k")
+        registry.clear("k")
+        assert registry.failures("k") == 0
+        registry.clear("never-seen")  # no-op, no crash
+
+    def test_release_and_release_all(self, tmp_path):
+        registry = PoisonRegistry(tmp_path / "poison.json")
+        registry.record_failure("a", threshold=1)
+        registry.record_failure("b", threshold=1)
+        assert registry.release("a") is True
+        assert registry.release("a") is False
+        assert registry.release_all() == 1
+        assert registry.entries() == {}
+        assert registry.release_all() == 0
+
+    def test_corrupt_ledger_degrades_to_empty(self, tmp_path):
+        path = tmp_path / "poison.json"
+        path.write_text("{broken json")
+        registry = PoisonRegistry(path)
+        assert registry.entries() == {}
+        registry.record_failure("k")  # and writing repairs it
+        assert json.loads(path.read_text())["k"]["failures"] == 1

@@ -9,6 +9,7 @@ from repro.service.models import (
     DEFAULT_TENANT,
     STATUS_CANCELLED,
     STATUS_FAILED,
+    STATUS_QUARANTINED,
     STATUS_QUEUED,
     STATUS_RUNNING,
     STATUS_SUCCEEDED,
@@ -94,6 +95,19 @@ class TestSubmitRequest:
         with pytest.raises(ValidationError, match="observe"):
             SubmitRequest.from_dict({"experiment": "x", "observe": "yes"})
 
+    def test_deadline_seconds_accepted(self):
+        req = SubmitRequest.from_dict(
+            {"experiment": "x", "deadline_seconds": 2.5}
+        )
+        assert req.deadline_seconds == 2.5
+
+    @pytest.mark.parametrize("deadline", [0, -1, "5", True, float("nan")])
+    def test_rejects_bad_deadlines(self, deadline):
+        with pytest.raises(ValidationError, match="deadline_seconds"):
+            SubmitRequest.from_dict(
+                {"experiment": "x", "deadline_seconds": deadline}
+            )
+
 
 class TestJobEvent:
     def test_detail_omitted_when_empty(self):
@@ -151,3 +165,41 @@ class TestServiceJob:
         doc = job.to_doc()
         assert doc["events"][0]["status"] == STATUS_QUEUED
         assert doc["status"] == STATUS_CANCELLED
+
+    def test_quarantined_is_terminal(self):
+        job = make_job(status=STATUS_QUARANTINED)
+        assert job.terminal
+
+    def test_journal_document_round_trips(self):
+        job = make_job(deadline_seconds=12.5)
+        doc = job.to_journal()
+        rebuilt = ServiceJob.from_journal(doc)
+        assert rebuilt.job_id == job.job_id
+        assert rebuilt.tenant == job.tenant
+        assert rebuilt.priority == job.priority
+        assert rebuilt.payload == job.payload
+        assert rebuilt.cache_key == job.cache_key
+        assert rebuilt.created_unix == job.created_unix
+        assert rebuilt.deadline_seconds == 12.5
+        assert rebuilt.status == STATUS_QUEUED
+        # runtime-only state never crosses the journal
+        assert rebuilt.cancel_event is None
+        assert rebuilt.preempt_reason is None
+
+    def test_journal_document_omits_unset_deadline(self):
+        doc = make_job().to_journal()
+        assert "deadline_seconds" not in doc
+        assert ServiceJob.from_journal(doc).deadline_seconds is None
+
+    def test_deadline_remaining_counts_from_creation(self):
+        job = make_job(created_unix=1000.0, deadline_seconds=5.0)
+        assert job.deadline_unix == 1005.0
+        assert job.deadline_remaining(now=1002.0) == 3.0
+        assert job.deadline_remaining(now=1008.0) == -3.0
+        assert make_job().deadline_remaining(now=1.0) is None
+
+    def test_doc_surfaces_deadline_and_hang_preempts(self):
+        doc = make_job(deadline_seconds=4.0, hang_preempts=2).to_doc()
+        assert doc["deadline_seconds"] == 4.0
+        assert doc["hang_preempts"] == 2
+        assert "hang_preempts" not in make_job().to_doc()

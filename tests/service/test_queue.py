@@ -174,6 +174,47 @@ class TestCancelAndClose:
         assert asyncio.run(scenario()) == [None, None, None]
 
 
+class TestRequeueAndEstimates:
+    def test_estimated_wait_grows_with_backlog(self):
+        async def scenario():
+            q = PriorityJobQueue(concurrency=1)
+            idle = q.estimated_wait_seconds()
+            assert idle > 0.0
+            for i in range(5):
+                await q.put(job(f"j{i}", tenant=f"t{i}"))
+            assert q.estimated_wait_seconds() > idle
+
+        asyncio.run(scenario())
+
+    def test_requeue_bypasses_depth_and_quota(self):
+        async def scenario():
+            q = PriorityJobQueue(max_depth=1, tenant_quota=1)
+            await q.put(job("a"))
+            # a journal-recovered job was already 202-acknowledged: the
+            # admission checks its original put passed don't re-apply
+            await q.requeue(job("b"))
+            await q.requeue(job("c"))
+            assert q.depth == 3
+            got = [(await q.get()).job_id for _ in range(3)]
+            assert sorted(got) == ["a", "b", "c"]
+
+        asyncio.run(scenario())
+
+    def test_requeue_is_idempotent_for_queued_jobs(self):
+        async def scenario():
+            q = PriorityJobQueue()
+            a = job("a")
+            await q.put(a)
+            await q.requeue(a)  # already queued: no duplicate entry
+            assert q.depth == 1
+            assert (await q.get()).job_id == "a"
+            await q.close()
+            await q.requeue(job("late"))  # closed: dropped, not queued
+            assert q.depth == 0
+
+        asyncio.run(scenario())
+
+
 class TestValidation:
     @pytest.mark.parametrize(
         "kwargs",
