@@ -8,7 +8,8 @@ Usage::
 
 Checks each file against its declared schema (``repro.bench_vm/1`` for
 per-kernel tables, ``repro.bench_vm2/1`` for ensemble tables,
-``repro.bench_tune/1`` for autotuner tables): required
+``repro.bench_tune/1`` for autotuner tables, ``repro.bench_cluster/1``
+for simulated-cluster strong-scaling tables): required
 top-level keys, per-result row fields and types, and that every
 recorded speedup is a positive finite number.  Exits 1 with one line
 per violation, so CI catches a hand-edited or truncated table before
@@ -48,6 +49,20 @@ SCHEMAS: dict[str, tuple[str, dict[str, type]]] = {
             "repeats": int,
             "best_seconds": float,
             "replicas_per_second": float,
+        },
+    ),
+    "repro.bench_cluster/1": (
+        "speedup_over_one_node",
+        {
+            "device": str,
+            "nodes": int,
+            "topology": str,
+            "seconds_per_step": float,
+            "speedup_over_one_node": float,
+            "exchange_bytes": int,
+            "ghost_atoms_per_step": int,
+            "hidden_exchange_seconds": float,
+            "state_digest": str,
         },
     ),
     "repro.bench_tune/1": (
@@ -158,6 +173,7 @@ def main(argv: list[str] | None = None) -> int:
             REPO_ROOT / "BENCH_vm.json",
             REPO_ROOT / "BENCH_vm2.json",
             REPO_ROOT / "BENCH_tune.json",
+            REPO_ROOT / "BENCH_cluster.json",
         ]
         missing_is_error = False
 

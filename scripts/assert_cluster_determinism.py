@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""CI gate: the simulated cluster is deterministic and fault-stable.
+
+Usage::
+
+    python scripts/assert_cluster_determinism.py [--plan cluster-storm]
+    [--n-atoms N] [--n-steps N] [--nodes K ...] [--devices D ...]
+
+Runs each (device, K) cell twice under the same fault plan and asserts:
+
+* the two runs produce **byte-identical** fault event logs, simulated
+  step timings, final positions/velocities, and state digests
+  (determinism — same seed, same chaos, across ghost exchange and
+  straggler draws),
+* the faulted run's dynamical state is **bit-identical** to a clean run
+  of the same cell (link drops and stragglers cost simulated time only;
+  ghosts are always re-read from pristine owner data),
+* a zero-rate plan (``--plan none``) costs exactly nothing — timings
+  equal the clean run to the bit (arming the fault plane is free),
+* every decomposed cell reproduces the K = 1 digest (the equivalence
+  contract, re-checked here so the gate stands alone in CI).
+
+Exit code 0 on success, 1 with a findings list otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--plan", default="cluster-storm",
+                        help="'cluster-storm', 'storm', 'none', or a JSON "
+                        "plan file")
+    parser.add_argument("--n-atoms", type=int, default=256)
+    parser.add_argument("--n-steps", type=int, default=4)
+    parser.add_argument("--nodes", type=int, nargs="+", default=[1, 2, 4])
+    parser.add_argument("--devices", nargs="+", default=["cell", "opteron"])
+    parser.add_argument("--topology", default="switch")
+    args = parser.parse_args(argv)
+
+    import numpy as np
+
+    from repro.cluster.machine import SimulatedCluster
+    from repro.faults import load_plan_arg
+    from repro.md.simulation import MDConfig
+
+    plan = load_plan_arg(args.plan)
+    config = MDConfig(n_atoms=args.n_atoms)
+
+    problems: list[str] = []
+    for device in args.devices:
+        reference_digest = None
+        for k in sorted(set(args.nodes)):
+            cell = f"{device}/K={k}"
+
+            def make() -> SimulatedCluster:
+                return SimulatedCluster(
+                    device=device, n_nodes=k, topology=args.topology
+                )
+
+            clean = make().run(config, args.n_steps)
+            first = make().run(config, args.n_steps, faults=plan)
+            second = make().run(config, args.n_steps, faults=plan)
+
+            log_a = json.dumps(first.fault_events, sort_keys=True)
+            log_b = json.dumps(second.fault_events, sort_keys=True)
+            if log_a != log_b:
+                problems.append(
+                    f"{cell}: event logs differ between identical runs"
+                )
+            if first.step_seconds != second.step_seconds:
+                problems.append(
+                    f"{cell}: simulated timings differ between runs"
+                )
+            if first.state_digest() != second.state_digest():
+                problems.append(
+                    f"{cell}: state digests differ between identical runs"
+                )
+
+            if not np.array_equal(
+                first.final_positions, clean.final_positions
+            ) or not np.array_equal(
+                first.final_velocities, clean.final_velocities
+            ):
+                problems.append(
+                    f"{cell}: faulted trajectory deviates from clean run"
+                )
+            summary = first.fault_summary
+            if not summary.get("fully_accounted", False):
+                problems.append(
+                    f"{cell}: event log not fully accounted "
+                    f"({summary.get('injected')} injected, "
+                    f"{summary.get('recovered')} recovered, "
+                    f"{summary.get('aborted')} aborted)"
+                )
+            if plan.is_zero:
+                if first.step_seconds != clean.step_seconds:
+                    problems.append(
+                        f"{cell}: zero-rate plan changed the timings"
+                    )
+            elif (
+                summary.get("injected", 0)
+                and first.total_seconds <= clean.total_seconds
+            ):
+                problems.append(f"{cell}: faults injected but nothing charged")
+
+            digest = clean.state_digest()
+            if reference_digest is None:
+                reference_digest = digest
+            elif digest != reference_digest:
+                problems.append(
+                    f"{cell}: decomposed digest diverges from "
+                    f"{device}/K={min(args.nodes)}"
+                )
+
+            tally = {
+                key: summary.get(key, 0)
+                for key in ("injected", "recovered", "aborted")
+            }
+            print(f"{cell}: {tally} — ok")
+
+    if problems:
+        print(f"FAIL: plan {args.plan!r}:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    cells = len(args.devices) * len(set(args.nodes))
+    print(
+        f"OK: plan {args.plan!r} deterministic, accounted, and bit-faithful "
+        f"on {cells} cluster cell(s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,7 @@ Usage::
     python scripts/record_bench.py --quick --check
     python scripts/record_bench.py --ensemble [--quick] [--check]
     python scripts/record_bench.py --tune [--quick] [--check]
+    python scripts/record_bench.py --cluster [--quick] [--check]
 
 Default mode measures pairs/sec for every shipped pair kernel (the fig5
 SPE ladder plus the GPU MD shader) under both VM execution backends and
@@ -32,6 +33,17 @@ device) cell — true by construction, since a candidate that does not
 measurably beat the defaults is never adopted — and a per-device
 speedup geomean >= ``--min-tune-geomean`` (default 1.3x) on at least
 one device.
+
+``--cluster`` runs the fixed-size strong-scaling sweep over the
+simulated cluster (:mod:`repro.cluster`): one slab-decomposed run per
+(device model, node count) cell, writing ``BENCH_cluster.json`` with
+simulated seconds per step, the speedup over the same device's one-node
+run, and the exact ghost-exchange byte ledger.  The numbers are
+*simulated* time from the calibrated device models — deterministic, so
+the stored table is reproducible to the digit.  Its ``--check`` gate
+requires every device to beat its one-node run at the largest node
+count (``--min-cluster-speedup``, default 1.0) and the ghost-exchange
+conservation audit to pass on every cell.
 
 Either mode refuses (exit 3) to overwrite an existing BENCH file when
 the new table regresses any stored speedup by more than
@@ -367,6 +379,133 @@ def _run_tune(args: argparse.Namespace, out: Path) -> int:
     return 0
 
 
+def _run_cluster(args: argparse.Namespace, out: Path) -> int:
+    from repro.cluster.machine import SimulatedCluster
+    from repro.experiments.common import paper_config
+    from repro.obs.invariants import cluster_conservation_problems
+    from repro.obs.observe import Observation
+
+    if args.quick:
+        sizing = {
+            "n_atoms": 1024,
+            "n_steps": 2,
+            "node_counts": (1, 2, 4, 8),
+            "devices": ("cell", "gpu"),
+        }
+    else:
+        sizing = {
+            "n_atoms": 2048,
+            "n_steps": 4,
+            "node_counts": (1, 2, 4, 8),
+            "devices": ("cell", "gpu", "mta", "opteron"),
+        }
+    topology = args.topology
+    config = paper_config(sizing["n_atoms"])
+
+    rows = []
+    ratios: dict[str, float] = {}
+    audit_problems: list[str] = []
+    equivalence_ok = True
+    for device in sizing["devices"]:
+        baseline = None
+        reference_digest = None
+        for k in sizing["node_counts"]:
+            cluster = SimulatedCluster(
+                device=device, n_nodes=k, topology=topology
+            )
+            obs = Observation(device=cluster.name)
+            result = cluster.run(config, sizing["n_steps"], observe=obs)
+            audit_problems.extend(
+                f"{device}/K={k}: {p}"
+                for p in cluster_conservation_problems(result.counters, result)
+            )
+            digest = result.state_digest()
+            if k == sizing["node_counts"][0]:
+                baseline = result.seconds_per_step
+                reference_digest = digest
+            equivalence_ok = equivalence_ok and digest == reference_digest
+            speedup = baseline / result.seconds_per_step
+            ratios[f"{device}/{k}"] = speedup
+            rows.append(
+                {
+                    "device": device,
+                    "nodes": k,
+                    "topology": topology,
+                    "seconds_per_step": result.seconds_per_step,
+                    "speedup_over_one_node": speedup,
+                    "exchange_bytes": result.exchange_bytes,
+                    "ghost_atoms_per_step": result.ghost_atoms
+                    // max(1, sizing["n_steps"]),
+                    "hidden_exchange_seconds": sum(
+                        e.hidden_seconds for e in result.ledger
+                    ),
+                    "state_digest": digest,
+                }
+            )
+
+    record = {
+        "schema": "repro.bench_cluster/1",
+        "recorded_unix": time.time(),
+        "host": _host(),
+        "config": {
+            "n_atoms": sizing["n_atoms"],
+            "n_steps": sizing["n_steps"],
+            "node_counts": list(sizing["node_counts"]),
+            "devices": list(sizing["devices"]),
+            "topology": topology,
+            "quick": args.quick,
+        },
+        "results": rows,
+        "speedup_over_one_node": ratios,
+    }
+    rc = _write_record(args, out, record, "speedup_over_one_node")
+    if rc:
+        return rc
+
+    for r in rows:
+        print(
+            f"{r['device']:<8} K={r['nodes']:<2} "
+            f"{r['seconds_per_step'] * 1e3:9.4f} ms/step  "
+            f"{r['speedup_over_one_node']:6.2f}x  "
+            f"{r['exchange_bytes'] / 1e6:8.3f} MB exchanged"
+        )
+    print(f"wrote {out}")
+
+    if args.check:
+        if not equivalence_ok:
+            print(
+                "FAIL: decomposed state digest diverges from the one-node "
+                "run (bit-identity broken)",
+                file=sys.stderr,
+            )
+            return 1
+        if audit_problems:
+            print("FAIL: ghost-exchange conservation audit:", file=sys.stderr)
+            for problem in audit_problems:
+                print(f"  - {problem}", file=sys.stderr)
+            return 1
+        kmax = max(sizing["node_counts"])
+        slow = {
+            d: round(ratios[f"{d}/{kmax}"], 3)
+            for d in sizing["devices"]
+            if ratios[f"{d}/{kmax}"] < args.min_cluster_speedup
+        }
+        if slow:
+            print(
+                f"FAIL: K={kmax} below {args.min_cluster_speedup:.2f}x over "
+                f"one node on: {slow}",
+                file=sys.stderr,
+            )
+            return 1
+        floor = min(ratios[f"{d}/{kmax}"] for d in sizing["devices"])
+        print(
+            f"gate ok: bit-identical, conserved, and K={kmax} >= "
+            f"{floor:.2f}x over one node on every device (required >= "
+            f"{args.min_cluster_speedup:.2f}x)"
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", type=Path, default=None,
@@ -382,6 +521,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--tune", action="store_true",
                         help="run the autotuner over every scenario and "
                         "record tuned-vs-default speedups")
+    parser.add_argument("--cluster", action="store_true",
+                        help="record the simulated-cluster strong-scaling "
+                        "table (fixed size, K nodes per device model)")
+    parser.add_argument("--topology", default="switch",
+                        help="cluster fabric topology for --cluster "
+                        "(default: switch)")
+    parser.add_argument("--min-cluster-speedup", type=float, default=1.0,
+                        help="minimum largest-K speedup over one node, per "
+                        "device, for --cluster --check (default 1.0)")
     parser.add_argument("--budget", type=int, default=16,
                         help="max probes per scenario for --tune "
                         "(default 16; covers every shipped grid)")
@@ -408,8 +556,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.regress_tolerance < 0.0:
         parser.error("--regress-tolerance must be >= 0")
 
-    if args.ensemble and args.tune:
-        parser.error("--ensemble and --tune are mutually exclusive")
+    if sum((args.ensemble, args.tune, args.cluster)) > 1:
+        parser.error("--ensemble, --tune and --cluster are mutually exclusive")
+    if args.cluster:
+        out = args.out or REPO_ROOT / "BENCH_cluster.json"
+        return _run_cluster(args, out)
     if args.tune:
         out = args.out or REPO_ROOT / "BENCH_tune.json"
         return _run_tune(args, out)

@@ -178,3 +178,23 @@ VEC4_F32_BYTES = 16
 
 #: Double-precision 3-vectors on the Opteron/MTA side.
 VEC3_F64_BYTES = 24
+
+# --------------------------------------------------------------------------
+# Cluster interconnect (node-to-node, 2006-era fabric)
+# --------------------------------------------------------------------------
+
+#: Node-to-node message latency.  InfiniBand 4x SDR blades of the
+#: period reached ~4 us MPI half-round-trip; the Cell blades the paper
+#: anticipates ("future work ... multiple Cell processors") shipped
+#: with exactly this class of fabric.
+CLUSTER_LINK_LATENCY_S = 4.0e-6
+
+#: Effective per-port node-to-node bandwidth.  IB 4x SDR moves 8 Gb/s
+#: on the wire; protocol + PCI-X host adapters of 2006 landed ~0.9 GB/s
+#: of payload.
+CLUSTER_LINK_BANDWIDTH_BPS = 0.9e9
+
+#: Per-message host-side pack/unpack cost (gathering boundary atom rows
+#: into a send buffer and scattering received ghosts).  Charged once
+#: per message on top of the wire time.
+CLUSTER_PACK_S_PER_MESSAGE = 1.5e-6

@@ -13,13 +13,32 @@ All three accelerator stories in the paper are shaped by data movement:
 
 A transfer costs ``latency + bytes / bandwidth``; batched transfers pay
 the latency once per transaction.
+
+The cluster layer (``repro.cluster``) adds a fourth mover: the
+**node-to-node link** of a simulated multi-blade machine.  Ghost-region
+exchange rides :class:`ClusterFabric`, which prices one bulk-synchronous
+exchange phase from the per-message byte ledger the decomposition
+produces.  Two topologies are modelled: ``switch`` (full-crossbar,
+every node owns an independent full-duplex port, its messages overlap)
+and ``ring`` (one half-duplex port per node, its messages serialize).
 """
 
 from __future__ import annotations
 
 import dataclasses
+from typing import Iterable, Mapping
 
-__all__ = ["TransferModel", "DMAEngine", "PCIeBus"]
+__all__ = [
+    "TransferModel",
+    "DMAEngine",
+    "PCIeBus",
+    "ClusterFabric",
+    "CLUSTER_TOPOLOGIES",
+    "make_cluster_fabric",
+]
+
+#: Supported node-to-node wiring schemes.
+CLUSTER_TOPOLOGIES = ("switch", "ring")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -87,3 +106,111 @@ class PCIeBus:
 
     def readback_time(self, n_bytes: int) -> float:
         return self.readback_sync_s + self.link.transfer_time(n_bytes)
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterFabric:
+    """Node-to-node interconnect of a K-node simulated cluster.
+
+    One exchange phase moves a set of point-to-point messages
+    ``(src, dst, n_bytes)``.  Every message pays the link latency, its
+    wire time, and a host-side pack/unpack charge; how messages at one
+    node combine depends on the topology:
+
+    * ``switch`` — full crossbar, one dedicated full-duplex port per
+      node: a node's sends overlap each other and its receives, so the
+      node is done after its *largest* direction (max over per-message
+      maxima of send vs receive side).
+    * ``ring`` — one half-duplex port per node: all traffic touching
+      the node (sent + received) serializes on that port.
+
+    The phase completes when the slowest node is done — the
+    bulk-synchronous convention the cluster step loop uses.
+    """
+
+    n_nodes: int
+    topology: str = "switch"
+    link: TransferModel = dataclasses.field(
+        default_factory=lambda: TransferModel(
+            latency_s=4.0e-6, bandwidth_bytes_per_s=0.9e9, name="cluster-link"
+        )
+    )
+    pack_s_per_message: float = 1.5e-6
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {self.n_nodes}")
+        if self.topology not in CLUSTER_TOPOLOGIES:
+            raise ValueError(
+                f"unknown topology {self.topology!r}; expected one of "
+                f"{CLUSTER_TOPOLOGIES}"
+            )
+        if self.pack_s_per_message < 0.0:
+            raise ValueError("pack_s_per_message must be non-negative")
+
+    def message_time(self, n_bytes: int) -> float:
+        """Seconds for one point-to-point message, pack included."""
+        if n_bytes < 0:
+            raise ValueError(f"n_bytes must be non-negative, got {n_bytes}")
+        if n_bytes == 0:
+            return 0.0
+        return self.pack_s_per_message + self.link.transfer_time(n_bytes)
+
+    def exchange_seconds(
+        self, messages: Iterable[tuple[int, int, int]]
+    ) -> float:
+        """Seconds for one bulk-synchronous exchange of ``messages``.
+
+        ``messages`` yields ``(src, dst, n_bytes)`` triples; zero-byte
+        entries cost nothing.  Self-messages are rejected — the
+        decomposition must never route a node's own atoms over the
+        fabric.
+        """
+        send_s = [0.0] * self.n_nodes
+        recv_s = [0.0] * self.n_nodes
+        for src, dst, n_bytes in messages:
+            if not (0 <= src < self.n_nodes and 0 <= dst < self.n_nodes):
+                raise ValueError(
+                    f"message {src}->{dst} outside the {self.n_nodes}-node fabric"
+                )
+            if src == dst:
+                raise ValueError(f"node {src} routed a message to itself")
+            cost = self.message_time(n_bytes)
+            send_s[src] += cost
+            recv_s[dst] += cost
+        if self.topology == "ring":
+            per_node = [s + r for s, r in zip(send_s, recv_s)]
+        else:
+            per_node = [max(s, r) for s, r in zip(send_s, recv_s)]
+        return max(per_node, default=0.0)
+
+
+def make_cluster_fabric(
+    n_nodes: int,
+    topology: str = "switch",
+    overrides: Mapping[str, float] | None = None,
+) -> ClusterFabric:
+    """Fabric with the calibrated 2006-era link constants.
+
+    ``overrides`` may replace ``latency_s`` / ``bandwidth_bytes_per_s``
+    / ``pack_s_per_message`` (the what-if knobs of the cluster
+    experiment).
+    """
+    from repro.arch import calibration as cal
+
+    values = {
+        "latency_s": cal.CLUSTER_LINK_LATENCY_S,
+        "bandwidth_bytes_per_s": cal.CLUSTER_LINK_BANDWIDTH_BPS,
+        "pack_s_per_message": cal.CLUSTER_PACK_S_PER_MESSAGE,
+    }
+    values.update(overrides or {})
+    return ClusterFabric(
+        n_nodes=n_nodes,
+        topology=topology,
+        link=TransferModel(
+            latency_s=float(values["latency_s"]),
+            bandwidth_bytes_per_s=float(values["bandwidth_bytes_per_s"]),
+            name="cluster-link",
+        ),
+        pack_s_per_message=float(values["pack_s_per_message"]),
+    )

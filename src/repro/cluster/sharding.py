@@ -1,0 +1,188 @@
+"""Harness-side sharding of one cluster run across worker processes.
+
+The scheduler splits a cluster job SPMD-style along the same spatial
+decomposition the simulated machine uses: K rank jobs, each running
+the *whole* decomposed problem in its own worker process but reporting
+its own rank's per-step node timings and a digest of the final
+dynamical state.  Because the decomposed physics is deterministic and
+bit-identical across processes, every rank must produce the same
+digest — the merge step enforces it — and the cluster's per-step time
+is recovered as the max over ranks (the bulk-synchronous barrier),
+cross-checked against an in-process run.
+
+This mirrors how real MPI MD codes are validated: replicated runs,
+per-rank ledgers, a reduction that must agree with the single-image
+reference.  Rank jobs are ordinary harness :class:`~repro.harness.jobs.Job`s,
+so they ride the process pool, the cache, and the manifest machinery
+unchanged — rank and topology live in ``params`` and therefore in the
+content-addressed cache key.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.experiments.common import ExperimentResult, ShapeCheck
+from repro.md.simulation import MDConfig
+
+__all__ = ["run_node_shard", "run_sharded", "shard_jobs"]
+
+
+def run_node_shard(
+    n_atoms: int = 256,
+    n_steps: int = 3,
+    device: str = "opteron",
+    n_nodes: int = 2,
+    topology: str = "switch",
+    rank: int = 0,
+    seed: int = 2007,
+) -> ExperimentResult:
+    """Worker entry point: one rank's view of the decomposed run."""
+    from repro.cluster.machine import SimulatedCluster
+
+    if not 0 <= rank < n_nodes:
+        raise ValueError(f"rank {rank} outside [0, {n_nodes})")
+    cluster = SimulatedCluster(device=device, n_nodes=n_nodes, topology=topology)
+    result = cluster.run(MDConfig(n_atoms=n_atoms, seed=seed), n_steps)
+    rows = tuple(
+        (
+            step,
+            rank,
+            round(node_times[rank], 12),
+            round(step_total, 12),
+            entry.bytes_sent,
+        )
+        for step, (node_times, step_total, entry) in enumerate(
+            zip(result.node_step_seconds, result.step_seconds, result.ledger)
+        )
+    )
+    digest = result.state_digest()
+    checks = (
+        ShapeCheck(
+            key="cluster_shard_consistent",
+            measured=1.0 if len(rows) == n_steps else 0.0,
+            low=1.0,
+            high=1.0,
+            paper_value=1.0,
+            description=f"rank {rank}/{n_nodes} stepped its full schedule",
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="cluster-shard",
+        title=f"cluster shard rank {rank}/{n_nodes} on {device}",
+        headers=("step", "rank", "node_seconds", "cluster_seconds", "exchange_bytes"),
+        rows=rows,
+        checks=checks,
+        notes=(f"digest={digest}",),
+    )
+
+
+def shard_jobs(
+    n_atoms: int,
+    n_steps: int,
+    device: str,
+    n_nodes: int,
+    topology: str = "switch",
+    seed: int = 2007,
+) -> list:
+    """The K rank jobs for one sharded cluster run."""
+    from repro.harness.jobs import Job
+
+    return [
+        Job(
+            job_id=f"cluster-shard-{device}-k{n_nodes}-r{rank}",
+            experiment_id="cluster-shard",
+            module="repro.cluster.sharding",
+            func="run_node_shard",
+            params={
+                "n_atoms": n_atoms,
+                "n_steps": n_steps,
+                "device": device,
+                "n_nodes": n_nodes,
+                "topology": topology,
+                "rank": rank,
+                "seed": seed,
+            },
+        )
+        for rank in range(n_nodes)
+    ]
+
+
+def _shard_digest(record: Mapping[str, Any]) -> str:
+    for note in record.get("result", {}).get("notes", ()):
+        if note.startswith("digest="):
+            return note[len("digest="):]
+    raise ValueError(
+        f"rank record {record.get('job_id')!r} carries no state digest"
+    )
+
+
+def run_sharded(
+    n_atoms: int = 256,
+    n_steps: int = 3,
+    device: str = "opteron",
+    n_nodes: int = 2,
+    topology: str = "switch",
+    seed: int = 2007,
+    max_workers: int | None = None,
+    store=None,
+) -> dict[str, Any]:
+    """Run the K rank jobs through the scheduler and merge their ledgers.
+
+    Returns a summary dict with the merged per-step seconds (max over
+    ranks), the agreed state digest, and the in-process reference the
+    merge was verified against.  Raises if any rank failed, if the
+    digests disagree (a determinism violation), or if the merged
+    timings drift from the reference run.
+    """
+    from repro.cluster.machine import SimulatedCluster
+    from repro.harness.api import run_roster
+
+    jobs = shard_jobs(n_atoms, n_steps, device, n_nodes, topology, seed)
+    outcome = run_roster(jobs, store=store, max_workers=max_workers)
+    if outcome.failures:
+        bad = [r["job_id"] for r in outcome.records if r.get("status") != "ok"]
+        raise RuntimeError(f"cluster shard ranks failed: {bad}")
+
+    digests = {r["job_id"]: _shard_digest(r) for r in outcome.records}
+    if len(set(digests.values())) != 1:
+        raise RuntimeError(
+            f"rank state digests disagree — decomposition is not "
+            f"deterministic across processes: {digests}"
+        )
+
+    # Merge: cluster step time = barrier = max over ranks' node times.
+    per_rank_rows = [r["result"]["rows"] for r in outcome.records]
+    merged_steps = [
+        max(rows[step][2] for rows in per_rank_rows)
+        for step in range(n_steps)
+    ]
+
+    reference = SimulatedCluster(
+        device=device, n_nodes=n_nodes, topology=topology
+    ).run(MDConfig(n_atoms=n_atoms, seed=seed), n_steps)
+    ref_digest = reference.state_digest()
+    if ref_digest != next(iter(digests.values())):
+        raise RuntimeError(
+            "sharded digest does not match the in-process reference run"
+        )
+    ref_steps = [
+        round(max(times), 12) for times in reference.node_step_seconds
+    ]
+    if merged_steps != ref_steps:
+        raise RuntimeError(
+            f"merged step times {merged_steps} drift from the in-process "
+            f"reference {ref_steps}"
+        )
+
+    return {
+        "device": device,
+        "n_nodes": n_nodes,
+        "topology": topology,
+        "n_atoms": n_atoms,
+        "n_steps": n_steps,
+        "digest": ref_digest,
+        "step_seconds": merged_steps,
+        "exchange_bytes": reference.exchange_bytes,
+        "ranks": [r["job_id"] for r in outcome.records],
+    }

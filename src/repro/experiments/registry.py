@@ -18,6 +18,7 @@ from typing import Any, Callable, Mapping
 
 from repro.experiments import (
     ablations,
+    cluster_scaling,
     ensemble,
     faultstorm,
     fig5_simd,
@@ -250,6 +251,24 @@ EXPERIMENTS: tuple[ExperimentSpec, ...] = (
         quick_params={"n_atoms": 128, "n_steps": 8, "checkpoint_interval": 3},
         full_params={"n_atoms": 256, "n_steps": 24, "checkpoint_interval": 5},
         accepts_checkpoint=True,
+    ),
+    _spec(
+        "cluster",
+        cluster_scaling,
+        "run",
+        cluster_scaling.DESCRIPTION,
+        quick_params={
+            "n_atoms": 512,
+            "n_steps": 2,
+            "node_counts": (1, 2, 4),
+            "devices": ("cell", "gpu"),
+        },
+        full_params={
+            "n_atoms": 2048,
+            "n_steps": 4,
+            "node_counts": (1, 2, 4, 8),
+            "devices": ("cell", "gpu", "mta", "opteron"),
+        },
     ),
     _spec(
         "tunesweep",

@@ -37,6 +37,8 @@ FAULT_SITES: dict[str, str] = {
     "mta.stream.stall": "MTA stream stalls (watchdog restart, issue slots lost)",
     "mta.stream.starve": "MTA processor starved below stream saturation",
     "vm.bitflip": "numeric bit-flip in a VM output buffer / force array",
+    "cluster.link.drop": "node-to-node ghost-exchange message lost (timeout + phase resend)",
+    "cluster.node.straggler": "one cluster node runs slow this step (barrier absorbs it)",
 }
 
 
@@ -196,15 +198,34 @@ class FaultPlan:
         }
         return cls(seed=seed, sites=sites, **overrides)
 
+    @classmethod
+    def cluster_storm(cls, seed: int = 2007, **overrides: Any) -> "FaultPlan":
+        """Chaos scenario for the decomposed cluster runs.
+
+        Lossy inter-node links plus an intermittent straggler node
+        running 2.5x slow — the two failure modes that dominate
+        bulk-synchronous MD on real clusters.  Timing-level only:
+        physics stays bit-identical to the fault-free run.
+        """
+        sites = {
+            "cluster.link.drop": SiteSpec(rate=0.12),
+            "cluster.node.straggler": SiteSpec(
+                rate=0.15, payload={"factor": 2.5}
+            ),
+        }
+        return cls(seed=seed, sites=sites, **overrides)
+
 
 def load_plan_arg(value: str) -> FaultPlan:
     """Resolve a ``--fault-plan`` CLI argument.
 
-    Accepts a preset name (``storm``, ``none``) or a path to a JSON
-    file holding a serialized plan.
+    Accepts a preset name (``storm``, ``none``, ``cluster-storm``) or a
+    path to a JSON file holding a serialized plan.
     """
     if value == "storm":
         return FaultPlan.storm()
+    if value == "cluster-storm":
+        return FaultPlan.cluster_storm()
     if value == "none":
         return FaultPlan.none()
     try:
@@ -212,7 +233,7 @@ def load_plan_arg(value: str) -> FaultPlan:
             data = json.load(handle)
     except FileNotFoundError:
         raise ValueError(
-            f"--fault-plan expects 'storm', 'none', or a JSON file path; "
+            f"--fault-plan expects 'storm', 'cluster-storm', 'none', or a JSON file path; "
             f"{value!r} is neither"
         ) from None
     return FaultPlan.from_dict(data)

@@ -234,6 +234,25 @@ def _populate() -> None:
          "scenarios that fell back to defaults (budget exhausted or probes failed)"),
         ("tune.seconds", "seconds", "tune",
          "wall seconds spent inside probe measurements"),
+        # -- cluster (repro.cluster domain decomposition) --------------
+        ("cluster.nodes", "count", "cluster",
+         "nodes in the simulated cluster (charged once per run)"),
+        ("cluster.exchange.bytes_sent", "bytes", "cluster",
+         "ghost + migration payload sent over the fabric"),
+        ("cluster.exchange.bytes_received", "bytes", "cluster",
+         "ghost + migration payload received over the fabric"),
+        ("cluster.exchange.messages", "count", "cluster",
+         "point-to-point messages in the exchange phases"),
+        ("cluster.ghost.atoms", "count", "cluster",
+         "halo atoms imported across all nodes and steps"),
+        ("cluster.migrate.atoms", "count", "cluster",
+         "atoms whose owner rank changed between steps"),
+        ("cluster.exchange.seconds", "seconds", "cluster",
+         "fabric time of the exchange phases (hidden + exposed)"),
+        ("cluster.exchange.hidden_seconds", "seconds", "cluster",
+         "exchange time overlapped by interior force computation"),
+        ("cluster.exchange.exposed_seconds", "seconds", "cluster",
+         "exchange time on the step critical path"),
         # -- Opteron ---------------------------------------------------
         ("opteron.kernel.cycles", "cycles", "opteron",
          "scheduled K8 kernel cycles", "Fig. 9"),

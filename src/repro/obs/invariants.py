@@ -25,6 +25,8 @@ from repro.arch import calibration as cal
 from repro.obs.trace import Span, Tracer
 
 __all__ = [
+    "cluster_conservation_problems",
+    "cluster_halo_problems",
     "dma_conservation_problems",
     "pcie_conservation_problems",
     "span_nesting_problems",
@@ -166,4 +168,157 @@ def monotonic_step_problems(tracer: Tracer) -> list[str]:
         if step.duration_s < 0.0:
             problems.append(f"step span {i} has negative duration")
         cursor = step.end_s
+    return problems
+
+
+def cluster_conservation_problems(
+    counters: Mapping[str, float],
+    result: "object",
+) -> list[str]:
+    """Ghost-exchange byte conservation for one cluster run.
+
+    ``result`` is a :class:`repro.cluster.machine.ClusterRunResult`
+    (duck-typed to keep this module free of cluster imports).  Laws:
+
+    * per step, Σ bytes sent == Σ bytes received across the links;
+    * per step, the payload decomposes exactly into ghost atoms at the
+      wire size plus migrated atoms at twice it (position + velocity);
+    * per step, hidden + exposed exchange time == the phase time;
+    * the run totals reconcile with the ``cluster.*`` counters.
+    """
+    problems: list[str] = []
+    bpa = int(result.bytes_per_atom)
+    for i, entry in enumerate(result.ledger):
+        if entry.bytes_sent != entry.bytes_received:
+            problems.append(
+                f"step {i}: bytes sent {entry.bytes_sent} != "
+                f"bytes received {entry.bytes_received}"
+            )
+        expect = entry.ghost_atoms * bpa + entry.migrate_atoms * 2 * bpa
+        if entry.bytes_sent != expect:
+            problems.append(
+                f"step {i}: bytes sent {entry.bytes_sent} != "
+                f"{entry.ghost_atoms} ghosts x {bpa} B + "
+                f"{entry.migrate_atoms} migrations x {2 * bpa} B = {expect}"
+            )
+        if not _rel_eq(
+            entry.hidden_seconds + entry.exposed_seconds,
+            entry.exchange_seconds,
+        ):
+            problems.append(
+                f"step {i}: hidden {entry.hidden_seconds:g}s + exposed "
+                f"{entry.exposed_seconds:g}s != exchange "
+                f"{entry.exchange_seconds:g}s"
+            )
+    totals = {
+        "cluster.exchange.bytes_sent": sum(
+            e.bytes_sent for e in result.ledger
+        ),
+        "cluster.exchange.bytes_received": sum(
+            e.bytes_received for e in result.ledger
+        ),
+        "cluster.exchange.messages": sum(e.messages for e in result.ledger),
+        "cluster.ghost.atoms": sum(e.ghost_atoms for e in result.ledger),
+        "cluster.migrate.atoms": sum(e.migrate_atoms for e in result.ledger),
+    }
+    for name, expect_exact in totals.items():
+        got = counters.get(name, 0.0)
+        if got != expect_exact:
+            problems.append(
+                f"{name} = {got:g} does not reconcile with the ledger "
+                f"total {expect_exact}"
+            )
+    for name, expect_float in (
+        ("cluster.exchange.seconds",
+         sum(e.exchange_seconds for e in result.ledger)),
+        ("cluster.exchange.hidden_seconds",
+         sum(e.hidden_seconds for e in result.ledger)),
+        ("cluster.exchange.exposed_seconds",
+         sum(e.exposed_seconds for e in result.ledger)),
+    ):
+        got = counters.get(name, 0.0)
+        if not _rel_eq(got, expect_float):
+            problems.append(
+                f"{name} = {got:g} does not reconcile with the ledger "
+                f"total {expect_float:g}"
+            )
+    if counters.get("cluster.nodes", 0.0) != result.n_nodes:
+        problems.append(
+            f"cluster.nodes = {counters.get('cluster.nodes', 0.0):g}, "
+            f"expected {result.n_nodes}"
+        )
+    return problems
+
+
+def cluster_halo_problems(
+    box,
+    positions,
+    n_nodes: int,
+    halo_width: float,
+    plan,
+    rcut: float | None = None,
+) -> list[str]:
+    """Audit one exchange plan against the halo demand it must satisfy.
+
+    Re-derives from scratch (no shared code with
+    :mod:`repro.cluster.decomposition`): slab ownership from the
+    wrapped x coordinate, the ghost demand as every non-owned atom
+    whose periodic x-distance to the slab is below ``halo_width``, and
+    message counts as the per-owner tallies of each rank's ghosts.
+    With ``rcut`` given, additionally proves coverage: every partner
+    within the cutoff of an owned atom is present in the node's local
+    set (O(N^2) — test-sized systems only).
+    """
+    import numpy as np
+
+    problems: list[str] = []
+    positions = np.asarray(positions, dtype=np.float64)
+    length = box.length
+    width = length / n_nodes
+    x = box.wrap(positions)[:, 0]
+    owner = np.clip(np.floor(x / width).astype(np.int64), 0, n_nodes - 1)
+
+    if not np.array_equal(plan.owners, owner):
+        problems.append("plan ownership disagrees with slab re-derivation")
+
+    for domain in plan.domains:
+        rank = domain.rank
+        start, end = rank * width, (rank + 1) * width
+        inside = (x >= start) & (x < end)
+        gap = np.minimum((start - x) % length, (x - end) % length)
+        demand = np.nonzero((~inside) & (owner != rank) & (gap < halo_width))[0]
+        if n_nodes == 1:
+            demand = np.empty(0, dtype=np.int64)
+        if not np.array_equal(np.sort(domain.ghosts), demand):
+            problems.append(
+                f"rank {rank}: ghost set ({domain.n_ghosts} atoms) does not "
+                f"match the halo demand ({demand.shape[0]} atoms)"
+            )
+        if rcut is not None and domain.n_owned:
+            local = set(domain.local.tolist())
+            delta = box.minimum_image(
+                positions[domain.owned][:, None, :] - positions[None, :, :]
+            )
+            r2 = np.einsum("ijk,ijk->ij", delta, delta)
+            needed = np.unique(np.nonzero(r2 < rcut * rcut)[1])
+            missing = [int(j) for j in needed if int(j) not in local]
+            if missing:
+                problems.append(
+                    f"rank {rank}: atoms {missing[:5]} are within the cutoff "
+                    f"of owned rows but absent from the local set"
+                )
+
+    tally: dict[tuple[int, int], int] = {}
+    for domain in plan.domains:
+        if domain.n_ghosts == 0:
+            continue
+        srcs, counts = np.unique(owner[domain.ghosts], return_counts=True)
+        for src, count in zip(srcs.tolist(), counts.tolist()):
+            tally[(int(src), domain.rank)] = int(count)
+    messages = {(src, dst): n for src, dst, n in plan.messages}
+    if messages != tally:
+        problems.append(
+            f"plan messages {sorted(messages.items())} do not match the "
+            f"ghost-owner tallies {sorted(tally.items())}"
+        )
     return problems

@@ -1,0 +1,1 @@
+"""Tests for the simulated-cluster domain decomposition."""

@@ -1,0 +1,61 @@
+"""The registered ``cluster`` experiment: table, checks, registry wiring."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import cluster_scaling
+from repro.experiments.registry import spec_for
+
+
+class TestRun:
+    def test_tiny_run_passes_its_checks(self):
+        result = cluster_scaling.run(
+            n_atoms=128, n_steps=1, node_counts=(1, 2), devices=("opteron",)
+        )
+        assert result.experiment_id == "cluster"
+        assert len(result.rows) == 2
+        assert result.all_passed, [c.render() for c in result.checks]
+
+    def test_rows_carry_the_scaling_columns(self):
+        result = cluster_scaling.run(
+            n_atoms=128, n_steps=1, node_counts=(1, 2), devices=("opteron",)
+        )
+        assert result.headers[:4] == (
+            "device", "nodes", "seconds_per_step", "speedup_vs_one_node",
+        )
+        baseline = next(row for row in result.rows if row[1] == 1)
+        assert baseline[3] == 1.0
+        assert baseline[4] == 0  # no exchange at K=1
+        two_node = next(row for row in result.rows if row[1] == 2)
+        assert two_node[4] > 0
+
+    def test_node_counts_must_start_at_one(self):
+        with pytest.raises(ValueError, match="K=1 baseline"):
+            cluster_scaling.run(node_counts=(2, 4))
+
+    @pytest.mark.slow
+    def test_quick_roster_cell_passes(self):
+        spec = spec_for("cluster")
+        result = cluster_scaling.run(**spec.params(quick=True))
+        assert result.all_passed, [c.render() for c in result.checks]
+
+
+class TestRegistry:
+    def test_cluster_is_registered(self):
+        spec = spec_for("cluster")
+        assert spec.module == "repro.experiments.cluster_scaling"
+        assert spec.func == "run"
+
+    def test_params_are_json_serializable(self):
+        spec = spec_for("cluster")
+        json.dumps(spec.params(quick=True))
+        json.dumps(spec.params(quick=False))
+
+    def test_full_params_cover_the_paper_grid(self):
+        spec = spec_for("cluster")
+        full = spec.params(quick=False)
+        assert tuple(full["node_counts"]) == (1, 2, 4, 8)
+        assert len(full["devices"]) >= 2

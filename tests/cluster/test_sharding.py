@@ -1,0 +1,69 @@
+"""SPMD sharding: rank jobs through the harness, merged and cross-checked."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.sharding import run_node_shard, run_sharded, shard_jobs
+
+
+class TestShardJobs:
+    def test_one_job_per_rank_with_rank_in_params(self):
+        jobs = shard_jobs(128, 2, "opteron", 4)
+        assert len(jobs) == 4
+        assert len({job.job_id for job in jobs}) == 4
+        for rank, job in enumerate(jobs):
+            assert job.params["rank"] == rank
+            assert job.module == "repro.cluster.sharding"
+            assert job.func == "run_node_shard"
+
+    def test_rank_lands_in_the_cache_key(self):
+        from repro.harness.jobs import job_cache_key
+
+        first, second = shard_jobs(128, 2, "opteron", 2)
+        fingerprint = "test-fingerprint"
+        assert job_cache_key(first, fingerprint) != job_cache_key(
+            second, fingerprint
+        )
+
+
+class TestRunNodeShard:
+    def test_reports_every_step(self):
+        result = run_node_shard(n_atoms=128, n_steps=2, n_nodes=2, rank=1)
+        assert len(result.rows) == 2
+        assert all(row[1] == 1 for row in result.rows)
+        assert any(note.startswith("digest=") for note in result.notes)
+        assert all(check.passed for check in result.checks)
+
+    def test_out_of_range_rank_rejected(self):
+        with pytest.raises(ValueError, match="rank"):
+            run_node_shard(n_atoms=128, n_nodes=2, rank=2)
+
+    def test_record_without_digest_note_rejected(self):
+        from repro.cluster.sharding import _shard_digest
+
+        with pytest.raises(ValueError, match="digest"):
+            _shard_digest({"job_id": "x", "result": {"notes": ["other"]}})
+
+
+class TestRunSharded:
+    def test_merge_agrees_with_the_reference_run(self):
+        summary = run_sharded(
+            n_atoms=128, n_steps=2, device="opteron", n_nodes=2,
+            max_workers=0,
+        )
+        assert summary["n_nodes"] == 2
+        assert len(summary["step_seconds"]) == 2
+        assert len(summary["digest"]) == 64
+        assert summary["exchange_bytes"] > 0
+        assert len(summary["ranks"]) == 2
+
+    @pytest.mark.slow
+    def test_merge_survives_the_process_pool(self):
+        """Same run but across real worker processes: the digests still
+        have to agree — the cross-process determinism claim."""
+        summary = run_sharded(
+            n_atoms=128, n_steps=2, device="opteron", n_nodes=2,
+            max_workers=2,
+        )
+        assert len(summary["digest"]) == 64

@@ -10,7 +10,7 @@ from repro.experiments import runner
 class TestRoster:
     def test_full_roster_covers_every_artifact(self):
         factories = runner.all_experiments(quick=False)
-        assert len(factories) == 18
+        assert len(factories) == 19
 
     def test_quick_roster_same_length(self):
         assert len(runner.all_experiments(quick=True)) == len(
